@@ -1,0 +1,24 @@
+//! Micro-benchmarks of the four fill-reducing orderings on a fixed
+//! 3-D grid problem (the analysis-phase cost the paper's pipeline pays
+//! before any scheduling happens).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_order::ALL_ORDERINGS;
+use mf_sparse::gen::grid::{grid3d, Stencil};
+use mf_sparse::{Graph, Symmetry};
+
+fn bench_orderings(c: &mut Criterion) {
+    let a = grid3d(14, 14, 14, Stencil::Box, Symmetry::Symmetric, 1);
+    let g = Graph::from_matrix(&a);
+    let mut group = c.benchmark_group("ordering/grid14x14x14");
+    group.sample_size(10);
+    for kind in ALL_ORDERINGS {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &g, |b, g| {
+            b.iter(|| kind.compute_on_graph(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

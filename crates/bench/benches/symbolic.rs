@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the symbolic analysis pipeline: elimination tree,
+//! column counts, amalgamation, Liu reordering and splitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mf_order::OrderingKind;
+use mf_sparse::gen::paper::PaperMatrix;
+use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+use mf_symbolic::AmalgamationOptions;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = PaperMatrix::BmwCra1.instantiate_scaled(0.5);
+    let perm = OrderingKind::Amd.compute(&a);
+
+    let mut group = c.benchmark_group("symbolic/bmwcra1-half");
+    group.sample_size(20);
+    group.bench_function("analyze", |b| {
+        b.iter(|| mf_symbolic::analyze(&a, &perm, &AmalgamationOptions::default()))
+    });
+    let s = mf_symbolic::analyze(&a, &perm, &AmalgamationOptions::default());
+    group.bench_function("liu_order", |b| {
+        b.iter_batched(
+            || s.tree.clone(),
+            |mut t| apply_liu_order(&mut t, AssemblyDiscipline::FrontThenFree),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("split_large_masters", |b| {
+        b.iter_batched(
+            || s.tree.clone(),
+            |mut t| mf_symbolic::split::split_large_masters(&mut t, 50_000),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("front_structures", |b| {
+        b.iter(|| mf_symbolic::frontstruct::front_structures(&s))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Quick scan of every matrix × ordering cell: generation, ordering and
+//! symbolic-analysis timings plus tree-shape statistics. Useful to sanity
+//! check the whole analysis pipeline before launching the table sweeps.
+
+use mf_order::ALL_ORDERINGS;
+use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
+use mf_symbolic::AmalgamationOptions;
+use std::time::Instant;
+
+fn main() {
+    for m in ALL_PAPER_MATRICES {
+        let t0 = Instant::now();
+        let a = m.instantiate();
+        let tg = t0.elapsed();
+        for k in ALL_ORDERINGS {
+            let t1 = Instant::now();
+            let p = k.compute(&a);
+            let to = t1.elapsed();
+            let t2 = Instant::now();
+            let s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+            let ts = t2.elapsed();
+            let st = s.tree.stats();
+            println!(
+                "{:12} n={:6} nnz={:8} gen={:6.1?} {:5}: ord={:7.2?} sym={:7.2?} \
+                 nodes={:5} leaves={:5} depth={:4} maxfront={:5} flops={:.2e} factors={:.2e}",
+                m.name(),
+                a.nrows(),
+                a.nnz(),
+                tg,
+                k.name(),
+                to,
+                ts,
+                st.nodes,
+                st.leaves,
+                st.depth,
+                st.max_nfront,
+                st.flops as f64,
+                st.factor_entries as f64
+            );
+        }
+    }
+}

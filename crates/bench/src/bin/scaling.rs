@@ -1,0 +1,61 @@
+//! Memory scalability study — the paper's motivation, quantified.
+//!
+//! "By minimizing the stack memory and improving the memory scalability,
+//! we will be able to treat larger problems since the scalability of the
+//! stack is currently a limiting factor of the factorization."
+//!
+//! For processor counts 1..32 this binary reports, per strategy:
+//! the maximum per-processor stack peak (what each node must provision),
+//! the *sum* of the peaks (total machine memory — perfect scalability
+//! would keep it flat at the sequential peak), and the memory efficiency
+//! `seq_peak / (nprocs * max_peak)`, plus the makespan speedup.
+
+use mf_bench::sweep::{build_tree, paper_scale_config};
+use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim;
+use mf_order::OrderingKind;
+use mf_sparse::gen::paper::PaperMatrix;
+use mf_symbolic::seqstack::{sequential_peak, AssemblyDiscipline};
+
+fn main() {
+    let tree = build_tree(PaperMatrix::Ultrasound3, OrderingKind::Metis, None);
+    let seq = sequential_peak(&tree, AssemblyDiscipline::FrontThenFree);
+    println!("ULTRASOUND3 / METIS; sequential stack peak = {seq} entries");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10} {:>8}  strategy",
+        "procs", "max peak", "sum peaks", "efficiency", "makespan", "speedup"
+    );
+    let mut t1 = [0u64; 2];
+    for nprocs in [1usize, 2, 4, 8, 16, 32] {
+        for (si, memory) in [(0usize, false), (1, true)] {
+            let mut cfg = paper_scale_config(nprocs);
+            if memory {
+                cfg = SolverConfig {
+                    slave_selection: SlaveSelection::Memory,
+                    task_selection: TaskSelection::MemoryAware,
+                    use_subtree_info: true,
+                    use_prediction: true,
+                    ..cfg
+                };
+            }
+            let map = compute_mapping(&tree, &cfg);
+            let r = parsim::run(&tree, &map, &cfg);
+            assert_eq!(r.nodes_done, r.total_nodes);
+            if nprocs == 1 {
+                t1[si] = r.makespan;
+            }
+            let sum: u64 = r.peaks.iter().sum();
+            println!(
+                "{:>6} {:>10} {:>12} {:>11.1}% {:>10} {:>7.1}x  {}",
+                nprocs,
+                r.max_peak,
+                sum,
+                100.0 * seq as f64 / (nprocs as f64 * r.max_peak as f64),
+                r.makespan,
+                t1[si] as f64 / r.makespan as f64,
+                if memory { "memory" } else { "workload" },
+            );
+        }
+    }
+}

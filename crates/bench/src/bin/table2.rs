@@ -1,0 +1,38 @@
+//! Table 2: percentage decrease of the maximum stack-memory peak
+//! obtained by the dynamic memory strategies (Algorithm 1 with the
+//! Section 5.1 mechanisms and Algorithm 2) against the workload baseline
+//! — 8 matrices x 4 orderings, 32 simulated processors, no splitting.
+
+use mf_bench::paper_data::PAPER_TABLE2;
+use mf_bench::sweep::{render_percent_table, sweep_cell};
+use mf_order::ALL_ORDERINGS;
+use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
+
+fn main() {
+    let nprocs = 32;
+    let mut rows = Vec::new();
+    for m in ALL_PAPER_MATRICES {
+        let mut vals = [0.0f64; 4];
+        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
+            let c = sweep_cell(m, k, nprocs, None, false);
+            vals[i] = c.gain_percent();
+            eprintln!(
+                "{:12} {:5}: baseline peak {:>9}, memory peak {:>9} -> {:+.1}%",
+                m.name(),
+                k.name(),
+                c.baseline.max_peak,
+                c.memory.max_peak,
+                vals[i]
+            );
+        }
+        rows.push((m.name(), vals));
+    }
+    println!(
+        "{}",
+        render_percent_table(
+            "Table 2: % decrease of max stack peak (dynamic memory strategies, no splitting)",
+            &rows,
+            Some(&PAPER_TABLE2),
+        )
+    );
+}

@@ -1,0 +1,41 @@
+//! Table 3: percentage decrease of the maximum stack-memory peak by the
+//! dynamic memory strategies on trees whose large type-2 masters were
+//! statically split (both runs use the same split tree, as in the paper).
+
+use mf_bench::paper_data::PAPER_TABLE3;
+use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cell};
+use mf_order::ALL_ORDERINGS;
+use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
+
+fn main() {
+    let nprocs = 32;
+    let thr = split_threshold_for();
+    let mut rows = Vec::new();
+    for m in ALL_PAPER_MATRICES.into_iter().filter(|m| m.is_unsymmetric()) {
+        let mut vals = [0.0f64; 4];
+        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
+            let c = sweep_cell(m, k, nprocs, Some(thr), false);
+            vals[i] = c.gain_percent();
+            eprintln!(
+                "{:12} {:5}: split-baseline {:>9}, split-memory {:>9} -> {:+.1}% ({} fronts)",
+                m.name(),
+                k.name(),
+                c.baseline.max_peak,
+                c.memory.max_peak,
+                vals[i],
+                c.stats.nodes,
+            );
+        }
+        rows.push((m.name(), vals));
+    }
+    println!(
+        "{}",
+        render_percent_table(
+            &format!(
+                "Table 3: % decrease of max stack peak on split trees (threshold {thr} entries)"
+            ),
+            &rows,
+            Some(&PAPER_TABLE3),
+        )
+    );
+}

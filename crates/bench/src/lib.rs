@@ -1,0 +1,25 @@
+//! Experiment harness regenerating the tables and figures of the paper.
+//!
+//! Binaries (`cargo run --release -p mf-bench --bin tableN`):
+//!
+//! * `table1` — the test problems (synthetic analogues + paper metadata);
+//! * `table2` — % decrease of the max stack peak, memory strategies vs.
+//!   workload baseline, 8 matrices × 4 orderings, no splitting;
+//! * `table3` — same on trees with large type-2 masters split;
+//! * `table4` — absolute peaks, {no-split, split} × {workload, memory};
+//! * `table5` — combined static + dynamic vs. original MUMPS strategy;
+//! * `table6` — factorization-time loss of the memory strategies;
+//! * `figures` — scenario reproductions of Figures 4, 5, 6 and 8;
+//! * `probe` — quick timing/shape scan of all matrix × ordering cells.
+//!
+//! The library part holds the shared experiment-sweep machinery so the
+//! binaries stay thin and the sweeps are testable.
+
+#![warn(missing_docs)]
+pub mod paper_data;
+pub mod scenarios;
+pub mod sweep;
+
+pub use sweep::{
+    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, CellResult,
+};

@@ -1,0 +1,220 @@
+//! 1-D row blockings of type-2 fronts (Figure 3 of the paper).
+//!
+//! A type-2 front of order `nfront` with `npiv` pivots is distributed by
+//! rows: the master holds the `npiv` fully-summed rows, the slaves share
+//! the remaining `nfront - npiv`. For LU the slave rows are full
+//! (`nfront` entries each, regular blocking); for LDLᵀ only the lower
+//! triangle is stored, so row `r` (0-based within the front) holds
+//! `r + 1` entries and equal-work partitions are irregular.
+
+use mf_sparse::Symmetry;
+
+/// Entries held by a slave block spanning front rows
+/// `[npiv + offset, npiv + offset + nrows)`.
+pub fn slave_block_entries(
+    sym: Symmetry,
+    nfront: usize,
+    npiv: usize,
+    offset: usize,
+    nrows: usize,
+) -> u64 {
+    debug_assert!(npiv + offset + nrows <= nfront);
+    match sym {
+        Symmetry::General => (nrows as u64) * nfront as u64,
+        Symmetry::Symmetric => {
+            let a = (npiv + offset) as u64;
+            let b = a + nrows as u64;
+            // Σ_{r=a}^{b-1} (r+1) = tri(b) - tri(a)
+            b * (b + 1) / 2 - a * (a + 1) / 2
+        }
+    }
+}
+
+/// Total entries of the slave part of the front (the "surface" Algorithm 1
+/// compares its deficits against).
+pub fn slave_surface(sym: Symmetry, nfront: usize, npiv: usize) -> u64 {
+    slave_block_entries(sym, nfront, npiv, 0, nfront - npiv)
+}
+
+/// Splits the slave rows into `k` contiguous blocks of (approximately)
+/// equal *entries* — the regular blocking of the unsymmetric case and the
+/// irregular one of the symmetric case in Figure 3. Returns
+/// `(offset, nrows)` per slave; every slave gets at least one row when
+/// `k <= nfront - npiv`.
+pub fn equal_entry_blocks(
+    sym: Symmetry,
+    nfront: usize,
+    npiv: usize,
+    k: usize,
+) -> Vec<(usize, usize)> {
+    let total_rows = nfront - npiv;
+    assert!(k >= 1 && k <= total_rows, "k={k} rows={total_rows}");
+    let surface = slave_surface(sym, nfront, npiv);
+    let mut blocks = Vec::with_capacity(k);
+    let mut row = 0usize;
+    let mut used = 0u64;
+    for b in 0..k {
+        let remaining_blocks = (k - b) as u64;
+        let target = (surface - used).div_ceil(remaining_blocks);
+        let mut take = 0usize;
+        let mut entries = 0u64;
+        while row + take < total_rows && (entries < target || take == 0) {
+            // Never leave fewer rows than blocks still to fill.
+            if total_rows - (row + take) < k - b {
+                break;
+            }
+            entries += slave_block_entries(sym, nfront, npiv, row + take, 1);
+            take += 1;
+        }
+        if take == 0 {
+            take = 1;
+            entries = slave_block_entries(sym, nfront, npiv, row, 1);
+        }
+        blocks.push((row, take));
+        row += take;
+        used += entries;
+    }
+    // Any leftover rows go to the last block.
+    if row < total_rows {
+        let (off, n) = blocks.pop().unwrap();
+        blocks.push((off, n + (total_rows - row)));
+    }
+    blocks
+}
+
+/// Converts a per-slave *entry budget* into contiguous row blocks: slave
+/// `j` receives rows until its budget is exhausted (at least one row).
+/// Leftover rows are spread round-robin; used by Algorithm 1 which
+/// reasons in entries (`(MEM[i]-MEM[j])/nfront` rows).
+pub fn blocks_from_entry_budgets(
+    sym: Symmetry,
+    nfront: usize,
+    npiv: usize,
+    budgets: &[u64],
+) -> Vec<(usize, usize)> {
+    let total_rows = nfront - npiv;
+    let k = budgets.len();
+    assert!(k >= 1 && k <= total_rows);
+    // First pass: rows per slave from the budget (0 allowed here).
+    let mut rows = vec![0usize; k];
+    let mut row = 0usize;
+    for (j, &budget) in budgets.iter().enumerate() {
+        let mut entries = 0u64;
+        while row < total_rows && entries < budget {
+            if total_rows - row < k - j {
+                break; // keep one row available per remaining slave
+            }
+            entries += slave_block_entries(sym, nfront, npiv, row, 1);
+            row += 1;
+            rows[j] += 1;
+        }
+    }
+    // Spread remaining rows as equally as possible (the "assign the
+    // remaining rows equitably" step of Algorithm 1).
+    while row < total_rows {
+        let j = (0..k).min_by_key(|&j| rows[j]).unwrap();
+        rows[j] += 1;
+        row += 1;
+    }
+    // Guarantee ≥1 row each by stealing from the largest.
+    while let Some(j0) = (0..k).find(|&j| rows[j] == 0) {
+        let jmax = (0..k).max_by_key(|&j| rows[j]).unwrap();
+        debug_assert!(rows[jmax] > 1);
+        rows[jmax] -= 1;
+        rows[j0] += 1;
+    }
+    let mut blocks = Vec::with_capacity(k);
+    let mut off = 0usize;
+    for &r in &rows {
+        blocks.push((off, r));
+        off += r;
+    }
+    debug_assert_eq!(off, total_rows);
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsym_blocks_are_regular() {
+        let blocks = equal_entry_blocks(Symmetry::General, 100, 20, 4);
+        let rows: Vec<usize> = blocks.iter().map(|&(_, n)| n).collect();
+        assert_eq!(rows.iter().sum::<usize>(), 80);
+        assert!(rows.iter().all(|&r| r == 20), "{rows:?}");
+    }
+
+    #[test]
+    fn sym_blocks_are_irregular_but_balanced() {
+        let blocks = equal_entry_blocks(Symmetry::Symmetric, 100, 20, 4);
+        let rows: Vec<usize> = blocks.iter().map(|&(_, n)| n).collect();
+        assert_eq!(rows.iter().sum::<usize>(), 80);
+        // Early blocks (top of the triangle, short rows) must take more
+        // rows than late blocks — Figure 3's irregular symmetric blocking.
+        assert!(rows.first().unwrap() > rows.last().unwrap(), "{rows:?}");
+        // Entries roughly equal (within one row of the widest block).
+        let entries: Vec<u64> = blocks
+            .iter()
+            .map(|&(o, n)| slave_block_entries(Symmetry::Symmetric, 100, 20, o, n))
+            .collect();
+        let (mn, mx) = (entries.iter().min().unwrap(), entries.iter().max().unwrap());
+        // Rounding to whole rows costs at most ~2 of the widest rows.
+        assert!(mx - mn <= 200, "{entries:?}");
+    }
+
+    #[test]
+    fn block_entries_sum_to_surface() {
+        for sym in [Symmetry::General, Symmetry::Symmetric] {
+            let blocks = equal_entry_blocks(sym, 57, 13, 5);
+            let total: u64 =
+                blocks.iter().map(|&(o, n)| slave_block_entries(sym, 57, 13, o, n)).sum();
+            assert_eq!(total, slave_surface(sym, 57, 13));
+        }
+    }
+
+    #[test]
+    fn budget_blocks_cover_all_rows_and_respect_minimum() {
+        let blocks = blocks_from_entry_budgets(Symmetry::General, 50, 10, &[0, 0, 1200]);
+        let total: usize = blocks.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 40);
+        assert!(blocks.iter().all(|&(_, n)| n >= 1), "{blocks:?}");
+        // Third slave asked for 1200 entries = 24 rows of width 50.
+        assert!(blocks[2].1 >= 20, "{blocks:?}");
+    }
+
+    #[test]
+    fn budget_blocks_are_contiguous() {
+        let blocks = blocks_from_entry_budgets(Symmetry::Symmetric, 30, 5, &[100, 50, 0]);
+        let mut expect = 0;
+        for &(o, n) in &blocks {
+            assert_eq!(o, expect);
+            expect += n;
+        }
+        assert_eq!(expect, 25);
+    }
+
+    #[test]
+    fn single_slave_takes_everything() {
+        let blocks = equal_entry_blocks(Symmetry::General, 31, 7, 1);
+        assert_eq!(blocks, vec![(0, 24)]);
+    }
+
+    #[test]
+    fn front_equals_master_plus_surface() {
+        // The 1-D distribution partitions the front exactly: the master
+        // holds the pivot rows, the slaves everything else.
+        for sym in [Symmetry::General, Symmetry::Symmetric] {
+            let (f, p) = (57u64, 13u64);
+            let front = match sym {
+                Symmetry::General => f * f,
+                Symmetry::Symmetric => f * (f + 1) / 2,
+            };
+            let master = match sym {
+                Symmetry::General => p * f,
+                Symmetry::Symmetric => p * (p + 1) / 2,
+            };
+            assert_eq!(slave_surface(sym, 57, 13), front - master);
+        }
+    }
+}

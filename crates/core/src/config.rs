@@ -1,0 +1,170 @@
+//! Solver configuration: machine model, static thresholds, and the
+//! dynamic-strategy switches the paper's experiments toggle.
+
+use mf_sim::NetworkModel;
+
+/// Dynamic slave-selection strategy for type-2 fronts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaveSelection {
+    /// MUMPS baseline: choose processors less loaded (flops still to do)
+    /// than the master, balance the work given to each slave (Section 3).
+    Workload,
+    /// The paper's Algorithm 1: sort candidates by memory load and level
+    /// memory without raising the current peak (Section 4), optionally
+    /// enriched with the Section 5.1 subtree/prediction information.
+    Memory,
+    /// The hybrid sketched in the paper's conclusion: filter candidates by
+    /// workload (like the baseline), waterfill memory within that feasible
+    /// set (like Algorithm 1).
+    Hybrid,
+}
+
+/// Dynamic task-selection strategy for the local pool of ready tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskSelection {
+    /// MUMPS baseline: LIFO (depth-first traversal).
+    Lifo,
+    /// The paper's Algorithm 2: prefer subtree tasks; activate an
+    /// upper-tree task only if it does not raise the peak observed so far
+    /// (Section 5.2).
+    MemoryAware,
+    /// Algorithm 2 with the *global* refinement the paper calls for in
+    /// Section 6: a task's activation cost is offset by the contribution
+    /// blocks (local and remote) its activation releases.
+    MemoryAwareGlobal,
+}
+
+/// Order in which a processor's subtrees are queued in its initial pool
+/// (reference \[11\] of the paper shows the treatment order of subtrees
+/// matters for memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubtreeOrder {
+    /// The deterministic order the mapping produced (default; matches the
+    /// paper's setup).
+    AsMapped,
+    /// Memory-hungry subtrees first: their peaks happen while the rest of
+    /// the stack is still shallow (usually the better choice).
+    PeakDescending,
+    /// Memory-hungry subtrees last (the adversarial order, useful in the
+    /// ablation).
+    PeakAscending,
+}
+
+/// Full configuration of a simulated parallel factorization.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Number of processors (the paper uses 32).
+    pub nprocs: usize,
+    /// Message cost model.
+    pub network: NetworkModel,
+    /// Compute speed, flops per tick (1 tick = 1 µs; 1000 ≈ 1 Gflop/s).
+    pub flops_per_tick: u64,
+    /// Fronts at least this large (order) outside leaf subtrees become
+    /// type-2 (1-D parallel) nodes.
+    pub type2_front_min: usize,
+    /// A root front at least this large becomes the type-3 (2-D, all
+    /// processors) node.
+    pub type3_front_min: usize,
+    /// Target number of leaf subtrees per processor for the Geist–Ng
+    /// construction.
+    pub subtrees_per_proc: usize,
+    /// Order in which each processor works through its subtrees.
+    pub subtree_order: SubtreeOrder,
+    /// Minimum rows per slave task (granularity constraint of Section 3).
+    pub min_rows_per_slave: usize,
+    /// Slave-selection strategy.
+    pub slave_selection: SlaveSelection,
+    /// Task-selection strategy.
+    pub task_selection: TaskSelection,
+    /// Section 5.1: broadcast the peak of a subtree when entering it and
+    /// account for it in the memory metric.
+    pub use_subtree_info: bool,
+    /// Section 5.1: predict imminent activations of large master tasks
+    /// and account for them in the memory metric.
+    pub use_prediction: bool,
+    /// Static splitting threshold on master-part entries (Section 6);
+    /// `None` disables splitting.
+    pub split_threshold: Option<u64>,
+    /// Memory-aware subtree definition (the paper's conclusion: "splitting
+    /// subtrees with large memory peaks, especially for symmetric
+    /// matrices"): the Geist-Ng construction also splits any candidate
+    /// subtree whose sequential stack peak exceeds
+    /// `subtree_peak_factor x (sequential peak / nprocs)`.
+    /// `None` keeps the purely flops-based definition of Section 3.
+    pub subtree_peak_factor: Option<f64>,
+    /// Record per-processor active-memory traces (for the figures).
+    pub record_traces: bool,
+    /// Out-of-core execution (the conclusion's coupling argument +
+    /// reference \[6\]): factors are streamed to a per-processor disk at
+    /// this bandwidth (bytes per tick) instead of occupying memory.
+    /// Writes overlap computation; the disk only extends the makespan
+    /// when it becomes the bottleneck. `None` keeps factors in core.
+    pub out_of_core: Option<u64>,
+    /// Emulated non-determinism: task durations are perturbed by up to
+    /// `pct` (multiplicatively), seeded for reproducibility. The paper
+    /// attributes small cross-run differences to "the non-deterministic
+    /// execution scheme of MUMPS"; this knob lets the `variability`
+    /// binary measure how sensitive each strategy is to timing noise.
+    /// `None` keeps exact durations.
+    pub jitter: Option<(u64, f64)>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            nprocs: 32,
+            network: NetworkModel::sp_like(),
+            flops_per_tick: 1000,
+            type2_front_min: 200,
+            type3_front_min: 600,
+            subtrees_per_proc: 4,
+            subtree_order: SubtreeOrder::AsMapped,
+            min_rows_per_slave: 16,
+            slave_selection: SlaveSelection::Workload,
+            task_selection: TaskSelection::Lifo,
+            use_subtree_info: false,
+            use_prediction: false,
+            split_threshold: None,
+            subtree_peak_factor: None,
+            record_traces: false,
+            out_of_core: None,
+            jitter: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The paper's baseline: original MUMPS dynamic workload strategy.
+    pub fn mumps_baseline(nprocs: usize) -> Self {
+        SolverConfig { nprocs, ..Default::default() }
+    }
+
+    /// The paper's full memory-based configuration: Algorithm 1 with the
+    /// Section 5.1 mechanisms, plus Algorithm 2 task selection.
+    pub fn memory_based(nprocs: usize) -> Self {
+        SolverConfig {
+            nprocs,
+            slave_selection: SlaveSelection::Memory,
+            task_selection: TaskSelection::MemoryAware,
+            use_subtree_info: true,
+            use_prediction: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_strategies_only_where_expected() {
+        let base = SolverConfig::mumps_baseline(32);
+        let mem = SolverConfig::memory_based(32);
+        assert_eq!(base.slave_selection, SlaveSelection::Workload);
+        assert_eq!(mem.slave_selection, SlaveSelection::Memory);
+        assert_eq!(base.nprocs, mem.nprocs);
+        assert_eq!(base.type2_front_min, mem.type2_front_min);
+        assert!(mem.use_subtree_info && mem.use_prediction);
+    }
+}

@@ -1,0 +1,111 @@
+//! One-call experiment runner.
+//!
+//! Composes the whole pipeline the paper's experiments need: ordering →
+//! symbolic analysis → Liu child ordering → optional static splitting →
+//! static mapping → simulated parallel factorization.
+
+use crate::config::SolverConfig;
+use crate::mapping::compute_mapping;
+use crate::parsim;
+pub use crate::parsim::RunResult;
+use mf_order::OrderingKind;
+use mf_sparse::CscMatrix;
+use mf_symbolic::seqstack::{apply_liu_order, sequential_peak, AssemblyDiscipline};
+use mf_symbolic::{AmalgamationOptions, AssemblyTree};
+
+/// What to factorize: a matrix and the reordering applied to it.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentInput<'a> {
+    /// The matrix.
+    pub matrix: &'a CscMatrix,
+    /// One of the paper's four reorderings.
+    pub ordering: OrderingKind,
+}
+
+/// Builds the (possibly split) assembly tree for an experiment.
+pub fn prepare_tree(input: &ExperimentInput<'_>, cfg: &SolverConfig) -> AssemblyTree {
+    let perm = input.ordering.compute(input.matrix);
+    let mut s = mf_symbolic::analyze(input.matrix, &perm, &AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+    if let Some(threshold) = cfg.split_threshold {
+        mf_symbolic::split::split_large_masters(&mut s.tree, threshold);
+    }
+    s.tree
+}
+
+/// Runs one experiment cell: matrix × ordering × configuration.
+pub fn run_experiment(input: &ExperimentInput<'_>, cfg: &SolverConfig) -> RunResult {
+    let tree = prepare_tree(input, cfg);
+    run_on_tree(&tree, cfg)
+}
+
+/// Runs the simulated factorization on an already prepared tree.
+pub fn run_on_tree(tree: &AssemblyTree, cfg: &SolverConfig) -> RunResult {
+    let map = compute_mapping(tree, cfg);
+    let r = parsim::run(tree, &map, cfg);
+    assert_eq!(
+        r.nodes_done, r.total_nodes,
+        "simulation ended with unprocessed fronts — scheduling deadlock"
+    );
+    r
+}
+
+/// Sequential stack peak of the same tree (reference point for the
+/// memory-scalability discussions of the paper).
+pub fn sequential_reference(input: &ExperimentInput<'_>, cfg: &SolverConfig) -> u64 {
+    let tree = prepare_tree(input, cfg);
+    sequential_peak(&tree, AssemblyDiscipline::FrontThenFree)
+}
+
+/// Percentage decrease of `candidate` relative to `baseline`
+/// (positive = candidate is better), the quantity of Tables 2, 3, 5.
+pub fn percent_decrease(baseline: u64, candidate: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    100.0 * (baseline as f64 - candidate as f64) / baseline as f64
+}
+
+/// Percentage increase of `candidate` over `baseline` (Table 6's
+/// "loss of performance").
+pub fn percent_increase(baseline: u64, candidate: u64) -> f64 {
+    -percent_decrease(baseline, candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::gen::grid::{grid2d, Stencil};
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let a = grid2d(24, 24, Stencil::Star);
+        let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
+        let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let r = run_experiment(&input, &cfg);
+        assert!(r.max_peak > 0);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn splitting_changes_the_tree() {
+        let a = grid2d(28, 28, Stencil::Star);
+        let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Amd };
+        let base = SolverConfig::mumps_baseline(4);
+        let split = SolverConfig { split_threshold: Some(500), ..base.clone() };
+        let t1 = prepare_tree(&input, &base);
+        let t2 = prepare_tree(&input, &split);
+        assert!(t2.len() > t1.len(), "{} !> {}", t2.len(), t1.len());
+        for v in 0..t2.len() {
+            assert!(t2.master_entries(v) <= 500);
+        }
+    }
+
+    #[test]
+    fn percent_helpers() {
+        assert_eq!(percent_decrease(200, 100), 50.0);
+        assert_eq!(percent_decrease(100, 110), -10.0);
+        assert_eq!(percent_increase(100, 110), 10.0);
+        assert_eq!(percent_decrease(0, 5), 0.0);
+    }
+}

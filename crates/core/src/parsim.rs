@@ -1,0 +1,947 @@
+//! The asynchronous parallel factorization, executed in virtual time.
+//!
+//! Every processor runs the MUMPS-style loop: pick work (received slave
+//! tasks first, then a ready task from the local pool via the configured
+//! strategy), allocate the front, assemble the stacked contribution
+//! blocks, compute for `flops / speed` ticks, then ship the contribution
+//! block to the parent's processor and the factors to the factor area.
+//! Masters of type-2 nodes choose their slaves dynamically at activation
+//! time from their *stale views* of the other processors; all the
+//! information mechanisms of the paper (memory increments, subtree peaks,
+//! ready-master predictions) travel as messages with real latency.
+
+use crate::config::{SlaveSelection, SolverConfig, TaskSelection};
+use crate::mapping::{NodeKind, StaticMapping};
+use crate::pool::TaskPool;
+use crate::slavesel::{select_memory, select_workload, SelectionInput};
+use crate::views::Views;
+use mf_sim::{Event, EventPayload, NetworkModel, ProcMemory, Sim, Time, Trace};
+use mf_symbolic::AssemblyTree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Inter-processor messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// A contribution-block piece of `child` was produced and sits on the
+    /// stack of processor `holder` until the parent activates (control
+    /// message to the parent's master; the data itself stays put).
+    PieceDone { child: usize, holder: usize, entries: u64 },
+    /// `child`'s elimination finished; `pieces` CB pieces were produced
+    /// in total (0 when the CB is empty).
+    Complete { child: usize, pieces: usize },
+    /// The parent activated: the addressed processor ships its stacked CB
+    /// piece to the parent's workers and frees it.
+    FetchCb { entries: u64 },
+    /// A slave task of a type-2 node.
+    SlaveTask {
+        node: usize,
+        entries: u64,
+        cb_share: u64,
+        factor_share: u64,
+        flops_share: u64,
+    },
+    /// The 2-D root scatters equal shares to every processor.
+    Type3Share { node: usize, entries: u64, flops_share: u64 },
+    /// Memory increment of the sender's active memory (Section 4).
+    MemDelta { delta: i64 },
+    /// Workload increment of the sender (Section 3).
+    LoadDelta { delta: i64 },
+    /// The sender entered (peak > 0) or left (0) a subtree (Section 5.1).
+    SubtreePeak { peak: u64 },
+    /// Cost of the largest master task about to activate on the sender
+    /// (Section 5.1; absolute value, 0 when none).
+    Predicted { cost: u64 },
+    /// All children of `node` have started: its master should soon expect
+    /// it to become ready (Section 5.1 prediction trigger).
+    ChildStarted { node: usize },
+    /// A master announces that it just assigned a slave block of
+    /// `entries` to processor `proc` — the mechanism that makes masters'
+    /// choices "known as quickly as possible by the others" (Section 4),
+    /// without which concurrent masters pile work on the same processor.
+    Assigned { proc: usize, entries: u64 },
+}
+
+/// Work units whose completion is signalled by a timer.
+#[derive(Debug, Clone)]
+enum Work {
+    /// Full-front elimination (type 1, subtree nodes, or a type-2 node
+    /// that found no slaves).
+    Elim { node: usize, flops: u64 },
+    /// Master part of a type-2 node (`pieces` slaves were enrolled).
+    MasterPart { node: usize, pieces: usize, flops: u64 },
+    /// A slave block of a type-2 node.
+    Slave {
+        node: usize,
+        entries: u64,
+        cb_share: u64,
+        factor_share: u64,
+        flops: u64,
+    },
+    /// This processor's share of the 2-D root (`is_master` on the
+    /// processor that owns the root and counts it done).
+    RootShare { node: usize, entries: u64, flops: u64, is_master: bool },
+}
+
+struct Proc {
+    mem: ProcMemory,
+    /// Out-of-core mode: virtual time until which this processor's disk
+    /// is busy writing factors.
+    disk_busy_until: Time,
+    views: Views,
+    pool: TaskPool,
+    busy: bool,
+    slave_queue: VecDeque<usize>, // indices into World::works
+    current_subtree: Option<usize>,
+    /// Active memory when the current subtree started (for Algorithm 2's
+    /// "current memory including peak of subtree").
+    subtree_base: u64,
+    /// Upper tasks owned here whose children have all started (node ->
+    /// predicted activation cost), feeding the Predicted broadcasts.
+    soon: std::collections::BTreeMap<usize, u64>,
+}
+
+/// Outcome of a simulated parallel factorization.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-processor peak of the active memory (stack + fronts), the
+    /// quantity behind every table of the paper.
+    pub peaks: Vec<u64>,
+    /// `max(peaks)` — the "maximum stack memory peak" of Tables 2-5.
+    pub max_peak: u64,
+    /// Mean of the per-processor peaks (memory balance indicator).
+    pub avg_peak: f64,
+    /// Virtual completion time (Table 6's factorization time).
+    pub makespan: Time,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Per-processor active-memory traces when
+    /// [`SolverConfig::record_traces`] was set.
+    pub traces: Option<Vec<Trace>>,
+    /// Per-processor peak of active memory *plus factors* — what an
+    /// in-core execution must provision; the gap to `peaks` is exactly
+    /// the out-of-core argument of the paper's conclusion (factors can be
+    /// streamed to disk, the stack cannot).
+    pub total_peaks: Vec<u64>,
+    /// Per-processor factor entries stored at the end.
+    pub factor_entries: Vec<u64>,
+    /// Fronts fully processed (must equal `total_nodes`).
+    pub nodes_done: usize,
+    /// Fronts in the tree.
+    pub total_nodes: usize,
+}
+
+struct World<'a> {
+    tree: &'a AssemblyTree,
+    map: &'a StaticMapping,
+    cfg: &'a SolverConfig,
+    sim: Sim<Msg>,
+    net: NetworkModel,
+    procs: Vec<Proc>,
+    works: Vec<(usize, Work)>, // (proc, work)
+    // Readiness bookkeeping, all indexed by node id and touched only by
+    // the owner of the relevant (parent) node.
+    pieces_expected: Vec<Option<usize>>,
+    pieces_got: Vec<usize>,
+    child_complete: Vec<bool>,
+    done_children: Vec<usize>,
+    /// CB pieces stacked for each *parent* node: (holder processor,
+    /// entries), recorded at the parent's owner, released at activation.
+    cb_pieces: Vec<Vec<(usize, u64)>>,
+    started_children: Vec<usize>,
+    activated: Vec<bool>,
+    nodes_done: usize,
+    messages: u64,
+    jitter: Option<(SmallRng, f64)>,
+}
+
+/// Runs the simulated parallel factorization.
+pub fn run(tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunResult {
+    let n = tree.len();
+    // Initial workloads: each processor starts with the cost of its
+    // subtrees (Section 3); everyone knows this static information.
+    let mut load0 = vec![0u64; cfg.nprocs];
+    for v in 0..n {
+        if map.subtree_of[v].is_some() {
+            load0[map.owner[v]] += tree.flops(v);
+        }
+    }
+    let procs: Vec<Proc> = (0..cfg.nprocs)
+        .map(|p| Proc {
+            mem: ProcMemory::new(cfg.record_traces),
+            disk_busy_until: 0,
+            views: Views::new(cfg.nprocs, &load0),
+            pool: TaskPool::new(map.initial_pool[p].clone()),
+            busy: false,
+            slave_queue: VecDeque::new(),
+            current_subtree: None,
+            subtree_base: 0,
+            soon: Default::default(),
+        })
+        .collect();
+
+    let mut world = World {
+        tree,
+        map,
+        cfg,
+        sim: Sim::new(),
+        net: cfg.network,
+        procs,
+        works: Vec::new(),
+        pieces_expected: vec![None; n],
+        pieces_got: vec![0; n],
+        child_complete: vec![false; n],
+        done_children: vec![0; n],
+        cb_pieces: vec![Vec::new(); n],
+        started_children: vec![0; n],
+        activated: vec![false; n],
+        nodes_done: 0,
+        messages: 0,
+        jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
+    };
+
+    for p in 0..cfg.nprocs {
+        world.try_start(p);
+    }
+    while let Some(Event { payload, .. }) = world.sim.next() {
+        match payload {
+            EventPayload::Message { from, to, msg } => world.deliver(from, to, msg),
+            EventPayload::Timer { proc, key } => world.work_done(proc, key as usize),
+        }
+    }
+
+    let disk_end = world.procs.iter().map(|p| p.disk_busy_until).max().unwrap_or(0);
+    let makespan = world.sim.now().max(disk_end);
+    let peaks: Vec<u64> = world.procs.iter().map(|p| p.mem.active_peak()).collect();
+    let total_peaks: Vec<u64> = world.procs.iter().map(|p| p.mem.total_peak()).collect();
+    let factor_entries: Vec<u64> = world.procs.iter().map(|p| p.mem.factors()).collect();
+    let max_peak = peaks.iter().copied().max().unwrap_or(0);
+    let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
+    RunResult {
+        total_peaks,
+        factor_entries,
+        max_peak,
+        avg_peak,
+        makespan,
+        messages: world.messages,
+        traces: cfg
+            .record_traces
+            .then(|| world.procs.iter().map(|p| p.mem.trace().cloned().unwrap_or_default()).collect()),
+        nodes_done: world.nodes_done,
+        total_nodes: n,
+        peaks,
+    }
+}
+
+impl<'a> World<'a> {
+    // ---------- messaging helpers ----------
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
+        if from == to {
+            self.deliver(from, to, msg);
+        } else {
+            self.messages += 1;
+            self.net.send(&mut self.sim, from, to, msg, bytes);
+        }
+    }
+
+    fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
+        for q in 0..self.cfg.nprocs {
+            if q != from {
+                self.messages += 1;
+                self.net.send(&mut self.sim, from, q, msg.clone(), bytes);
+            }
+        }
+    }
+
+    // ---------- memory helpers (every change refreshes the exact local
+    // self-view and broadcasts the increment, Section 4) ----------
+
+    fn mem_alloc_front(&mut self, p: usize, entries: u64) {
+        let now = self.sim.now();
+        self.procs[p].mem.alloc_front(now, entries);
+        self.after_mem_change(p, entries as i64);
+    }
+
+    fn mem_free_front(&mut self, p: usize, entries: u64) {
+        let now = self.sim.now();
+        self.procs[p].mem.free_front(now, entries);
+        self.after_mem_change(p, -(entries as i64));
+    }
+
+    fn mem_push_cb(&mut self, p: usize, entries: u64) {
+        let now = self.sim.now();
+        self.procs[p].mem.push_cb(now, entries);
+        self.after_mem_change(p, entries as i64);
+    }
+
+    fn mem_pop_cb(&mut self, p: usize, entries: u64) {
+        let now = self.sim.now();
+        self.procs[p].mem.pop_cb(now, entries);
+        self.after_mem_change(p, -(entries as i64));
+    }
+
+    /// Stores factor entries: in core they join the factors area; out of
+    /// core they stream to the processor's disk (overlapped with compute,
+    /// tracked only as potential makespan).
+    fn store_factors(&mut self, p: usize, entries: u64) {
+        let now = self.sim.now();
+        match self.cfg.out_of_core {
+            None => self.procs[p].mem.store_factors(now, entries),
+            Some(bw) => {
+                let dur = (entries * 8 / bw.max(1)).max(1);
+                let start = self.procs[p].disk_busy_until.max(now);
+                self.procs[p].disk_busy_until = start + dur;
+            }
+        }
+    }
+
+    fn after_mem_change(&mut self, p: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let active = self.procs[p].mem.active();
+        self.procs[p].views.mem[p] = active;
+        self.broadcast(p, Msg::MemDelta { delta }, 16);
+    }
+
+    fn load_change(&mut self, p: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.procs[p].views.apply_load_delta(p, delta);
+        self.broadcast(p, Msg::LoadDelta { delta }, 16);
+    }
+
+    // ---------- scheduling loop ----------
+
+    fn try_start(&mut self, p: usize) {
+        if self.procs[p].busy {
+            return;
+        }
+        // Received slave tasks have priority (they are already consuming
+        // memory; finishing them frees it).
+        if let Some(key) = self.procs[p].slave_queue.pop_front() {
+            let flops = match &self.works[key].1 {
+                Work::Slave { flops, .. } | Work::RootShare { flops, .. } => *flops,
+                other => unreachable!("queued work must be slave-like, got {other:?}"),
+            };
+            let duration = self.duration_of(flops);
+            self.procs[p].busy = true;
+            self.sim.schedule_timer(p, duration, key as u64);
+            return;
+        }
+        let picked = match self.cfg.task_selection {
+            TaskSelection::Lifo => self.procs[p].pool.pick_lifo(),
+            TaskSelection::MemoryAware | TaskSelection::MemoryAwareGlobal => {
+                let tree = self.tree;
+                let map = self.map;
+                let current = self.effective_memory(p);
+                let observed = self.procs[p].mem.active_peak();
+                let cost = |v: usize| match map.kind[v] {
+                    NodeKind::Type2 => tree.master_entries(v),
+                    NodeKind::Type3 => tree.front_entries(v) / self.cfg.nprocs as u64,
+                    _ => tree.front_entries(v),
+                };
+                match self.cfg.task_selection {
+                    TaskSelection::MemoryAware => self.procs[p].pool.pick_memory_aware(
+                        |v| map.subtree_of[v].is_some(),
+                        cost,
+                        current,
+                        observed,
+                    ),
+                    _ => {
+                        let pieces = &self.cb_pieces;
+                        self.procs[p].pool.pick_memory_aware_global(
+                            |v| map.subtree_of[v].is_some(),
+                            cost,
+                            |v| pieces[v].iter().map(|&(_, e)| e).sum(),
+                            current,
+                            observed,
+                        )
+                    }
+                }
+            }
+        };
+        if let Some(v) = picked {
+            self.activate_node(p, v);
+        }
+    }
+
+    /// Algorithm 2's "current memory (including peak of subtree)": while a
+    /// subtree is in progress its projected peak counts.
+    fn effective_memory(&self, p: usize) -> u64 {
+        let active = self.procs[p].mem.active();
+        match self.procs[p].current_subtree {
+            Some(s) => active.max(self.procs[p].subtree_base + self.map.subtree_peak[s]),
+            None => active,
+        }
+    }
+
+    fn activate_node(&mut self, p: usize, v: usize) {
+        debug_assert_eq!(self.map.owner[v], p);
+        debug_assert!(!self.activated[v], "node {v} activated twice");
+        self.activated[v] = true;
+        self.procs[p].busy = true;
+
+        if self.cfg.use_prediction {
+            // This task is no longer "upcoming": refresh the broadcast.
+            if self.procs[p].soon.remove(&v).is_some() {
+                self.rebroadcast_prediction(p);
+            }
+            // Tell the parent's master we started (its readiness predictor).
+            if let Some(par) = self.tree.nodes[v].parent {
+                let owner = self.map.owner[par];
+                self.send(p, owner, Msg::ChildStarted { node: par }, 16);
+            }
+        }
+
+        // Entering a subtree broadcasts its peak (Section 5.1).
+        if let Some(s) = self.map.subtree_of[v] {
+            if self.procs[p].current_subtree != Some(s) {
+                self.procs[p].current_subtree = Some(s);
+                self.procs[p].subtree_base = self.procs[p].mem.active();
+                if self.cfg.use_subtree_info {
+                    // Broadcast the absolute level this stack is heading
+                    // to (base + subtree peak), Section 5.1.
+                    let peak = self.procs[p].subtree_base + self.map.subtree_peak[s];
+                    self.procs[p].views.subtree[p] = peak;
+                    self.broadcast(p, Msg::SubtreePeak { peak }, 16);
+                }
+            }
+        }
+
+        match self.map.kind[v] {
+            NodeKind::Subtree(_) | NodeKind::Type1 => self.start_full_front(p, v),
+            NodeKind::Type2 => self.start_type2(p, v),
+            NodeKind::Type3 => self.start_type3(p, v),
+        }
+    }
+
+    fn start_full_front(&mut self, p: usize, v: usize) {
+        self.mem_alloc_front(p, self.tree.front_entries(v));
+        self.consume_stacked(p, v);
+        let flops = self.tree.flops(v);
+        self.schedule_work(p, Work::Elim { node: v, flops });
+    }
+
+    fn start_type2(&mut self, p: usize, v: usize) {
+        let nd = &self.tree.nodes[v];
+        let (nfront, npiv) = (nd.nfront, nd.npiv);
+        let candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != p).collect();
+        let metric: Vec<u64> = (0..self.cfg.nprocs)
+            .map(|q| {
+                let views = &self.procs[p].views;
+                match self.cfg.slave_selection {
+                    SlaveSelection::Workload => views.load[q],
+                    SlaveSelection::Memory | SlaveSelection::Hybrid => views.memory_metric(
+                        q,
+                        self.cfg.use_subtree_info,
+                        self.cfg.use_prediction,
+                    ),
+                }
+            })
+            .collect();
+        let raw_mem: Vec<u64> = (0..self.cfg.nprocs).map(|q| self.procs[p].views.mem[q]).collect();
+        let input = SelectionInput {
+            candidates: &candidates,
+            metric: &metric,
+            fill_metric: matches!(
+                self.cfg.slave_selection,
+                SlaveSelection::Memory | SlaveSelection::Hybrid
+            )
+            .then_some(raw_mem.as_slice()),
+            master_metric: metric[p],
+            nfront,
+            npiv,
+            sym: self.tree.sym,
+            min_rows_per_slave: self.cfg.min_rows_per_slave,
+        };
+        let assignment = match self.cfg.slave_selection {
+            SlaveSelection::Workload => select_workload(&input),
+            SlaveSelection::Memory => select_memory(&input),
+            SlaveSelection::Hybrid => {
+                let load: Vec<u64> =
+                    (0..self.cfg.nprocs).map(|q| self.procs[p].views.load[q]).collect();
+                crate::slavesel::select_hybrid(&input, &load, load[p])
+            }
+        };
+        if assignment.is_empty() {
+            // No usable slave: the master handles the whole front.
+            self.start_full_front(p, v);
+            return;
+        }
+
+        self.mem_alloc_front(p, self.tree.master_entries(v));
+        self.consume_stacked(p, v);
+
+        let total_flops = self.tree.flops(v);
+        let front_entries = self.tree.front_entries(v);
+        let master_entries = self.tree.master_entries(v);
+        let master_flops = total_flops * master_entries / front_entries.max(1);
+        let mut delegated = 0u64;
+        let pieces = assignment.len();
+        for a in &assignment {
+            let entries = crate::blocking::slave_block_entries(
+                self.tree.sym,
+                nfront,
+                npiv,
+                a.offset,
+                a.nrows,
+            );
+            let cb_share = cb_share_of_block(self.tree.sym, nfront, npiv, a.offset, a.nrows);
+            let factor_share = entries - cb_share;
+            let flops_share = total_flops * entries / front_entries.max(1);
+            delegated += flops_share;
+            self.send(
+                p,
+                a.proc,
+                Msg::SlaveTask { node: v, entries, cb_share, factor_share, flops_share },
+                entries * 8,
+            );
+            // Announce the choice so other masters account for it before
+            // the slave's own memory reports catch up (Section 4).
+            self.procs[p].views.apply_mem_delta(a.proc, entries as i64);
+            self.broadcast(p, Msg::Assigned { proc: a.proc, entries }, 16);
+        }
+        // Work handed to the slaves leaves the master's workload.
+        self.load_change(p, -(delegated as i64));
+        self.schedule_work(p, Work::MasterPart { node: v, pieces, flops: master_flops });
+    }
+
+    fn start_type3(&mut self, p: usize, v: usize) {
+        self.consume_stacked(p, v);
+        let share_entries = (self.tree.front_entries(v) / self.cfg.nprocs as u64).max(1);
+        let share_flops = self.tree.flops(v) / self.cfg.nprocs as u64;
+        for q in 0..self.cfg.nprocs {
+            if q != p {
+                self.send(
+                    p,
+                    q,
+                    Msg::Type3Share { node: v, entries: share_entries, flops_share: share_flops },
+                    share_entries * 8,
+                );
+            }
+        }
+        // Work scattered to the other processors leaves this workload.
+        let total_flops = self.tree.flops(v);
+        self.load_change(p, -((total_flops - share_flops) as i64));
+        self.mem_alloc_front(p, share_entries);
+        self.schedule_work(
+            p,
+            Work::RootShare { node: v, entries: share_entries, flops: share_flops, is_master: true },
+        );
+    }
+
+    fn schedule_work(&mut self, p: usize, work: Work) {
+        let flops = match &work {
+            Work::Elim { flops, .. }
+            | Work::MasterPart { flops, .. }
+            | Work::Slave { flops, .. }
+            | Work::RootShare { flops, .. } => *flops,
+        };
+        let duration = self.duration_of(flops);
+        let key = self.works.len();
+        self.works.push((p, work));
+        self.sim.schedule_timer(p, duration, key as u64);
+    }
+
+    fn duration_of(&mut self, flops: u64) -> Time {
+        let exact = (flops / self.cfg.flops_per_tick.max(1)).max(1);
+        match &mut self.jitter {
+            None => exact,
+            Some((rng, pct)) => {
+                // Multiplicative noise in [1-pct, 1+pct].
+                let factor = 1.0 + *pct * (rng.gen::<f64>() * 2.0 - 1.0);
+                ((exact as f64 * factor).round() as Time).max(1)
+            }
+        }
+    }
+
+    /// Releases the contribution blocks stacked for node `v` (the
+    /// assembly): local pieces pop immediately; remote holders are told to
+    /// ship-and-free theirs (one control-message latency away, like the
+    /// real redistribution).
+    fn consume_stacked(&mut self, p: usize, v: usize) {
+        let pieces = std::mem::take(&mut self.cb_pieces[v]);
+        for (holder, entries) in pieces {
+            if holder == p {
+                self.mem_pop_cb(p, entries);
+            } else {
+                self.messages += 1;
+                self.net.send(&mut self.sim, p, holder, Msg::FetchCb { entries }, 16);
+            }
+        }
+    }
+
+    // ---------- completions ----------
+
+    fn work_done(&mut self, p: usize, key: usize) {
+        let (wp, work) = self.works[key].clone();
+        debug_assert_eq!(wp, p);
+        match work {
+            Work::Elim { node, flops } => {
+                self.store_factors(p, self.tree.factor_entries(node));
+                self.mem_free_front(p, self.tree.front_entries(node));
+                let cb = self.tree.cb_entries(node);
+                let pieces = if cb > 0 && self.tree.nodes[node].parent.is_some() { 1 } else { 0 };
+                if pieces == 1 {
+                    self.produce_cb_piece(p, node, cb);
+                }
+                self.finish_node(p, node, pieces, flops);
+            }
+            Work::MasterPart { node, pieces, flops } => {
+                self.store_factors(p, self.tree.master_entries(node));
+                self.mem_free_front(p, self.tree.master_entries(node));
+                self.finish_node(p, node, pieces, flops);
+            }
+            Work::Slave { node, entries, cb_share, factor_share, flops } => {
+                self.store_factors(p, factor_share);
+                self.mem_free_front(p, entries);
+                if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
+                    self.produce_cb_piece(p, node, cb_share);
+                }
+                self.load_change(p, -(flops as i64));
+                self.procs[p].busy = false;
+                self.try_start(p);
+            }
+            Work::RootShare { node, entries, flops, is_master } => {
+                self.store_factors(p, entries);
+                self.mem_free_front(p, entries);
+                self.load_change(p, -(flops as i64));
+                if is_master {
+                    // The 2-D root has no parent: completing the master
+                    // share completes the node.
+                    debug_assert!(self.tree.nodes[node].parent.is_none());
+                    self.nodes_done += 1;
+                }
+                self.procs[p].busy = false;
+                self.try_start(p);
+            }
+        }
+    }
+
+    /// Common tail of a node's (master) elimination: announce completion,
+    /// leave any finished subtree, account the work, count the node.
+    fn finish_node(&mut self, p: usize, node: usize, pieces: usize, flops: u64) {
+        if let Some(par) = self.tree.nodes[node].parent {
+            let owner = self.map.owner[par];
+            self.send(p, owner, Msg::Complete { child: node, pieces }, 16);
+        }
+        self.load_change(p, -(flops as i64));
+        if let Some(s) = self.procs[p].current_subtree {
+            if self.map.subtree_roots[s] == node {
+                self.procs[p].current_subtree = None;
+                if self.cfg.use_subtree_info {
+                    self.procs[p].views.subtree[p] = 0;
+                    self.broadcast(p, Msg::SubtreePeak { peak: 0 }, 16);
+                }
+            }
+        }
+        self.nodes_done += 1;
+        self.procs[p].busy = false;
+        self.try_start(p);
+    }
+
+    /// A CB piece of `child` was produced on `p`: it stays on `p`'s stack
+    /// until the parent activates; the parent's master is informed.
+    fn produce_cb_piece(&mut self, p: usize, child: usize, entries: u64) {
+        self.mem_push_cb(p, entries);
+        let parent = self.tree.nodes[child].parent.expect("CB piece needs a parent");
+        let dest = self.map.owner[parent];
+        self.send(p, dest, Msg::PieceDone { child, holder: p, entries }, 16);
+    }
+
+    // ---------- message handling ----------
+
+    fn deliver(&mut self, from: usize, to: usize, msg: Msg) {
+        match msg {
+            Msg::PieceDone { child, holder, entries } => {
+                let parent = self.tree.nodes[child].parent.expect("piece needs a parent");
+                // If the parent already activated, release immediately.
+                if self.activated[parent] {
+                    if holder == to {
+                        self.mem_pop_cb(to, entries);
+                    } else {
+                        self.messages += 1;
+                        self.net.send(&mut self.sim, to, holder, Msg::FetchCb { entries }, 16);
+                    }
+                } else {
+                    self.cb_pieces[parent].push((holder, entries));
+                }
+                self.pieces_got[child] += 1;
+                self.check_child_done(to, child);
+            }
+            Msg::FetchCb { entries } => self.mem_pop_cb(to, entries),
+            Msg::Complete { child, pieces } => {
+                self.pieces_expected[child] = Some(pieces);
+                self.child_complete[child] = true;
+                self.check_child_done(to, child);
+            }
+            Msg::SlaveTask { node, entries, cb_share, factor_share, flops_share } => {
+                // "Slave tasks are activated as soon as they are received":
+                // the memory is allocated now, the CPU when free. No
+                // increment is broadcast — the master's Assigned message
+                // already announced this allocation to everyone.
+                let now = self.sim.now();
+                self.procs[to].mem.alloc_front(now, entries);
+                let active = self.procs[to].mem.active();
+                self.procs[to].views.mem[to] = active;
+                self.load_change(to, flops_share as i64);
+                let key = self.works.len();
+                self.works.push((
+                    to,
+                    Work::Slave { node, entries, cb_share, factor_share, flops: flops_share },
+                ));
+                self.procs[to].slave_queue.push_back(key);
+                self.try_start(to);
+            }
+            Msg::Type3Share { node, entries, flops_share } => {
+                self.mem_alloc_front(to, entries);
+                self.load_change(to, flops_share as i64);
+                let key = self.works.len();
+                self.works.push((
+                    to,
+                    Work::RootShare { node, entries, flops: flops_share, is_master: false },
+                ));
+                self.procs[to].slave_queue.push_back(key);
+                self.try_start(to);
+            }
+            Msg::MemDelta { delta } => self.procs[to].views.apply_mem_delta(from, delta),
+            Msg::Assigned { proc, entries } => {
+                // Skip the slave itself: its self-view is exact.
+                if proc != to {
+                    self.procs[to].views.apply_mem_delta(proc, entries as i64);
+                }
+            }
+            Msg::LoadDelta { delta } => self.procs[to].views.apply_load_delta(from, delta),
+            Msg::SubtreePeak { peak } => self.procs[to].views.subtree[from] = peak,
+            Msg::Predicted { cost } => self.procs[to].views.predicted[from] = cost,
+            Msg::ChildStarted { node } => {
+                self.started_children[node] += 1;
+                if self.started_children[node] == self.tree.nodes[node].children.len()
+                    && self.map.owner[node] == to
+                    && self.map.subtree_of[node].is_none()
+                    && !self.activated[node]
+                {
+                    let cost = match self.map.kind[node] {
+                        NodeKind::Type2 => self.tree.master_entries(node),
+                        NodeKind::Type3 => {
+                            self.tree.front_entries(node) / self.cfg.nprocs as u64
+                        }
+                        _ => self.tree.front_entries(node),
+                    };
+                    self.procs[to].soon.insert(node, cost);
+                    self.rebroadcast_prediction(to);
+                }
+            }
+        }
+    }
+
+    fn check_child_done(&mut self, q: usize, child: usize) {
+        if !self.child_complete[child] || Some(self.pieces_got[child]) != self.pieces_expected[child]
+        {
+            return;
+        }
+        self.child_complete[child] = false; // fire once
+        let parent = self.tree.nodes[child].parent.expect("completion tracked at parent owner");
+        self.done_children[parent] += 1;
+        if self.done_children[parent] == self.tree.nodes[parent].children.len() {
+            self.node_ready(q, parent);
+        }
+    }
+
+    fn node_ready(&mut self, q: usize, v: usize) {
+        debug_assert_eq!(self.map.owner[v], q);
+        self.procs[q].pool.push(v);
+        // Upper tasks enter the workload when they become ready; subtree
+        // work was counted in the initial loads (Section 3).
+        if self.map.subtree_of[v].is_none() {
+            self.load_change(q, self.tree.flops(v) as i64);
+        }
+        self.try_start(q);
+    }
+
+    fn rebroadcast_prediction(&mut self, p: usize) {
+        let max = self.procs[p].soon.values().copied().max().unwrap_or(0);
+        if self.procs[p].views.predicted[p] != max {
+            self.procs[p].views.predicted[p] = max;
+            self.broadcast(p, Msg::Predicted { cost: max }, 16);
+        }
+    }
+}
+
+/// CB entries inside a slave block: the columns right of the pivot block,
+/// restricted to the block's rows (full width for LU, ragged for LDLᵀ).
+fn cb_share_of_block(
+    sym: mf_sparse::Symmetry,
+    nfront: usize,
+    npiv: usize,
+    offset: usize,
+    nrows: usize,
+) -> u64 {
+    match sym {
+        mf_sparse::Symmetry::General => (nrows as u64) * (nfront - npiv) as u64,
+        mf_sparse::Symmetry::Symmetric => {
+            // Row at offset o holds o+1 CB entries (its tail past the
+            // pivot columns).
+            let a = offset as u64;
+            let b = a + nrows as u64;
+            (b * (b + 1) / 2) - (a * (a + 1) / 2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::mapping::compute_mapping;
+    use mf_order::OrderingKind;
+    use mf_sparse::gen::grid::{grid2d, Stencil};
+    use mf_symbolic::seqstack::{sequential_peak, AssemblyDiscipline};
+    use mf_symbolic::AmalgamationOptions;
+
+    fn tree_for(nx: usize) -> AssemblyTree {
+        let a = grid2d(nx, nx, Stencil::Star);
+        let p = OrderingKind::Metis.compute(&a);
+        let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+        mf_symbolic::seqstack::apply_liu_order(
+            &mut s.tree,
+            AssemblyDiscipline::FrontThenFree,
+        );
+        s.tree
+    }
+
+    #[test]
+    fn all_nodes_complete() {
+        let tree = tree_for(24);
+        for nprocs in [1, 2, 4, 8] {
+            let cfg = SolverConfig {
+                type2_front_min: 24,
+                ..SolverConfig::mumps_baseline(nprocs)
+            };
+            let map = compute_mapping(&tree, &cfg);
+            let r = run(&tree, &map, &cfg);
+            assert_eq!(r.nodes_done, r.total_nodes, "nprocs={nprocs}");
+            assert!(r.makespan > 0);
+        }
+    }
+
+    #[test]
+    fn single_processor_matches_sequential_model() {
+        // With one processor, no slaves and LIFO selection, the simulated
+        // execution is exactly the sequential postorder factorization, so
+        // the peak must equal the symbolic model's.
+        let tree = tree_for(20);
+        let cfg = SolverConfig::mumps_baseline(1);
+        let map = compute_mapping(&tree, &cfg);
+        let r = run(&tree, &map, &cfg);
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert_eq!(r.max_peak, sequential_peak(&tree, AssemblyDiscipline::FrontThenFree));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let tree = tree_for(20);
+        let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg);
+        let r1 = run(&tree, &map, &cfg);
+        let r2 = run(&tree, &map, &cfg);
+        assert_eq!(r1.peaks, r2.peaks);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.messages, r2.messages);
+    }
+
+    #[test]
+    fn memory_strategy_runs_and_completes() {
+        let tree = tree_for(28);
+        for cfg in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(8) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(8) },
+        ] {
+            let map = compute_mapping(&tree, &cfg);
+            let r = run(&tree, &map, &cfg);
+            assert_eq!(r.nodes_done, r.total_nodes);
+            assert!(r.max_peak > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_core_removes_factor_memory() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let incore = run(&tree, &map, &cfg0);
+        // Fast disk: factors stream out, stack behaviour unchanged.
+        let fast = SolverConfig { out_of_core: Some(u64::MAX), ..cfg0.clone() };
+        let r = run(&tree, &map, &fast);
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert_eq!(r.peaks, incore.peaks, "stack behaviour must not change");
+        assert_eq!(r.total_peaks, r.peaks, "no factors in core");
+        assert!(r.factor_entries.iter().all(|&f| f == 0));
+        assert!(incore.total_peaks.iter().sum::<u64>() > incore.peaks.iter().sum::<u64>());
+        // Slow disk: same memory, longer makespan (disk is the bottleneck).
+        let slow = SolverConfig { out_of_core: Some(1), ..cfg0 };
+        let rs = run(&tree, &map, &slow);
+        assert_eq!(rs.peaks, incore.peaks);
+        assert!(rs.makespan > incore.makespan, "{} !> {}", rs.makespan, incore.makespan);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let exact = run(&tree, &map, &cfg0);
+        let j1 = SolverConfig { jitter: Some((7, 0.1)), ..cfg0.clone() };
+        let r1 = run(&tree, &map, &j1);
+        let r2 = run(&tree, &map, &j1);
+        // Same seed: bit-identical. All fronts still complete.
+        assert_eq!(r1.peaks, r2.peaks);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.nodes_done, r1.total_nodes);
+        // Makespan moves but stays in the same ballpark (±~30%).
+        let lo = exact.makespan as f64 * 0.7;
+        let hi = exact.makespan as f64 * 1.3;
+        assert!((r1.makespan as f64) > lo && (r1.makespan as f64) < hi);
+        // A different seed generally yields a different schedule.
+        let r3 = run(&tree, &map, &SolverConfig { jitter: Some((8, 0.1)), ..cfg0 });
+        assert!(r3.makespan != r1.makespan || r3.peaks != r1.peaks);
+    }
+
+    #[test]
+    fn traces_cover_all_processors() {
+        let tree = tree_for(16);
+        let cfg = SolverConfig {
+            record_traces: true,
+            type2_front_min: 24,
+            ..SolverConfig::mumps_baseline(4)
+        };
+        let map = compute_mapping(&tree, &cfg);
+        let r = run(&tree, &map, &cfg);
+        let traces = r.traces.unwrap();
+        assert_eq!(traces.len(), 4);
+        // Traces collapse same-instant transients to the final value, so
+        // their max bounds the reported peak from below.
+        let tmax = traces.iter().map(|t| t.max()).max().unwrap();
+        assert!(tmax > 0 && tmax <= r.max_peak, "tmax={tmax} peak={}", r.max_peak);
+    }
+
+    #[test]
+    fn parallel_peak_at_least_na_frontier() {
+        // The per-processor peak can never be below the biggest single
+        // allocation that processor makes.
+        let tree = tree_for(24);
+        let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg);
+        let r = run(&tree, &map, &cfg);
+        let biggest_local = (0..tree.len())
+            .filter(|&v| matches!(map.kind[v], NodeKind::Subtree(_) | NodeKind::Type1))
+            .map(|v| tree.front_entries(v))
+            .max()
+            .unwrap_or(0);
+        assert!(r.max_peak >= biggest_local);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-processor pool of ready tasks (Section 5.2).
+//!
+//! The pool holds the ready tasks statically assigned to a processor and
+//! is managed as a stack: the baseline pops the top (depth-first
+//! traversal, Figure 7); the paper's **Algorithm 2** scans from the top
+//! and delays upper-tree tasks that would raise the memory peak observed
+//! since the beginning of the factorization (Figure 8).
+
+/// Pool of ready tasks (node ids). The top of the stack is the back.
+#[derive(Debug, Clone, Default)]
+pub struct TaskPool {
+    stack: Vec<usize>,
+}
+
+impl TaskPool {
+    /// Pool pre-loaded with `tasks` (the task to pop first goes last).
+    pub fn new(tasks: Vec<usize>) -> Self {
+        TaskPool { stack: tasks }
+    }
+
+    /// Pushes a newly ready task on top.
+    pub fn push(&mut self, node: usize) {
+        self.stack.push(node);
+    }
+
+    /// True when no task is ready.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Number of ready tasks.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Read-only view of the stack (bottom to top).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.stack
+    }
+
+    /// Baseline selection: pop the top of the stack.
+    pub fn pick_lifo(&mut self) -> Option<usize> {
+        self.stack.pop()
+    }
+
+    /// Algorithm 2 with the global refinement of Section 6: like
+    /// [`TaskPool::pick_memory_aware`], but a task's cost is offset by the
+    /// contribution blocks (`released(t)`, local and remote) its
+    /// activation frees — "the selection should not only be based on the
+    /// memory of the processor concerned but also on the memory that will
+    /// be freed (contribution blocks) on others".
+    pub fn pick_memory_aware_global(
+        &mut self,
+        in_subtree: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> u64,
+        released: impl Fn(usize) -> u64,
+        current_memory: u64,
+        observed_peak: u64,
+    ) -> Option<usize> {
+        let &top = self.stack.last()?;
+        if in_subtree(top) {
+            return self.stack.pop();
+        }
+        for idx in (0..self.stack.len()).rev() {
+            let t = self.stack[idx];
+            let net_cost = cost(t).saturating_sub(released(t));
+            if net_cost + current_memory <= observed_peak || in_subtree(t) {
+                return Some(self.stack.remove(idx));
+            }
+        }
+        // Fallback: the pending task releasing the most memory system-wide.
+        let best = (0..self.stack.len())
+            .max_by_key(|&i| (released(self.stack[i]), std::cmp::Reverse(cost(self.stack[i]))))?;
+        Some(self.stack.remove(best))
+    }
+
+    /// Algorithm 2: memory-aware task selection.
+    ///
+    /// * a top-of-pool task inside a subtree is returned unconditionally
+    ///   (subtrees are memory-critical and must proceed depth-first);
+    /// * otherwise the pool is scanned from the top; a task is returned if
+    ///   activating it keeps the processor at or below the `observed_peak`
+    ///   (`cost(t) + current_memory <= observed_peak`), or if it belongs
+    ///   to a subtree (priority to subtree nodes, staying close to the
+    ///   depth-first traversal);
+    /// * if no task qualifies, the top is returned (the factorization must
+    ///   progress even if the peak grows).
+    pub fn pick_memory_aware(
+        &mut self,
+        in_subtree: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> u64,
+        current_memory: u64,
+        observed_peak: u64,
+    ) -> Option<usize> {
+        let &top = self.stack.last()?;
+        if in_subtree(top) {
+            return self.stack.pop();
+        }
+        for idx in (0..self.stack.len()).rev() {
+            let t = self.stack[idx];
+            if cost(t) + current_memory <= observed_peak || in_subtree(t) {
+                return Some(self.stack.remove(idx));
+            }
+        }
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pops_in_reverse_push_order() {
+        let mut p = TaskPool::new(vec![1, 2]);
+        p.push(3);
+        assert_eq!(p.pick_lifo(), Some(3));
+        assert_eq!(p.pick_lifo(), Some(2));
+        assert_eq!(p.pick_lifo(), Some(1));
+        assert_eq!(p.pick_lifo(), None);
+    }
+
+    #[test]
+    fn subtree_top_taken_unconditionally() {
+        let mut p = TaskPool::new(vec![10, 20]);
+        // 20 is in a subtree; its cost would blow the peak, but it still
+        // goes first.
+        let got = p.pick_memory_aware(|t| t == 20, |_| 1_000_000, 999, 1_000);
+        assert_eq!(got, Some(20));
+    }
+
+    #[test]
+    fn big_upper_task_is_delayed() {
+        // Figure 8: the top task (100) is a huge upper-tree node; the one
+        // below (5) fits under the observed peak and runs first.
+        let mut p = TaskPool::new(vec![5, 100]);
+        let cost = |t: usize| t as u64;
+        let got = p.pick_memory_aware(|_| false, cost, 50, 60);
+        assert_eq!(got, Some(5));
+        assert_eq!(p.as_slice(), &[100]);
+    }
+
+    #[test]
+    fn subtree_task_deeper_in_pool_is_preferred() {
+        let mut p = TaskPool::new(vec![7, 8, 100]);
+        // 100 too big, 8 too big but in a subtree.
+        let got = p.pick_memory_aware(|t| t == 8, |t| t as u64, 50, 60);
+        assert_eq!(got, Some(8));
+        assert_eq!(p.as_slice(), &[7, 100]);
+    }
+
+    #[test]
+    fn falls_back_to_top_when_nothing_fits() {
+        let mut p = TaskPool::new(vec![70, 100]);
+        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60);
+        assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn fitting_top_task_is_taken_directly() {
+        let mut p = TaskPool::new(vec![70, 5]);
+        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60);
+        assert_eq!(got, Some(5));
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let mut p = TaskPool::default();
+        assert_eq!(p.pick_memory_aware(|_| false, |_| 0, 0, 0), None);
+    }
+
+    #[test]
+    fn global_variant_offsets_cost_by_released_cbs() {
+        // Task 100 looks too big, but activating it releases 80 entries of
+        // stacked CBs: its net cost (20) fits under the observed peak.
+        let mut p = TaskPool::new(vec![100]);
+        let got = p.pick_memory_aware_global(
+            |_| false,
+            |t| t as u64,
+            |t| if t == 100 { 80 } else { 0 },
+            50,
+            75,
+        );
+        assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn global_fallback_prefers_the_biggest_release() {
+        // Nothing fits; the fallback picks the task freeing the most.
+        let mut p = TaskPool::new(vec![60, 70]);
+        let got = p.pick_memory_aware_global(
+            |_| false,
+            |t| t as u64,
+            |t| if t == 60 { 10 } else { 0 },
+            50,
+            10,
+        );
+        assert_eq!(got, Some(60));
+    }
+}

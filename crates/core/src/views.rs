@@ -1,0 +1,113 @@
+//! Asynchronous views of the other processors (Sections 4 and 5.1).
+//!
+//! Every processor maintains what it *believes* about the others: their
+//! memory occupation (accumulated increments), their workload, the peak
+//! of the subtree they are currently processing, and the cost of the
+//! largest master task about to activate on them. All of it arrives by
+//! message and is therefore stale by at least one network latency — the
+//! coherence problem of Figure 5 is real in this simulator, not modeled
+//! away.
+
+/// One processor's beliefs about the whole machine (its own entries are
+/// kept exact by the state machine).
+#[derive(Debug, Clone)]
+pub struct Views {
+    /// Believed active memory (entries) of each processor.
+    pub mem: Vec<u64>,
+    /// Believed workload (flops still to do) of each processor.
+    pub load: Vec<u64>,
+    /// Believed memory *projection* of each processor's current subtree:
+    /// the absolute level its stack will reach before the subtree ends
+    /// (base memory at subtree entry + subtree peak; Section 5.1;
+    /// 0 when the processor is not inside a subtree).
+    pub subtree: Vec<u64>,
+    /// Believed cost of the largest master task about to activate on each
+    /// processor (Section 5.1; 0 when none).
+    pub predicted: Vec<u64>,
+}
+
+impl Views {
+    /// Fresh views of `nprocs` processors, with initial workloads.
+    pub fn new(nprocs: usize, initial_load: &[u64]) -> Self {
+        assert_eq!(initial_load.len(), nprocs);
+        Views {
+            mem: vec![0; nprocs],
+            load: initial_load.to_vec(),
+            subtree: vec![0; nprocs],
+            predicted: vec![0; nprocs],
+        }
+    }
+
+    /// Applies a (possibly negative) memory increment for processor `p`.
+    pub fn apply_mem_delta(&mut self, p: usize, delta: i64) {
+        self.mem[p] = add_signed(self.mem[p], delta);
+    }
+
+    /// Applies a workload increment for processor `p`.
+    pub fn apply_load_delta(&mut self, p: usize, delta: i64) {
+        self.load[p] = add_signed(self.load[p], delta);
+    }
+
+    /// The memory metric of Algorithm 1 for processor `p`: instantaneous
+    /// memory, raised to the announced subtree projection (the level the
+    /// processor is known to be heading to), plus the predicted cost of
+    /// its next master task when enabled (Section 5.1).
+    pub fn memory_metric(&self, p: usize, use_subtree: bool, use_prediction: bool) -> u64 {
+        let mut m = self.mem[p];
+        if use_subtree {
+            m = m.max(self.subtree[p]);
+        }
+        if use_prediction {
+            m += self.predicted[p];
+        }
+        m
+    }
+}
+
+fn add_signed(value: u64, delta: i64) -> u64 {
+    if delta >= 0 {
+        value + delta as u64
+    } else {
+        value.saturating_sub(delta.unsigned_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let mut v = Views::new(3, &[0, 0, 0]);
+        v.apply_mem_delta(1, 100);
+        v.apply_mem_delta(1, -30);
+        assert_eq!(v.mem[1], 70);
+    }
+
+    #[test]
+    fn negative_overshoot_saturates() {
+        // Out-of-order arrival can momentarily drive a believed value
+        // negative; the view clamps instead of panicking.
+        let mut v = Views::new(1, &[0]);
+        v.apply_mem_delta(0, -5);
+        assert_eq!(v.mem[0], 0);
+    }
+
+    #[test]
+    fn metric_composition() {
+        let mut v = Views::new(2, &[0, 0]);
+        v.mem[1] = 10;
+        v.subtree[1] = 100;
+        v.predicted[1] = 1000;
+        assert_eq!(v.memory_metric(1, false, false), 10);
+        assert_eq!(v.memory_metric(1, true, false), 100);
+        assert_eq!(v.memory_metric(1, false, true), 1010);
+        assert_eq!(v.memory_metric(1, true, true), 1100);
+    }
+
+    #[test]
+    fn initial_load_is_respected() {
+        let v = Views::new(2, &[5, 7]);
+        assert_eq!(v.load, vec![5, 7]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Rayon tree-parallel numeric factorization.
+//!
+//! The multifrontal method's tree parallelism — the paper's type-1
+//! parallelism across MPI ranks — maps directly onto fork-join threading:
+//! independent subtrees factorize concurrently, each front sequentially.
+//! This module provides that shared-memory variant. It trades the strict
+//! LIFO stack discipline (meaningless under concurrency) for per-node CB
+//! buffers, so it reports no stack peak; use the sequential
+//! [`crate::numeric`] driver when memory accounting matters.
+
+use crate::dense::{factor_front_lu, partial_ldlt, DenseMat};
+use crate::numeric::{FactorError, Factorization, FrontFactor, NumericStats};
+use mf_sparse::{CscMatrix, Symmetry};
+use mf_symbolic::frontstruct::{front_structures, FrontStructures};
+use mf_symbolic::SymbolicAnalysis;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+struct Ctx<'a> {
+    tree: &'a mf_symbolic::AssemblyTree,
+    fs: &'a FrontStructures,
+    pa: &'a CscMatrix,
+    pat: Option<&'a CscMatrix>,
+    sym: Symmetry,
+    slots: Vec<Mutex<Option<FrontFactor>>>,
+}
+
+/// Factorizes `a` over the symbolic analysis `s`, exploiting tree
+/// parallelism with rayon. Numerically equivalent to the sequential
+/// driver (same kernels, same assembly), up to floating-point summation
+/// order in the extend-add, which is fixed per child and thus identical.
+pub fn factorize_parallel(a: &CscMatrix, s: &SymbolicAnalysis) -> Result<Factorization, FactorError> {
+    if a.nrows() != a.ncols() {
+        return Err(FactorError::NotSquare);
+    }
+    let fs = front_structures(s);
+    let pa = a.permute_symmetric(&s.perm);
+    let pat = (s.tree.sym == Symmetry::General).then(|| pa.transpose());
+    let ctx = Ctx {
+        tree: &s.tree,
+        fs: &fs,
+        pa: &pa,
+        pat: pat.as_ref(),
+        sym: s.tree.sym,
+        slots: (0..s.tree.len()).map(|_| Mutex::new(None)).collect(),
+    };
+    let roots = s.tree.roots();
+    let results: Result<Vec<_>, FactorError> =
+        roots.par_iter().map(|&r| process(&ctx, r)).collect();
+    results?;
+    let fronts: Vec<Option<FrontFactor>> =
+        ctx.slots.into_iter().map(|m| m.into_inner()).collect();
+    Ok(Factorization {
+        sym: s.tree.sym,
+        n: s.tree.n,
+        perm: s.perm.clone(),
+        fronts,
+        topo: s.tree.topo_order(),
+        stats: NumericStats {
+            stack_peak: 0, // not meaningful under concurrency
+            active_peak: 0,
+            factor_entries: s.tree.total_factor_entries(),
+            fronts: s.tree.len(),
+        },
+    })
+}
+
+/// Processes the subtree rooted at `v`; returns the contribution block
+/// (column-major, over the CB variables of `v`).
+fn process(ctx: &Ctx<'_>, v: usize) -> Result<Vec<f64>, FactorError> {
+    let nd = &ctx.tree.nodes[v];
+    // Children first — in parallel when there are several.
+    let child_cbs: Vec<Vec<f64>> = if nd.children.len() > 1 {
+        nd.children
+            .par_iter()
+            .map(|&c| process(ctx, c))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        nd.children
+            .iter()
+            .map(|&c| process(ctx, c))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    let vars = &ctx.fs.rows[v];
+    let f = vars.len();
+    let p = nd.npiv;
+    // Variable lists are sorted ascending, so local indices come from
+    // binary search (no O(n) scratch per task).
+    let loc = |gv: usize| vars.binary_search(&gv).expect("variable in front");
+
+    let mut w = DenseMat::zeros(f, f);
+    // Chain heads assemble the whole original front; tail links nothing.
+    let span = if ctx.tree.is_chain_tail(v) { 0 } else { ctx.tree.chain_npiv(v) };
+    match ctx.sym {
+        Symmetry::Symmetric => {
+            for c in nd.first_col..nd.first_col + span {
+                let lc = loc(c);
+                for (&i, &val) in ctx.pa.rows_in_col(c).iter().zip(ctx.pa.vals_in_col(c)) {
+                    if i < c {
+                        continue;
+                    }
+                    let li = loc(i);
+                    w.add(li, lc, val);
+                    if li != lc {
+                        w.add(lc, li, val);
+                    }
+                }
+            }
+        }
+        Symmetry::General => {
+            let pat = ctx.pat.unwrap();
+            for c in nd.first_col..nd.first_col + span {
+                let lc = loc(c);
+                for (&i, &val) in ctx.pa.rows_in_col(c).iter().zip(ctx.pa.vals_in_col(c)) {
+                    if i >= nd.first_col {
+                        w.add(loc(i), lc, val);
+                    }
+                }
+                for (&j, &val) in pat.rows_in_col(c).iter().zip(pat.vals_in_col(c)) {
+                    if j >= nd.first_col + span {
+                        w.add(lc, loc(j), val);
+                    }
+                }
+            }
+        }
+    }
+
+    // Extend-add the children.
+    for (&ch, cb) in nd.children.iter().zip(&child_cbs) {
+        let cb_vars = ctx.fs.cb_rows(ctx.tree, ch);
+        let cf = cb_vars.len();
+        debug_assert_eq!(cb.len(), cf * cf);
+        for (cj, &gj) in cb_vars.iter().enumerate() {
+            let lj = loc(gj);
+            for (ci, &gi) in cb_vars.iter().enumerate() {
+                let x = cb[cj * cf + ci];
+                if x != 0.0 {
+                    w.add(loc(gi), lj, x);
+                }
+            }
+        }
+    }
+    drop(child_cbs);
+
+    let mut row_perm = Vec::new();
+    match ctx.sym {
+        Symmetry::General => factor_front_lu(&mut w, p, &mut row_perm)
+            .map_err(|source| FactorError::Kernel { node: v, source })?,
+        Symmetry::Symmetric => {
+            partial_ldlt(&mut w, p).map_err(|source| FactorError::Kernel { node: v, source })?;
+            row_perm = (0..f).collect();
+        }
+    }
+
+    let mut block11 = DenseMat::zeros(p, p);
+    let mut l21 = DenseMat::zeros(f - p, p);
+    for k in 0..p {
+        for i in 0..p {
+            *block11.get_mut(i, k) = w.get(i, k);
+        }
+        for i in 0..f - p {
+            *l21.get_mut(i, k) = w.get(p + i, k);
+        }
+    }
+    let (u12, d) = match ctx.sym {
+        Symmetry::General => {
+            let mut u12 = DenseMat::zeros(p, f - p);
+            for j in 0..f - p {
+                for k in 0..p {
+                    *u12.get_mut(k, j) = w.get(k, p + j);
+                }
+            }
+            (u12, Vec::new())
+        }
+        Symmetry::Symmetric => {
+            let d: Vec<f64> = (0..p).map(|k| w.get(k, k)).collect();
+            (DenseMat::zeros(0, 0), d)
+        }
+    };
+
+    let mut cb = Vec::new();
+    if f > p {
+        let cf = f - p;
+        cb = vec![0.0; cf * cf];
+        for j in 0..cf {
+            for i in 0..cf {
+                cb[j * cf + i] = w.get(p + i, p + j);
+            }
+        }
+    }
+
+    *ctx.slots[v].lock() = Some(FrontFactor {
+        vars: vars.clone(),
+        npiv: p,
+        row_perm: row_perm[..p].to_vec(),
+        block11,
+        l21,
+        u12,
+        d,
+    });
+    Ok(cb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::gen::grid::{grid2d, grid3d, Stencil};
+    use mf_sparse::Permutation;
+    use mf_symbolic::AmalgamationOptions;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 48271) % 997) as f64 / 50.0 - 10.0).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_symmetric() {
+        let a = grid2d(12, 11, Stencil::Box);
+        let n = a.nrows();
+        let s = mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
+        let fseq = Factorization::from_symbolic(&a, &s).unwrap();
+        let fpar = factorize_parallel(&a, &s).unwrap();
+        let b = rhs(n);
+        let xs = fseq.solve(&b);
+        let xp = fpar.solve(&b);
+        for i in 0..n {
+            assert!((xs[i] - xp[i]).abs() < 1e-10, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_unsymmetric() {
+        let a = grid3d(5, 4, 4, Stencil::Star, Symmetry::General, 9);
+        let n = a.nrows();
+        let s = mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
+        let fpar = factorize_parallel(&a, &s).unwrap();
+        let b = rhs(n);
+        let x = fpar.solve(&b);
+        let r = Factorization::residual_inf(&a, &x, &b);
+        assert!(r < 1e-8, "residual {r:e}");
+    }
+
+    #[test]
+    fn parallel_reports_singularity() {
+        // Rank-1 dense 2x2: the second pivot vanishes whatever the order.
+        let mut coo = mf_sparse::CooMatrix::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc();
+        let s = mf_symbolic::analyze(&a, &Permutation::identity(2), &AmalgamationOptions::none());
+        assert!(factorize_parallel(&a, &s).is_err());
+    }
+}

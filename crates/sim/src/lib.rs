@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation of a distributed-memory machine.
+//!
+//! The paper's experiments ran on 32 processors of an IBM SP with MPI.
+//! What its scheduling strategies actually react to is not the hardware
+//! but the *asynchrony*: memory-state messages arrive late, slave tasks
+//! land while a subtree is mid-peak, masters make decisions on stale
+//! views (Figure 5). This crate reproduces exactly that, deterministically:
+//!
+//! * [`engine`] — a virtual clock and event queue with FIFO tie-breaking,
+//!   so every run is exactly reproducible;
+//! * [`network`] — a latency + bandwidth message model;
+//! * [`memory`] — per-processor memory accounts (factors area + CB stack +
+//!   active fronts) with running peaks and optional time-series traces,
+//!   the measurement instrument behind every table of the reproduction.
+//!
+//! The multifrontal-specific state machines live in `mf-core`; this crate
+//! is solver-agnostic and independently testable.
+
+#![warn(missing_docs)]
+pub mod engine;
+pub mod memory;
+pub mod network;
+pub mod trace;
+
+pub use engine::{Event, EventPayload, Sim, Time};
+pub use memory::ProcMemory;
+pub use network::NetworkModel;
+pub use trace::{Trace, TraceSample};

@@ -1,0 +1,166 @@
+//! Time-series recording for memory-evolution figures.
+
+use crate::engine::Time;
+
+/// One sample of a stepwise time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSample {
+    /// Time of the change.
+    pub at: Time,
+    /// New value (entries).
+    pub value: u64,
+}
+
+impl From<(Time, u64)> for TraceSample {
+    fn from((at, value): (Time, u64)) -> Self {
+        TraceSample { at, value }
+    }
+}
+
+/// A stepwise time series (value changes at the recorded instants and
+/// holds in between), used to plot active-memory evolution per processor.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample; consecutive samples at the same instant collapse
+    /// to the last value (only the post-event state is observable).
+    pub fn push(&mut self, at: Time, value: u64) {
+        if let Some(last) = self.samples.last_mut() {
+            if last.at == at {
+                last.value = value;
+                return;
+            }
+        }
+        self.samples.push(TraceSample { at, value });
+    }
+
+    /// All samples, time-ordered.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Value at time `t` (0 before the first sample).
+    pub fn value_at(&self, t: Time) -> u64 {
+        match self.samples.binary_search_by_key(&t, |s| s.at) {
+            Ok(i) => self.samples[i].value,
+            Err(0) => 0,
+            Err(i) => self.samples[i - 1].value,
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().map(|s| s.value).max().unwrap_or(0)
+    }
+
+    /// Resamples the series on `steps` uniform instants over `[0, horizon]`
+    /// (plot helper for the figure binaries).
+    pub fn resample(&self, horizon: Time, steps: usize) -> Vec<(Time, u64)> {
+        (0..=steps)
+            .map(|k| {
+                let t = horizon * k as u64 / steps.max(1) as u64;
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+
+    /// Writes the step series as `time,value` CSV lines (plot-ready).
+    pub fn write_csv<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "time,entries")?;
+        for s in &self.samples {
+            writeln!(w, "{},{}", s.at, s.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes several processors' traces as one wide CSV
+/// (`time,p0,p1,...`), resampled on `steps` uniform instants.
+pub fn write_traces_csv<W: std::io::Write>(
+    w: &mut W,
+    traces: &[Trace],
+    horizon: Time,
+    steps: usize,
+) -> std::io::Result<()> {
+    write!(w, "time")?;
+    for p in 0..traces.len() {
+        write!(w, ",p{p}")?;
+    }
+    writeln!(w)?;
+    for k in 0..=steps {
+        let t = horizon * k as u64 / steps.max(1) as u64;
+        write!(w, "{t}")?;
+        for tr in traces {
+            write!(w, ",{}", tr.value_at(t))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepwise_lookup() {
+        let mut t = Trace::new();
+        t.push(10, 5);
+        t.push(20, 9);
+        assert_eq!(t.value_at(0), 0);
+        assert_eq!(t.value_at(10), 5);
+        assert_eq!(t.value_at(15), 5);
+        assert_eq!(t.value_at(20), 9);
+        assert_eq!(t.value_at(100), 9);
+        assert_eq!(t.max(), 9);
+    }
+
+    #[test]
+    fn same_instant_collapses() {
+        let mut t = Trace::new();
+        t.push(3, 1);
+        t.push(3, 7);
+        assert_eq!(t.samples().len(), 1);
+        assert_eq!(t.value_at(3), 7);
+    }
+
+    #[test]
+    fn resample_uniform_grid() {
+        let mut t = Trace::new();
+        t.push(0, 2);
+        t.push(50, 4);
+        let pts = t.resample(100, 4);
+        assert_eq!(pts, vec![(0, 2), (25, 2), (50, 4), (75, 4), (100, 4)]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Trace::new();
+        t.push(1, 10);
+        t.push(5, 0);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "time,entries\n1,10\n5,0\n");
+    }
+
+    #[test]
+    fn wide_csv_has_one_column_per_proc() {
+        let mut a = Trace::new();
+        a.push(0, 1);
+        let mut b = Trace::new();
+        b.push(10, 2);
+        let mut buf = Vec::new();
+        write_traces_csv(&mut buf, &[a, b], 10, 2).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "time,p0,p1\n0,1,0\n5,1,0\n10,1,2\n");
+    }
+}

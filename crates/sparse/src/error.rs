@@ -1,0 +1,70 @@
+//! Error type shared by the sparse-matrix layer.
+
+use std::fmt;
+
+/// Errors raised while building, converting or reading sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry referenced a row or column outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows of the matrix being built.
+        nrows: usize,
+        /// Number of columns of the matrix being built.
+        ncols: usize,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Length of the permutation.
+        n: usize,
+        /// First index found duplicated or out of range.
+        offending: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// A Matrix Market stream could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An I/O failure while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidPermutation { n, offending } => write!(
+                f,
+                "invalid permutation of length {n}: index {offending} repeated or out of range"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

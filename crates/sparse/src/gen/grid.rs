@@ -1,0 +1,185 @@
+//! Regular-grid finite-element / finite-difference generators.
+
+use crate::coo::CooMatrix;
+use crate::csc::{CscMatrix, Symmetry};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Coupling stencil for grid generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil {
+    /// 5-point (2-D) / 7-point (3-D) finite differences.
+    Star,
+    /// 9-point (2-D) / 27-point (3-D) finite elements (full neighbour box).
+    Box,
+}
+
+fn idx3(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> usize {
+    (z * ny + y) * nx + x
+}
+
+/// Symmetric positive-definite matrix on an `nx x ny` grid.
+///
+/// `Stencil::Star` gives the classic 5-point Laplacian; `Stencil::Box` the
+/// 9-point FEM coupling. Values are diagonally dominant so that pivoting is
+/// never an issue in the numeric tests.
+pub fn grid2d(nx: usize, ny: usize, stencil: Stencil) -> CscMatrix {
+    let n = nx * ny;
+    let mut coo = CooMatrix::new_symmetric(n);
+    coo.reserve(n * 5);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            let mut deg = 0.0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    if stencil == Stencil::Star && dx != 0 && dy != 0 {
+                        continue;
+                    }
+                    let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                        continue;
+                    }
+                    let j = (yy as usize) * nx + xx as usize;
+                    deg += 1.0;
+                    if j < i {
+                        coo.push(i, j, -1.0).unwrap();
+                    }
+                }
+            }
+            coo.push(i, i, deg + 1.0).unwrap();
+        }
+    }
+    coo.to_csc()
+}
+
+/// Matrix on an `nx x ny x nz` grid.
+///
+/// With `Symmetry::Symmetric` the result is SPD (diagonally dominant
+/// Laplacian-like); with `Symmetry::General` the off-diagonal couplings are
+/// perturbed asymmetrically (convection-like), producing an unsymmetric
+/// matrix with a structurally symmetric pattern, as in the ULTRASOUND3 and
+/// XENON2 problems.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil, sym: Symmetry, seed: u64) -> CscMatrix {
+    let n = nx * ny * nz;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = if sym == Symmetry::Symmetric {
+        CooMatrix::new_symmetric(n)
+    } else {
+        CooMatrix::new(n, n)
+    };
+    coo.reserve(n * if stencil == Stencil::Box { 27 } else { 7 });
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx3(nx, ny, x, y, z);
+                let mut deg = 0.0;
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            if stencil == Stencil::Star && dx.abs() + dy.abs() + dz.abs() != 1 {
+                                continue;
+                            }
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let j = idx3(nx, ny, xx as usize, yy as usize, zz as usize);
+                            deg += 1.0;
+                            match sym {
+                                Symmetry::Symmetric => {
+                                    if j < i {
+                                        coo.push(i, j, -1.0).unwrap();
+                                    }
+                                }
+                                Symmetry::General => {
+                                    // Asymmetric convection perturbation.
+                                    let v = -1.0 + 0.4 * rng.gen::<f64>();
+                                    coo.push(i, j, v).unwrap();
+                                }
+                            }
+                        }
+                    }
+                }
+                coo.push(i, i, deg + 1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Thin 3-D grid ("2.5-D" shell), the structure family of plate/shell FEM
+/// models such as MSDOOR and SHIP_003: large in two dimensions, a few
+/// layers in the third, with full box coupling.
+pub fn shell3d(nx: usize, ny: usize, layers: usize) -> CscMatrix {
+    grid3d(nx, ny, layers.max(1), Stencil::Box, Symmetry::Symmetric, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_star_is_5_point() {
+        let a = grid2d(4, 4, Stencil::Star);
+        assert_eq!(a.nrows(), 16);
+        // Interior node 5 has 4 neighbours + diagonal.
+        assert_eq!(a.rows_in_col(5).len(), 5);
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn grid2d_box_is_9_point() {
+        let a = grid2d(4, 4, Stencil::Box);
+        assert_eq!(a.rows_in_col(5).len(), 9);
+    }
+
+    #[test]
+    fn grid3d_box_interior_has_27() {
+        let a = grid3d(4, 4, 4, Stencil::Box, Symmetry::Symmetric, 0);
+        // Node (1,1,1) = 21 is interior.
+        assert_eq!(a.rows_in_col(21).len(), 27);
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn grid3d_unsymmetric_values_pattern_symmetric() {
+        let a = grid3d(3, 3, 3, Stencil::Star, Symmetry::General, 7);
+        assert!(a.is_structurally_symmetric());
+        assert_eq!(a.symmetry(), Symmetry::General);
+        // Values differ across the diagonal somewhere.
+        let asym = (0..a.ncols()).any(|j| {
+            a.rows_in_col(j).iter().any(|&i| i != j && (a.get(i, j) - a.get(j, i)).abs() > 1e-12)
+        });
+        assert!(asym);
+    }
+
+    #[test]
+    fn grid_is_diagonally_dominant() {
+        let a = grid2d(5, 5, Stencil::Box);
+        for j in 0..a.ncols() {
+            let off: f64 =
+                a.rows_in_col(j).iter().zip(a.vals_in_col(j)).filter(|(&i, _)| i != j).map(|(_, v)| v.abs()).sum();
+            assert!(a.get(j, j) > off, "column {j} not dominant");
+        }
+    }
+
+    #[test]
+    fn shell_is_thin() {
+        let a = shell3d(10, 8, 2);
+        assert_eq!(a.nrows(), 160);
+        assert!(a.is_structurally_symmetric());
+    }
+}

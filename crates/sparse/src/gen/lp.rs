@@ -1,0 +1,117 @@
+//! Linear-programming normal-equations generator (GUPTA3 family).
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the pattern of `B Bᵀ` for a random sparse LP constraint matrix
+/// `B` (`m x ncols`), the structure family of GUPTA3 (`A·Aᵀ` of a linear
+/// program).
+///
+/// LP constraint matrices mix many sparse columns with a few dense ones;
+/// the dense columns make `B Bᵀ` locally very dense, which is what gives
+/// GUPTA3 its extreme nnz/n ratio (~278 in the paper) and its shallow, fat
+/// assembly trees.
+///
+/// * `m` — number of constraints = order of the result.
+/// * `ncols` — number of LP variables (columns of `B`).
+/// * `col_nnz` — entries per sparse column.
+/// * `dense_cols` — number of dense columns; each touches `dense_frac * m`
+///   random rows.
+pub fn lp_normal_equations(
+    m: usize,
+    ncols: usize,
+    col_nnz: usize,
+    dense_cols: usize,
+    dense_frac: f64,
+    seed: u64,
+) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Columns of B as row-index lists.
+    let mut cols: Vec<Vec<usize>> = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let k = if c < dense_cols {
+            ((m as f64 * dense_frac) as usize).max(2)
+        } else {
+            col_nnz.max(2)
+        };
+        let mut rows: Vec<usize> = (0..k).map(|_| rng.gen_range(0..m)).collect();
+        // Bias sparse columns towards locality so BBᵀ has banded structure
+        // in addition to the dense blocks (LP staircase structure).
+        if c >= dense_cols {
+            let base = rng.gen_range(0..m);
+            for r in rows.iter_mut() {
+                *r = (base + *r % (4 * col_nnz + 1)) % m;
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        cols.push(rows);
+    }
+    // Pattern of B Bᵀ: clique over the rows of each column.
+    let mut coo = CooMatrix::new_symmetric(m);
+    for i in 0..m {
+        coo.push(i, i, 1.0).unwrap();
+    }
+    let mut seen: Vec<std::collections::HashSet<usize>> = vec![Default::default(); m];
+    for rows in &cols {
+        for (a, &i) in rows.iter().enumerate() {
+            for &j in &rows[a + 1..] {
+                if seen[j].insert(i) {
+                    coo.push(j, i, -1.0 / (rows.len() as f64)).unwrap();
+                }
+            }
+        }
+    }
+    let csc = coo.to_csc();
+    // Make it diagonally dominant for numeric tests.
+    let mut coo2 = CooMatrix::new_symmetric(m);
+    for j in 0..m {
+        for (&i, &v) in csc.rows_in_col(j).iter().zip(csc.vals_in_col(j)) {
+            if i > j {
+                coo2.push(i, j, v).unwrap();
+            } else if i == j {
+                let off: f64 = csc.vals_in_col(j).iter().map(|x| x.abs()).sum();
+                coo2.push(j, j, off + 1.0).unwrap();
+            }
+        }
+    }
+    coo2.to_csc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_is_symmetric_and_dense_enough() {
+        let a = lp_normal_equations(300, 600, 3, 4, 0.2, 42);
+        assert_eq!(a.nrows(), 300);
+        assert!(a.is_structurally_symmetric());
+        // Dense columns should push average degree well above the sparse base.
+        assert!(a.nnz() as f64 / a.nrows() as f64 > 8.0, "nnz/n = {}", a.nnz() as f64 / 300.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = lp_normal_equations(100, 200, 3, 2, 0.1, 7);
+        let b = lp_normal_equations(100, 200, 3, 2, 0.1, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diagonally_dominant() {
+        let a = lp_normal_equations(120, 240, 3, 2, 0.15, 3);
+        for j in 0..a.ncols() {
+            let off: f64 = a
+                .rows_in_col(j)
+                .iter()
+                .zip(a.vals_in_col(j))
+                .filter(|(&i, _)| i != j)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(a.get(j, j) > off);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic problem generators.
+//!
+//! The paper evaluates on eight matrices from the Rutherford-Boeing, UF and
+//! PARASOL collections (Table 1). Those exact instances are not
+//! redistributable here, so this module generates *structural analogues*:
+//! one generator per application family (3-D solid FEM, shell FEM,
+//! linear-programming normal equations, harmonic-balance circuits, 3-D wave
+//! propagation, crystal lattices). What the experiments measure — assembly
+//! tree topology and front sizes under the four orderings — is governed by
+//! the structure family, which these generators preserve. See
+//! [`paper`] for the catalogue mapping each Table 1 matrix to a generator
+//! and scale.
+
+pub mod circuit;
+pub mod grid;
+pub mod lp;
+pub mod paper;
+
+pub use circuit::{circuit, harmonic_balance};
+pub use grid::{grid2d, grid3d, shell3d, Stencil};
+pub use lp::lp_normal_equations;
+pub use paper::{PaperMatrix, ALL_PAPER_MATRICES};

@@ -1,0 +1,181 @@
+//! Catalogue of the paper's eight test problems (Table 1) and their
+//! synthetic analogues.
+
+use crate::csc::{CscMatrix, Symmetry};
+use crate::gen::{circuit, grid, lp};
+
+/// One of the eight matrices of Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperMatrix {
+    /// Automotive crankshaft model (PARASOL) — 3-D solid FEM, SYM.
+    BmwCra1,
+    /// Linear programming matrix `A·Aᵀ` (UF collection) — SYM.
+    Gupta3,
+    /// Medium-size door (PARASOL) — shell FEM, SYM.
+    MsDoor,
+    /// Ship structure (PARASOL) — shell FEM, SYM.
+    Ship003,
+    /// AT&T harmonic balance method (UF) — circuit, UNS.
+    Pre2,
+    /// AT&T harmonic balance method (UF) — circuit, UNS.
+    TwoTone,
+    /// 3-D ultrasound wave propagation (Simula) — UNS.
+    Ultrasound3,
+    /// Complex zeolite / sodalite crystal (UF) — UNS.
+    Xenon2,
+}
+
+/// All eight matrices in the row order of Table 1.
+pub const ALL_PAPER_MATRICES: [PaperMatrix; 8] = [
+    PaperMatrix::BmwCra1,
+    PaperMatrix::Gupta3,
+    PaperMatrix::MsDoor,
+    PaperMatrix::Ship003,
+    PaperMatrix::Pre2,
+    PaperMatrix::TwoTone,
+    PaperMatrix::Ultrasound3,
+    PaperMatrix::Xenon2,
+];
+
+impl PaperMatrix {
+    /// Name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperMatrix::BmwCra1 => "BMWCRA_1",
+            PaperMatrix::Gupta3 => "GUPTA3",
+            PaperMatrix::MsDoor => "MSDOOR",
+            PaperMatrix::Ship003 => "SHIP_003",
+            PaperMatrix::Pre2 => "PRE2",
+            PaperMatrix::TwoTone => "TWOTONE",
+            PaperMatrix::Ultrasound3 => "ULTRASOUND3",
+            PaperMatrix::Xenon2 => "XENON2",
+        }
+    }
+
+    /// Order of the original instance (Table 1).
+    pub fn paper_order(self) -> usize {
+        match self {
+            PaperMatrix::BmwCra1 => 148_770,
+            PaperMatrix::Gupta3 => 16_783,
+            PaperMatrix::MsDoor => 415_863,
+            PaperMatrix::Ship003 => 121_728,
+            PaperMatrix::Pre2 => 659_033,
+            PaperMatrix::TwoTone => 120_750,
+            PaperMatrix::Ultrasound3 => 185_193,
+            PaperMatrix::Xenon2 => 157_464,
+        }
+    }
+
+    /// Entry count of the original instance (Table 1).
+    pub fn paper_nnz(self) -> usize {
+        match self {
+            PaperMatrix::BmwCra1 => 5_396_386,
+            PaperMatrix::Gupta3 => 4_670_105,
+            PaperMatrix::MsDoor => 10_328_399,
+            PaperMatrix::Ship003 => 4_103_881,
+            PaperMatrix::Pre2 => 5_959_282,
+            PaperMatrix::TwoTone => 1_224_224,
+            PaperMatrix::Ultrasound3 => 11_390_625,
+            PaperMatrix::Xenon2 => 3_866_688,
+        }
+    }
+
+    /// Symmetry of the problem (Table 1's Type column).
+    pub fn symmetry(self) -> Symmetry {
+        match self {
+            PaperMatrix::BmwCra1
+            | PaperMatrix::Gupta3
+            | PaperMatrix::MsDoor
+            | PaperMatrix::Ship003 => Symmetry::Symmetric,
+            _ => Symmetry::General,
+        }
+    }
+
+    /// Table 1's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            PaperMatrix::BmwCra1 => "Automotive crankshaft model",
+            PaperMatrix::Gupta3 => "Linear programming matrix (A*A')",
+            PaperMatrix::MsDoor => "Medium size door",
+            PaperMatrix::Ship003 => "Ship structure",
+            PaperMatrix::Pre2 => "AT&T, harmonic balance method",
+            PaperMatrix::TwoTone => "AT&T, harmonic balance method",
+            PaperMatrix::Ultrasound3 => "Propagation of 3D ultrasound waves",
+            PaperMatrix::Xenon2 => "Complex zeolite, sodalite crystals",
+        }
+    }
+
+    /// True for the four unsymmetric problems used in Tables 3, 5.
+    pub fn is_unsymmetric(self) -> bool {
+        self.symmetry() == Symmetry::General
+    }
+
+    /// Generates the synthetic analogue at the default reproduction scale
+    /// (orders of a few thousand; ~10-50x smaller than the originals so the
+    /// full 8x4 sweep runs in minutes on a laptop).
+    pub fn instantiate(self) -> CscMatrix {
+        self.instantiate_scaled(1.0)
+    }
+
+    /// Generates the analogue with linear dimensions scaled by
+    /// `scale.cbrt()` for 3-D families (`scale.sqrt()` for 2.5-D, linear
+    /// for the rest), so that `scale` approximately multiplies the order.
+    pub fn instantiate_scaled(self, scale: f64) -> CscMatrix {
+        let s3 = scale.cbrt();
+        let s2 = scale.sqrt();
+        let d3 = |base: usize| ((base as f64 * s3).round() as usize).max(3);
+        let d2 = |base: usize| ((base as f64 * s2).round() as usize).max(3);
+        let d1 = |base: usize| ((base as f64 * scale).round() as usize).max(16);
+        match self {
+            PaperMatrix::BmwCra1 => {
+                grid::grid3d(d3(20), d3(20), d3(20), grid::Stencil::Box, Symmetry::Symmetric, 101)
+            }
+            PaperMatrix::Gupta3 => {
+                lp::lp_normal_equations(d1(2000), d1(4000), 3, 8.max(d1(8) / 1000 + 8), 0.12, 102)
+            }
+            PaperMatrix::MsDoor => grid::shell3d(d2(64), d2(48), 3),
+            PaperMatrix::Ship003 => grid::shell3d(d2(56), d2(36), 4),
+            PaperMatrix::Pre2 => circuit::harmonic_balance(d1(1500), 8, 3, 6, 0.12, 105),
+            PaperMatrix::TwoTone => circuit::harmonic_balance(d1(1000), 8, 5, 8, 0.18, 106),
+            PaperMatrix::Ultrasound3 => {
+                grid::grid3d(d3(20), d3(20), d3(20), grid::Stencil::Box, Symmetry::General, 107)
+            }
+            PaperMatrix::Xenon2 => {
+                grid::grid3d(d3(24), d3(22), d3(15), grid::Stencil::Box, Symmetry::General, 108)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_instances_build_and_match_symmetry() {
+        for m in ALL_PAPER_MATRICES {
+            let a = m.instantiate_scaled(0.2);
+            assert!(a.validate().is_ok(), "{} invalid", m.name());
+            assert_eq!(a.symmetry(), m.symmetry(), "{}", m.name());
+            assert!(a.nrows() > 100, "{} too small: {}", m.name(), a.nrows());
+            if m.symmetry() == Symmetry::Symmetric {
+                assert!(a.is_structurally_symmetric(), "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_grows_order() {
+        let small = PaperMatrix::BmwCra1.instantiate_scaled(0.1);
+        let big = PaperMatrix::BmwCra1.instantiate_scaled(0.4);
+        assert!(big.nrows() > small.nrows());
+    }
+
+    #[test]
+    fn catalogue_metadata_is_consistent() {
+        assert_eq!(ALL_PAPER_MATRICES.len(), 8);
+        let unsym: Vec<_> =
+            ALL_PAPER_MATRICES.iter().filter(|m| m.is_unsymmetric()).collect();
+        assert_eq!(unsym.len(), 4);
+    }
+}

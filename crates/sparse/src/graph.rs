@@ -1,0 +1,237 @@
+//! Undirected adjacency graph of a sparse pattern.
+
+use crate::csc::CscMatrix;
+
+/// Adjacency structure of the (symmetrized) pattern of a square matrix,
+/// with the diagonal removed.
+///
+/// This is the input format of all orderings: node `i` is adjacent to the
+/// nodes whose rows appear in column `i` of `A + Aᵀ`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    ptr: Vec<usize>,
+    adj: Vec<usize>,
+}
+
+impl Graph {
+    /// Builds the graph of `A + Aᵀ` minus the diagonal.
+    pub fn from_matrix(a: &CscMatrix) -> Self {
+        let s = if a.is_structurally_symmetric() { a.clone() } else { a.symmetrized() };
+        let n = s.ncols();
+        let mut ptr = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(s.nnz());
+        ptr.push(0);
+        for j in 0..n {
+            for &i in s.rows_in_col(j) {
+                if i != j {
+                    adj.push(i);
+                }
+            }
+            ptr.push(adj.len());
+        }
+        Graph { ptr, adj }
+    }
+
+    /// Builds directly from adjacency arrays (neighbors of node `i` are
+    /// `adj[ptr[i]..ptr[i+1]]`, must exclude `i` itself).
+    pub fn from_raw_parts(ptr: Vec<usize>, adj: Vec<usize>) -> Self {
+        debug_assert_eq!(*ptr.first().unwrap_or(&0), 0);
+        debug_assert_eq!(*ptr.last().unwrap_or(&0), adj.len());
+        Graph { ptr, adj }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.ptr.len().saturating_sub(1)
+    }
+
+    /// Number of directed edges stored (twice the undirected edge count).
+    pub fn nedges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of node `i`.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[self.ptr[i]..self.ptr[i + 1]]
+    }
+
+    /// Degree of node `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.ptr[i + 1] - self.ptr[i]
+    }
+
+    /// Extracts the subgraph induced by `nodes`; returns the subgraph and
+    /// the mapping from subgraph ids to original ids.
+    pub fn subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut local = vec![usize::MAX; self.n()];
+        for (k, &v) in nodes.iter().enumerate() {
+            local[v] = k;
+        }
+        let mut ptr = Vec::with_capacity(nodes.len() + 1);
+        let mut adj = Vec::new();
+        ptr.push(0);
+        for &v in nodes {
+            for &w in self.neighbors(v) {
+                if local[w] != usize::MAX {
+                    adj.push(local[w]);
+                }
+            }
+            ptr.push(adj.len());
+        }
+        (Graph { ptr, adj }, nodes.to_vec())
+    }
+
+    /// Connected components; returns the component id of each node and the
+    /// number of components.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.n();
+        let mut comp = vec![usize::MAX; n];
+        let mut ncomp = 0;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = ncomp;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w] == usize::MAX {
+                        comp[w] = ncomp;
+                        stack.push(w);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        (comp, ncomp)
+    }
+
+    /// BFS level structure rooted at `root` over the nodes with
+    /// `mask[v] == true`; returns `(levels, last_level_nodes, depth)`.
+    /// `levels[v] == usize::MAX` for unreached nodes.
+    pub fn bfs_levels(&self, root: usize, mask: &[bool]) -> (Vec<usize>, Vec<usize>, usize) {
+        let n = self.n();
+        let mut level = vec![usize::MAX; n];
+        let mut frontier = vec![root];
+        level[root] = 0;
+        let mut depth = 0;
+        let mut last = frontier.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in self.neighbors(v) {
+                    if mask[w] && level[w] == usize::MAX {
+                        level[w] = level[v] + 1;
+                        next.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            depth += 1;
+            last = next.clone();
+            frontier = next;
+        }
+        (level, last, depth)
+    }
+
+    /// Finds a pseudo-peripheral node of the masked subgraph containing
+    /// `seed` (repeated BFS from an extremal node of the deepest level).
+    pub fn pseudo_peripheral(&self, seed: usize, mask: &[bool]) -> usize {
+        let mut root = seed;
+        let (_, last, mut depth) = self.bfs_levels(root, mask);
+        let mut best = *last.iter().min_by_key(|&&v| self.degree(v)).unwrap_or(&root);
+        for _ in 0..8 {
+            let (_, last2, d2) = self.bfs_levels(best, mask);
+            if d2 > depth {
+                depth = d2;
+                root = best;
+                best = *last2.iter().min_by_key(|&&v| self.degree(v)).unwrap_or(&root);
+            } else {
+                return best;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut coo = CooMatrix::new_symmetric(n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for i in 1..n {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+        Graph::from_matrix(&coo.to_csc())
+    }
+
+    #[test]
+    fn path_graph_degrees() {
+        let g = path_graph(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn diagonal_is_removed() {
+        let g = path_graph(3);
+        for i in 0..3 {
+            assert!(!g.neighbors(i).contains(&i));
+        }
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut coo = CooMatrix::new_symmetric(4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(3, 2, 1.0).unwrap();
+        let g = Graph::from_matrix(&coo.to_csc());
+        let (comp, ncomp) = g.components();
+        assert_eq!(ncomp, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_an_endpoint() {
+        let g = path_graph(9);
+        let mask = vec![true; 9];
+        let p = g.pseudo_peripheral(4, &mask);
+        assert!(p == 0 || p == 8, "got {p}");
+    }
+
+    #[test]
+    fn bfs_levels_depth() {
+        let g = path_graph(6);
+        let mask = vec![true; 6];
+        let (levels, last, depth) = g.bfs_levels(0, &mask);
+        assert_eq!(depth, 5);
+        assert_eq!(levels[5], 5);
+        assert_eq!(last, vec![5]);
+    }
+
+    #[test]
+    fn subgraph_relabels() {
+        let g = path_graph(5);
+        let (sg, map) = g.subgraph(&[1, 2, 3]);
+        assert_eq!(sg.n(), 3);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sg.neighbors(1), &[0, 2]); // node 2 adjacent to 1 and 3
+    }
+}

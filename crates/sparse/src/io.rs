@@ -1,0 +1,211 @@
+//! Matrix Market I/O.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` headers, which covers
+//! the Rutherford-Boeing / UF instances the paper uses (after conversion
+//! with standard tools). Pattern files get value 1.0 on every entry and a
+//! boosted diagonal so they remain factorizable in tests.
+
+use crate::coo::CooMatrix;
+use crate::csc::{CscMatrix, Symmetry};
+use crate::error::SparseError;
+use std::io::{BufRead, Write};
+
+/// Parses a Matrix Market stream into a [`CscMatrix`].
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CscMatrix, SparseError> {
+    let mut lines = reader.lines().enumerate();
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => return Err(SparseError::Parse { line: 0, msg: "empty stream".into() }),
+        }
+    };
+    let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("unsupported header: {header}"),
+        });
+    }
+    let pattern = match h[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported field type: {other}"),
+            })
+        }
+    };
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry: {other}"),
+            })
+        }
+    };
+
+    // Skip comments, read size line.
+    let (sz_line_no, sz_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, line);
+            }
+            None => return Err(SparseError::Parse { line: 0, msg: "missing size line".into() }),
+        }
+    };
+    let dims: Vec<usize> = sz_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse { line: sz_line_no, msg: e.to_string() })?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse { line: sz_line_no, msg: "size line needs 3 fields".into() });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    let mut coo =
+        if symmetric { CooMatrix::new_symmetric(nrows) } else { CooMatrix::new(nrows, ncols) };
+    coo.reserve(nnz);
+    let mut read = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_idx = |s: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            s.ok_or_else(|| SparseError::Parse { line: i + 1, msg: format!("missing {what}") })?
+                .parse::<usize>()
+                .map_err(|e| SparseError::Parse { line: i + 1, msg: e.to_string() })
+        };
+        let r = parse_idx(it.next(), "row")?;
+        let c = parse_idx(it.next(), "col")?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse { line: i + 1, msg: "indices are 1-based".into() });
+        }
+        let v = if pattern {
+            if r == c {
+                64.0 // boosted diagonal keeps pattern-only instances factorizable
+            } else {
+                1.0
+            }
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse { line: i + 1, msg: "missing value".into() })?
+                .parse::<f64>()
+                .map_err(|e| SparseError::Parse { line: i + 1, msg: e.to_string() })?
+        };
+        coo.push(r - 1, c - 1, v)?;
+        read += 1;
+    }
+    if read != nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!("expected {nnz} entries, read {read}"),
+        });
+    }
+    Ok(coo.to_csc())
+}
+
+/// Writes a matrix in Matrix Market `coordinate real` format.
+///
+/// Symmetric matrices are written with their lower triangle only, under a
+/// `symmetric` header.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &CscMatrix) -> Result<(), SparseError> {
+    let symmetric = a.symmetry() == Symmetry::Symmetric;
+    let kind = if symmetric { "symmetric" } else { "general" };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {kind}")?;
+    let nnz = if symmetric {
+        (0..a.ncols()).map(|j| a.rows_in_col(j).iter().filter(|&&i| i >= j).count()).sum()
+    } else {
+        a.nnz()
+    };
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), nnz)?;
+    for j in 0..a.ncols() {
+        for (&i, &v) in a.rows_in_col(j).iter().zip(a.vals_in_col(j)) {
+            if symmetric && i < j {
+                continue;
+            }
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: &std::path::Path) -> Result<CscMatrix, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid::{grid2d, Stencil};
+
+    #[test]
+    fn round_trip_general() {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(i, j, v) in &[(0, 0, 2.0), (1, 0, -1.0), (1, 1, 2.0), (2, 2, 3.0)] {
+            coo.push(i, j, v).unwrap();
+        }
+        let a = coo.to_csc();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_symmetric() {
+        let a = grid2d(5, 4, Stencil::Star);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.symmetry(), b.symmetry());
+        for j in 0..a.ncols() {
+            assert_eq!(a.rows_in_col(j), b.rows_in_col(j));
+        }
+    }
+
+    #[test]
+    fn pattern_files_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n2 2 3\n1 1\n2 2\n2 1\n";
+        let a = read_matrix_market(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.nnz(), 4); // mirrored off-diagonal
+        assert_eq!(a.get(0, 1), 1.0);
+        assert!(a.get(0, 0) > 1.0);
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        for bad in [
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n",
+            "garbage\n",
+        ] {
+            assert!(read_matrix_market(std::io::BufReader::new(bad.as_bytes())).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n2 2 1.0\n";
+        assert!(read_matrix_market(std::io::BufReader::new(text.as_bytes())).is_err());
+    }
+}

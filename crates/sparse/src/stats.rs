@@ -1,0 +1,118 @@
+//! Structural statistics of sparse matrices.
+//!
+//! Cheap descriptors used by the experiment reports to characterize the
+//! generated analogues against the published properties of the original
+//! collection matrices (density, bandwidth, symmetry).
+
+use crate::csc::CscMatrix;
+
+/// Summary of a matrix's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Order (rows).
+    pub n: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Average entries per row.
+    pub avg_row_nnz: f64,
+    /// Maximum entries in any column.
+    pub max_col_nnz: usize,
+    /// Maximum `|i - j|` over stored entries.
+    pub bandwidth: usize,
+    /// Fraction of off-diagonal entries whose transpose position is also
+    /// stored (1.0 = structurally symmetric).
+    pub structural_symmetry: f64,
+    /// Fraction of rows with a stored diagonal entry.
+    pub diag_coverage: f64,
+}
+
+/// Computes [`MatrixStats`] for a square matrix.
+pub fn matrix_stats(a: &CscMatrix) -> MatrixStats {
+    assert_eq!(a.nrows(), a.ncols(), "stats are defined for square matrices");
+    let n = a.ncols();
+    let at = a.transpose();
+    let mut bandwidth = 0usize;
+    let mut max_col = 0usize;
+    let mut diag = 0usize;
+    let mut off = 0usize;
+    let mut mirrored = 0usize;
+    for j in 0..n {
+        let rows = a.rows_in_col(j);
+        max_col = max_col.max(rows.len());
+        for &i in rows {
+            bandwidth = bandwidth.max(i.abs_diff(j));
+            if i == j {
+                diag += 1;
+            } else {
+                off += 1;
+                if at.rows_in_col(j).binary_search(&i).is_ok() {
+                    mirrored += 1;
+                }
+            }
+        }
+    }
+    MatrixStats {
+        n,
+        nnz: a.nnz(),
+        avg_row_nnz: a.nnz() as f64 / n.max(1) as f64,
+        max_col_nnz: max_col,
+        bandwidth,
+        structural_symmetry: if off == 0 { 1.0 } else { mirrored as f64 / off as f64 },
+        diag_coverage: diag as f64 / n.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::gen::grid::{grid2d, Stencil};
+
+    #[test]
+    fn grid_stats_are_symmetric_and_banded() {
+        let a = grid2d(6, 5, Stencil::Star);
+        let s = matrix_stats(&a);
+        assert_eq!(s.n, 30);
+        assert_eq!(s.structural_symmetry, 1.0);
+        assert_eq!(s.diag_coverage, 1.0);
+        assert_eq!(s.bandwidth, 6); // one grid row apart
+        assert!(s.avg_row_nnz > 3.0 && s.avg_row_nnz < 5.0);
+    }
+
+    #[test]
+    fn unsymmetric_fraction_detected() {
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        coo.push(2, 0, 1.0).unwrap(); // no (0,2) mirror
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap(); // mirrored pair
+        let s = matrix_stats(&coo.to_csc());
+        assert!((s.structural_symmetry - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.bandwidth, 2);
+    }
+
+    #[test]
+    fn diagonal_matrix_degenerate_values() {
+        let a = crate::csc::CscMatrix::identity(4, 1.0);
+        let s = matrix_stats(&a);
+        assert_eq!(s.bandwidth, 0);
+        assert_eq!(s.structural_symmetry, 1.0);
+        assert_eq!(s.max_col_nnz, 1);
+    }
+
+    #[test]
+    fn generators_match_paper_families() {
+        // The analogue families keep their defining traits: circuits are
+        // unsymmetric with hubs (large max column), LP normal equations
+        // are dense-ish, grids are perfectly symmetric.
+        let circuit = crate::gen::circuit::circuit(400, 4, 3, 0.1, 5);
+        let sc = matrix_stats(&circuit);
+        assert!(sc.structural_symmetry < 0.95);
+        let lp = crate::gen::lp::lp_normal_equations(300, 600, 3, 4, 0.15, 5);
+        let sl = matrix_stats(&lp);
+        assert_eq!(sl.structural_symmetry, 1.0);
+        assert!(sl.avg_row_nnz > 8.0);
+    }
+}

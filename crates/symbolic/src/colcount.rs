@@ -1,0 +1,103 @@
+//! Exact column counts of the Cholesky factor.
+
+use crate::etree::NONE;
+use mf_sparse::CscMatrix;
+
+/// Exact nonzero count of every column of `L` (diagonal included), for a
+/// structurally symmetric pattern with elimination tree `parent`.
+///
+/// Uses the row-subtree characterization: `L(i, j) != 0` iff `j` lies on
+/// the etree path from some `k` with `A(i, k) != 0, k <= i`, up to `i`.
+/// Walking each row's subtree with per-row marks visits every factor entry
+/// exactly once, so the cost is `O(|L|)` with `O(n)` memory.
+pub fn col_counts(a: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = a.ncols();
+    let mut counts = vec![1usize; n]; // the diagonal
+    let mut mark = vec![NONE; n]; // last row that visited each column
+    for i in 0..n {
+        mark[i] = i;
+        // Upper-triangle entries of column i are the row-i pattern.
+        for &k in a.rows_in_col(i) {
+            if k >= i {
+                continue;
+            }
+            let mut j = k;
+            while mark[j] != i {
+                mark[j] = i;
+                counts[j] += 1;
+                j = parent[j];
+                debug_assert_ne!(j, NONE, "row subtree must stay below the diagonal");
+            }
+        }
+    }
+    counts
+}
+
+/// Total factor entries `Σ counts[j]` (one triangle).
+pub fn factor_entries(counts: &[usize]) -> u64 {
+    counts.iter().map(|&c| c as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::etree;
+    use mf_sparse::CooMatrix;
+
+    fn dense_l_counts(a: &CscMatrix) -> Vec<usize> {
+        // Reference: naive symbolic elimination.
+        let n = a.ncols();
+        let mut adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
+            .map(|j| a.rows_in_col(j).iter().copied().filter(|&i| i > j).collect())
+            .collect();
+        for j in 0..n {
+            let nbrs: Vec<usize> = adj[j].iter().copied().collect();
+            for (x, &p) in nbrs.iter().enumerate() {
+                for &q in &nbrs[x + 1..] {
+                    adj[p].insert(q);
+                }
+            }
+        }
+        (0..n).map(|j| adj[j].len() + 1).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_figure1() {
+        let a = crate::testmat::figure1_matrix();
+        let parent = etree(&a);
+        let counts = col_counts(&a, &parent);
+        assert_eq!(counts, dense_l_counts(&a));
+        assert_eq!(counts, vec![4, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_grid() {
+        let a = mf_sparse::gen::grid::grid2d(7, 6, mf_sparse::gen::grid::Stencil::Box);
+        let parent = etree(&a);
+        assert_eq!(col_counts(&a, &parent), dense_l_counts(&a));
+    }
+
+    #[test]
+    fn diagonal_matrix_counts_are_one() {
+        let a = CscMatrix::identity(5, 1.0);
+        let parent = etree(&a);
+        assert_eq!(col_counts(&a, &parent), vec![1; 5]);
+    }
+
+    #[test]
+    fn tridiagonal_counts_are_two_except_last() {
+        let n = 6;
+        let mut coo = CooMatrix::new_symmetric(n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for i in 1..n {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+        let a = coo.to_csc();
+        let parent = etree(&a);
+        let c = col_counts(&a, &parent);
+        assert_eq!(c, vec![2, 2, 2, 2, 2, 1]);
+        assert_eq!(factor_entries(&c), 11);
+    }
+}

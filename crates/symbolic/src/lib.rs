@@ -1,0 +1,84 @@
+//! Symbolic analysis for the multifrontal method.
+//!
+//! From a (permuted) sparse pattern this crate derives everything the
+//! factorization and the schedulers need *before* any number is touched:
+//!
+//! 1. the **elimination tree** ([`etree`]) and its postorder;
+//! 2. exact **column counts** of the factor ([`colcount`]);
+//! 3. fundamental supernodes, relaxed **amalgamation** ([`amalg`]), and the
+//!    resulting **assembly tree** ([`tree::AssemblyTree`]) with per-front
+//!    sizes, contribution-block sizes and flop counts;
+//! 4. the **static chain-splitting** of nodes with large master parts
+//!    ([`split`]), the paper's Section 6 tree modification;
+//! 5. **sequential stack analysis** ([`seqstack`]): Liu-style optimal child
+//!    ordering and the resulting stack peak, used both to order leaf
+//!    subtrees in the pool (Section 5.2) and as a reference point;
+//! 6. explicit per-front index lists ([`frontstruct`]) for the numeric
+//!    factorization.
+//!
+//! All symbolic quantities are counted in *entries* (f64 words), matching
+//! the unit of the paper's tables ("millions of entries").
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // stamped set algorithms index by design
+pub mod amalg;
+pub mod colcount;
+#[cfg(test)]
+pub(crate) mod testmat;
+pub mod etree;
+pub mod frontstruct;
+pub mod seqstack;
+pub mod split;
+pub mod tree;
+
+pub use amalg::AmalgamationOptions;
+pub use tree::{AssemblyTree, FrontNode};
+
+use mf_sparse::{CscMatrix, Permutation, Symmetry};
+
+/// Result of [`analyze`]: the assembly tree together with the *total*
+/// permutation it is expressed in.
+#[derive(Debug, Clone)]
+pub struct SymbolicAnalysis {
+    /// The amalgamated assembly tree; its column indices are positions
+    /// under [`SymbolicAnalysis::perm`].
+    pub tree: AssemblyTree,
+    /// Total permutation actually applied (fill-reducing ordering composed
+    /// with the etree postorder relabeling).
+    pub perm: Permutation,
+    /// The permuted, structurally symmetric pattern the tree was built on
+    /// (values of `P(A+Aᵀ)Pᵀ`; used by the numeric layer for assembly).
+    pub pattern: CscMatrix,
+}
+
+/// One-call symbolic analysis.
+///
+/// Permutes `a` by the fill-reducing ordering `p`, symmetrizes the pattern
+/// if `a` is unsymmetric (as MUMPS does), relabels by an elimination-tree
+/// postorder so supernode pivots are contiguous, and amalgamates
+/// fundamental supernodes into the assembly tree.
+pub fn analyze(a: &CscMatrix, p: &Permutation, opts: &AmalgamationOptions) -> SymbolicAnalysis {
+    let sym = a.symmetry();
+    let pa = a.permute_symmetric(p);
+    let pattern = if pa.is_structurally_symmetric() { pa } else { pa.symmetrized() };
+    let parent = etree::etree(&pattern);
+    let post = etree::postorder(&parent);
+    let p2 = Permutation::from_elimination_order(post).expect("postorder is a bijection");
+    let pattern = pattern.permute_symmetric(&p2);
+    let parent = etree::etree(&pattern);
+    debug_assert!(etree::is_postordered(&parent));
+    let counts = colcount::col_counts(&pattern, &parent);
+    let tree = amalg::build_assembly_tree(&parent, &counts, sym, opts);
+    SymbolicAnalysis { tree, perm: p.then(&p2), pattern }
+}
+
+/// Convenience wrapper: symbolic analysis with the identity fill-reducing
+/// ordering (pure postorder relabeling).
+pub fn analyze_natural(a: &CscMatrix, opts: &AmalgamationOptions) -> SymbolicAnalysis {
+    analyze(a, &Permutation::identity(a.ncols()), opts)
+}
+
+/// Re-exported for convenience: symmetry tag of the analyzed problem.
+pub fn tree_symmetry(s: &SymbolicAnalysis) -> Symmetry {
+    s.tree.sym
+}

@@ -1,0 +1,165 @@
+//! Sequential stack analysis and Liu's optimal child ordering.
+//!
+//! In a sequential postorder factorization the stack holds the
+//! contribution blocks of already-processed siblings. The peak within a
+//! subtree depends on the order children are visited; Liu's classic result
+//! (\[15\] in the paper) is that visiting children in decreasing
+//! `peak(child) - cb(child)` minimizes the subtree peak. MUMPS uses a
+//! variant of this to sort the leaf sequence of each subtree in the pool
+//! (Section 5.2), and the paper's subtree-cost broadcasts send exactly the
+//! per-subtree peak computed here.
+
+use crate::tree::AssemblyTree;
+
+/// Memory discipline used when a front finishes assembling its children.
+///
+/// MUMPS assembles children CBs into the freshly allocated front and then
+/// frees them (`FrontThenFree`); the classical "in-place" analysis assumes
+/// CBs are consumed before the front is complete. We model the
+/// conservative MUMPS discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssemblyDiscipline {
+    /// Front allocated while all children CBs are still stacked.
+    FrontThenFree,
+    /// Children CBs freed one by one while the front is assembled
+    /// (last-child in-place optimization).
+    InPlaceLastChild,
+}
+
+/// Per-subtree peaks for a given (current) child order.
+///
+/// `peaks[v]` is the stack peak reached while processing the subtree of
+/// `v`, *including* `v`'s own front; the residual footprint after `v`
+/// completes is `cb(v)`.
+pub fn subtree_peaks(tree: &AssemblyTree, discipline: AssemblyDiscipline) -> Vec<u64> {
+    let mut peaks = vec![0u64; tree.len()];
+    for v in tree.topo_order() {
+        let nd = &tree.nodes[v];
+        let mut stacked = 0u64; // CBs of already-processed children
+        let mut peak = 0u64;
+        for &c in &nd.children {
+            peak = peak.max(stacked + peaks[c]);
+            stacked += tree.cb_entries(c);
+        }
+        let assembly = match discipline {
+            AssemblyDiscipline::FrontThenFree => stacked + tree.front_entries(v),
+            AssemblyDiscipline::InPlaceLastChild => {
+                let last_cb =
+                    nd.children.last().map(|&c| tree.cb_entries(c)).unwrap_or(0);
+                stacked - last_cb + tree.front_entries(v)
+            }
+        };
+        peaks[v] = peak.max(assembly);
+    }
+    peaks
+}
+
+/// Stack peak of a full sequential factorization with the current child
+/// orders (roots processed one after the other; only each root's CB is
+/// empty so roots do not interact).
+pub fn sequential_peak(tree: &AssemblyTree, discipline: AssemblyDiscipline) -> u64 {
+    let peaks = subtree_peaks(tree, discipline);
+    tree.roots().into_iter().map(|r| peaks[r]).max().unwrap_or(0)
+}
+
+/// Reorders every node's children by decreasing `peak - cb` (Liu's rule),
+/// minimizing the sequential stack peak. Returns the resulting peak.
+pub fn apply_liu_order(tree: &mut AssemblyTree, discipline: AssemblyDiscipline) -> u64 {
+    // Fixed point: child order affects peaks which affect ordering above;
+    // processing bottom-up in one pass is exact because a node's peak only
+    // depends on its own subtree.
+    let order = tree.topo_order();
+    let mut peaks = vec![0u64; tree.len()];
+    for v in order {
+        let mut children = std::mem::take(&mut tree.nodes[v].children);
+        children.sort_by_key(|&c| std::cmp::Reverse(peaks[c].saturating_sub(tree.cb_entries(c))));
+        tree.nodes[v].children = children;
+        let nd = &tree.nodes[v];
+        let mut stacked = 0u64;
+        let mut peak = 0u64;
+        for &c in &nd.children {
+            peak = peak.max(stacked + peaks[c]);
+            stacked += tree.cb_entries(c);
+        }
+        let assembly = match discipline {
+            AssemblyDiscipline::FrontThenFree => stacked + tree.front_entries(v),
+            AssemblyDiscipline::InPlaceLastChild => {
+                let last_cb = nd.children.last().map(|&c| tree.cb_entries(c)).unwrap_or(0);
+                stacked - last_cb + tree.front_entries(v)
+            }
+        };
+        peaks[v] = peak.max(assembly);
+    }
+    tree.roots().into_iter().map(|r| peaks[r]).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FrontNode;
+    use mf_sparse::Symmetry;
+
+    /// Root with two uneven children: a fat one (big peak, small CB) and a
+    /// thin one. Liu's rule must schedule the fat child first.
+    fn uneven_tree() -> AssemblyTree {
+        AssemblyTree {
+            nodes: vec![
+                // fat child: front 10 (100 entries), cb 2 (4 entries)
+                FrontNode { first_col: 0, npiv: 8, nfront: 10, parent: Some(2), children: vec![], chain_head: None },
+                // thin child: front 4 (16), cb 2 (4)
+                FrontNode { first_col: 8, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
+                FrontNode { first_col: 10, npiv: 2, nfront: 2, parent: None, children: vec![1, 0], chain_head: None },
+            ],
+            sym: Symmetry::General,
+            n: 12,
+        }
+    }
+
+    #[test]
+    fn peak_depends_on_child_order() {
+        let t = uneven_tree();
+        // Order (thin, fat): peak = max(16, 4 + 100, 8 + 4) = 104.
+        assert_eq!(sequential_peak(&t, AssemblyDiscipline::FrontThenFree), 104);
+        let mut t2 = t.clone();
+        t2.nodes[2].children = vec![0, 1];
+        // Order (fat, thin): peak = max(100, 4 + 16, 8 + 4) = 100.
+        assert_eq!(sequential_peak(&t2, AssemblyDiscipline::FrontThenFree), 100);
+    }
+
+    #[test]
+    fn liu_order_picks_the_better_order() {
+        let mut t = uneven_tree();
+        let peak = apply_liu_order(&mut t, AssemblyDiscipline::FrontThenFree);
+        assert_eq!(peak, 100);
+        assert_eq!(t.nodes[2].children, vec![0, 1]);
+        assert_eq!(sequential_peak(&t, AssemblyDiscipline::FrontThenFree), 100);
+    }
+
+    #[test]
+    fn liu_never_worse_on_real_trees() {
+        let a = mf_sparse::gen::grid::grid2d(12, 12, mf_sparse::gen::grid::Stencil::Star);
+        let p = mf_sparse::Permutation::identity(144);
+        let mut s = crate::analyze(&a, &p, &crate::AmalgamationOptions::default());
+        let before = sequential_peak(&s.tree, AssemblyDiscipline::FrontThenFree);
+        let after = apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+        assert!(after <= before);
+        assert!(s.tree.validate().is_ok());
+    }
+
+    #[test]
+    fn in_place_discipline_is_never_larger() {
+        let t = uneven_tree();
+        assert!(
+            sequential_peak(&t, AssemblyDiscipline::InPlaceLastChild)
+                <= sequential_peak(&t, AssemblyDiscipline::FrontThenFree)
+        );
+    }
+
+    #[test]
+    fn leaf_peak_is_front_size() {
+        let t = uneven_tree();
+        let peaks = subtree_peaks(&t, AssemblyDiscipline::FrontThenFree);
+        assert_eq!(peaks[0], 100);
+        assert_eq!(peaks[1], 16);
+    }
+}

@@ -1,0 +1,201 @@
+//! Static chain-splitting of nodes with large master parts (Section 6).
+//!
+//! The paper observes that a huge type-2 *master* task is un-schedulable:
+//! when it allocates, no dynamic decision can protect the peak. The fix is
+//! static: any node whose master part exceeds a threshold is replaced by a
+//! chain of nodes, each eliminating a slice of the pivots. The first chain
+//! node keeps the original children and the full front; each subsequent
+//! node's front is the previous node's contribution block.
+
+use crate::tree::{AssemblyTree, FrontNode};
+
+/// Outcome of a splitting pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitReport {
+    /// Nodes of the original tree that were split.
+    pub nodes_split: usize,
+    /// Total chain nodes created (including the originals).
+    pub chain_nodes: usize,
+}
+
+/// Splits every node whose [`AssemblyTree::master_entries`] exceeds
+/// `max_master_entries` into a chain. Returns what happened; mutates the
+/// tree in place. Node ids of the original tree are preserved (the first
+/// chain link reuses the original id); new links are appended, so callers
+/// must use [`AssemblyTree::topo_order`] afterwards rather than id order.
+pub fn split_large_masters(tree: &mut AssemblyTree, max_master_entries: u64) -> SplitReport {
+    let mut report = SplitReport { nodes_split: 0, chain_nodes: 0 };
+    let original_len = tree.nodes.len();
+    for id in 0..original_len {
+        if tree.master_entries(id) <= max_master_entries {
+            continue;
+        }
+        let nd = tree.nodes[id].clone();
+        if nd.npiv < 2 {
+            continue; // a single pivot cannot be split further
+        }
+        // Slice pivots so that every link's master part fits the threshold.
+        // Link i starts with front f_i and takes p_i pivots; the next link's
+        // front is f_i - p_i.
+        let mut slices: Vec<(usize, usize)> = Vec::new(); // (npiv, nfront)
+        let mut remaining = nd.npiv;
+        let mut front = nd.nfront;
+        while remaining > 0 {
+            let p = max_pivots_for(tree, front, max_master_entries).min(remaining).max(1);
+            slices.push((p, front));
+            remaining -= p;
+            front -= p;
+        }
+        if slices.len() == 1 {
+            continue; // threshold not binding after all
+        }
+        report.nodes_split += 1;
+        report.chain_nodes += slices.len();
+
+        // First link reuses `id` (keeps original children).
+        let mut col = nd.first_col;
+        tree.nodes[id].npiv = slices[0].0;
+        tree.nodes[id].nfront = slices[0].1;
+        col += slices[0].0;
+        let mut prev = id;
+        for &(p, f) in &slices[1..] {
+            let new_id = tree.nodes.len();
+            tree.nodes.push(FrontNode {
+                first_col: col,
+                npiv: p,
+                nfront: f,
+                parent: None,
+                children: vec![prev],
+                chain_head: Some(id),
+            });
+            tree.nodes[prev].parent = Some(new_id);
+            col += p;
+            prev = new_id;
+        }
+        // Hook the last link to the original parent.
+        tree.nodes[prev].parent = nd.parent;
+        if let Some(par) = nd.parent {
+            for c in tree.nodes[par].children.iter_mut() {
+                if *c == id {
+                    *c = prev;
+                }
+            }
+        }
+    }
+    debug_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+    report
+}
+
+/// Largest pivot count `p` such that a front of order `f` with `p` pivots
+/// has a master part within `limit` (found by binary search on the exact
+/// formula so both symmetries are handled).
+fn max_pivots_for(tree: &AssemblyTree, f: usize, limit: u64) -> usize {
+    let master = |p: u64| -> u64 {
+        let fu = f as u64;
+        match tree.sym {
+            mf_sparse::Symmetry::Symmetric => p * (p + 1) / 2,
+            mf_sparse::Symmetry::General => p * fu,
+        }
+    };
+    let (mut lo, mut hi) = (1u64, f as u64);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if master(mid) <= limit {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Symmetry;
+
+    fn big_tree() -> AssemblyTree {
+        AssemblyTree {
+            nodes: vec![
+                FrontNode { first_col: 0, npiv: 10, nfront: 60, parent: Some(1), children: vec![], chain_head: None },
+                FrontNode { first_col: 10, npiv: 90, nfront: 90, parent: None, children: vec![0], chain_head: None },
+            ],
+            sym: Symmetry::General,
+            n: 100,
+        }
+    }
+
+    #[test]
+    fn splitting_respects_threshold() {
+        let mut t = big_tree();
+        let limit = 4_000;
+        assert!(t.master_entries(1) > limit);
+        let rep = split_large_masters(&mut t, limit);
+        assert_eq!(rep.nodes_split, 1);
+        assert!(rep.chain_nodes >= 2);
+        assert!(t.validate().is_ok());
+        for id in 0..t.len() {
+            assert!(
+                t.master_entries(id) <= limit,
+                "node {id} master {} > {limit}",
+                t.master_entries(id)
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_pivots_and_flops_shape() {
+        let mut t = big_tree();
+        let piv_before: usize = t.nodes.iter().map(|n| n.npiv).sum();
+        let factors_before = t.total_factor_entries();
+        split_large_masters(&mut t, 4_000);
+        assert_eq!(t.nodes.iter().map(|n| n.npiv).sum::<usize>(), piv_before);
+        // Factor entries are invariant under chain splitting.
+        assert_eq!(t.total_factor_entries(), factors_before);
+    }
+
+    #[test]
+    fn chain_links_have_descending_fronts() {
+        let mut t = big_tree();
+        split_large_masters(&mut t, 4_000);
+        // Follow the chain upward from node 1.
+        let mut id = 1;
+        let mut prev_front = t.nodes[id].nfront;
+        while let Some(p) = t.nodes[id].parent {
+            let f = t.nodes[p].nfront;
+            assert_eq!(f, prev_front - t.nodes[id].npiv, "front must shrink by npiv");
+            prev_front = f;
+            id = p;
+        }
+    }
+
+    #[test]
+    fn no_split_below_threshold() {
+        let mut t = big_tree();
+        let rep = split_large_masters(&mut t, u64::MAX);
+        assert_eq!(rep.nodes_split, 0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_split_respects_threshold_too() {
+        let mut t = AssemblyTree {
+            nodes: vec![FrontNode {
+                first_col: 0,
+                npiv: 200,
+                nfront: 200,
+                parent: None,
+                children: vec![],
+                chain_head: None,
+            }],
+            sym: Symmetry::Symmetric,
+            n: 200,
+        };
+        let limit = 2_000;
+        split_large_masters(&mut t, limit);
+        assert!(t.validate().is_ok());
+        for id in 0..t.len() {
+            assert!(t.master_entries(id) <= limit);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The assembly tree: fronts, sizes, and flop counts.
+
+use mf_sparse::Symmetry;
+
+/// One node of the assembly tree: a front with `npiv` fully-summed
+/// variables (the pivot columns `first_col .. first_col + npiv`) and
+/// `nfront - npiv` contribution-block variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrontNode {
+    /// First pivot column (post-ordered new index).
+    pub first_col: usize,
+    /// Number of fully-summed (pivot) variables.
+    pub npiv: usize,
+    /// Order of the frontal matrix.
+    pub nfront: usize,
+    /// Parent node id, `None` for roots.
+    pub parent: Option<usize>,
+    /// Child node ids.
+    pub children: Vec<usize>,
+    /// `Some(head)` when this node is a *tail link* of a chain produced by
+    /// static splitting (see [`crate::split`]). Tail links own pivots but
+    /// assemble nothing from the original matrix: they continue the
+    /// elimination of the Schur complement their single child passes up.
+    pub chain_head: Option<usize>,
+}
+
+/// Assembly tree of a symbolic analysis.
+///
+/// Node ids of a freshly amalgamated tree are post-ordered (children have
+/// smaller ids than parents); *after static splitting this no longer
+/// holds* — consumers must use [`AssemblyTree::topo_order`] instead of
+/// relying on id order.
+#[derive(Debug, Clone)]
+pub struct AssemblyTree {
+    /// All nodes; ids index into this vector.
+    pub nodes: Vec<FrontNode>,
+    /// Symmetry of the factorization (selects LDLᵀ vs LU sizes/flops).
+    pub sym: Symmetry,
+    /// Matrix order (total number of pivot variables).
+    pub n: usize,
+}
+
+fn tri(k: u64) -> u64 {
+    k * (k + 1) / 2
+}
+
+impl AssemblyTree {
+    /// Ids of the root nodes (forest roots; usually one per connected
+    /// component of the pattern).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].parent.is_none()).collect()
+    }
+
+    /// Ids of the leaves.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Post-order traversal (children before parents, subtrees contiguous,
+    /// children visited in their `children` list order). Safe after
+    /// splitting, which breaks id order.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut post = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for r in self.roots() {
+            stack.push((r, 0));
+            while let Some(&mut (v, ref mut cur)) = stack.last_mut() {
+                if *cur < self.nodes[v].children.len() {
+                    let c = self.nodes[v].children[*cur];
+                    *cur += 1;
+                    stack.push((c, 0));
+                } else {
+                    post.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        post
+    }
+
+    /// Order of the contribution block of node `id`.
+    pub fn cb_order(&self, id: usize) -> usize {
+        let nd = &self.nodes[id];
+        nd.nfront - nd.npiv
+    }
+
+    /// Entries of the contribution block (stack footprint of the CB).
+    pub fn cb_entries(&self, id: usize) -> u64 {
+        let c = self.cb_order(id) as u64;
+        match self.sym {
+            Symmetry::Symmetric => tri(c),
+            Symmetry::General => c * c,
+        }
+    }
+
+    /// Entries of the full frontal matrix (active-memory footprint while
+    /// the front is being factorized).
+    pub fn front_entries(&self, id: usize) -> u64 {
+        let f = self.nodes[id].nfront as u64;
+        match self.sym {
+            Symmetry::Symmetric => tri(f),
+            Symmetry::General => f * f,
+        }
+    }
+
+    /// Entries written to the factors area when the front completes.
+    pub fn factor_entries(&self, id: usize) -> u64 {
+        self.front_entries(id) - self.cb_entries(id)
+    }
+
+    /// Entries of the *master part* of the front: the fully-summed rows.
+    /// In the 1-D distribution of type-2 nodes the master holds exactly
+    /// these rows and the slaves hold their full rows (including their
+    /// share of L21), so `front_entries = master_entries + slave surface`.
+    /// This is the quantity the paper thresholds at 2·10⁶ when splitting.
+    pub fn master_entries(&self, id: usize) -> u64 {
+        let nd = &self.nodes[id];
+        let (p, f) = (nd.npiv as u64, nd.nfront as u64);
+        match self.sym {
+            // Lower-triangular pivot rows.
+            Symmetry::Symmetric => tri(p),
+            // Full pivot rows (p x f).
+            Symmetry::General => p * f,
+        }
+    }
+
+    /// Elimination flops of node `id` (the paper's workload metric counts
+    /// only elimination operations, an order of magnitude above assembly).
+    pub fn flops(&self, id: usize) -> u64 {
+        let nd = &self.nodes[id];
+        let (p, f) = (nd.npiv as u64, nd.nfront as u64);
+        let mut fl = 0u64;
+        for k in 0..p {
+            let r = f - k - 1; // remaining rows/cols after pivot k
+            fl += match self.sym {
+                Symmetry::General => r + 2 * r * r,
+                Symmetry::Symmetric => r + r * r,
+            };
+        }
+        fl
+    }
+
+    /// Total elimination flops of the whole tree.
+    pub fn total_flops(&self) -> u64 {
+        (0..self.len()).map(|i| self.flops(i)).sum()
+    }
+
+    /// Total factor entries of the whole tree.
+    pub fn total_factor_entries(&self) -> u64 {
+        (0..self.len()).map(|i| self.factor_entries(i)).sum()
+    }
+
+    /// Per-node aggregate over each subtree (`f(node)` summed over all
+    /// descendants including the node itself).
+    pub fn subtree_sum(&self, f: impl Fn(usize) -> u64) -> Vec<u64> {
+        let mut acc: Vec<u64> = (0..self.len()).map(&f).collect();
+        for id in self.topo_order() {
+            if let Some(p) = self.nodes[id].parent {
+                acc[p] += acc[id];
+            }
+        }
+        acc
+    }
+
+    /// Depth of each node (roots have depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.len()];
+        let order = self.topo_order();
+        for &id in order.iter().rev() {
+            if let Some(p) = self.nodes[id].parent {
+                d[id] = d[p] + 1;
+            }
+        }
+        d
+    }
+
+    /// True when `id` is a tail link of a split chain (assembles nothing
+    /// from the original matrix).
+    pub fn is_chain_tail(&self, id: usize) -> bool {
+        self.nodes[id].chain_head.is_some()
+    }
+
+    /// Total pivot span covered by `id` and its split tail links; equals
+    /// `npiv` for unsplit nodes. Only meaningful on chain heads / normal
+    /// nodes (the node where the original front is assembled).
+    pub fn chain_npiv(&self, id: usize) -> usize {
+        debug_assert!(!self.is_chain_tail(id), "chain_npiv on a tail link");
+        let mut total = self.nodes[id].npiv;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            if self.nodes[p].chain_head == Some(id) {
+                total += self.nodes[p].npiv;
+                cur = p;
+            } else {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Maps every pivot column to its node id.
+    pub fn col_to_node(&self) -> Vec<usize> {
+        let mut map = vec![usize::MAX; self.n];
+        for (id, nd) in self.nodes.iter().enumerate() {
+            for c in nd.first_col..nd.first_col + nd.npiv {
+                map[c] = id;
+            }
+        }
+        map
+    }
+
+    /// Structural sanity check: pivots partition `0..n`, parent/child
+    /// links are mutual, fronts are at least as large as their pivot
+    /// blocks, and each contribution block fits in the parent front.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut covered = vec![false; self.n];
+        for (id, nd) in self.nodes.iter().enumerate() {
+            if nd.npiv == 0 || nd.nfront < nd.npiv {
+                return Err(format!("node {id}: bad sizes npiv={} nfront={}", nd.npiv, nd.nfront));
+            }
+            for c in nd.first_col..nd.first_col + nd.npiv {
+                if c >= self.n || covered[c] {
+                    return Err(format!("node {id}: pivot {c} out of range or duplicated"));
+                }
+                covered[c] = true;
+            }
+            if let Some(p) = nd.parent {
+                if !self.nodes[p].children.contains(&id) {
+                    return Err(format!("node {id}: parent {p} does not list it"));
+                }
+                if self.cb_order(id) > self.nodes[p].nfront {
+                    return Err(format!(
+                        "node {id}: CB order {} exceeds parent front {}",
+                        self.cb_order(id),
+                        self.nodes[p].nfront
+                    ));
+                }
+            } else if self.cb_order(id) != 0 {
+                return Err(format!("root {id} has a non-empty contribution block"));
+            }
+            for &c in &nd.children {
+                if self.nodes[c].parent != Some(id) {
+                    return Err(format!("node {id}: child {c} disagrees on parent"));
+                }
+            }
+            if nd.chain_head.is_some() {
+                if nd.children.len() != 1 {
+                    return Err(format!("chain tail {id} must have exactly one child"));
+                }
+                let c = nd.children[0];
+                if self.nodes[c].first_col + self.nodes[c].npiv != nd.first_col
+                    || self.cb_order(c) != nd.nfront
+                {
+                    return Err(format!("chain tail {id} inconsistent with its child {c}"));
+                }
+            }
+        }
+        if !covered.iter().all(|&b| b) {
+            return Err("pivot columns do not cover 0..n".into());
+        }
+        Ok(())
+    }
+
+    /// Aggregate shape statistics (used in experiment reports).
+    pub fn stats(&self) -> TreeStats {
+        let depths = self.depths();
+        TreeStats {
+            nodes: self.len(),
+            leaves: self.leaves().len(),
+            depth: depths.iter().copied().max().unwrap_or(0),
+            max_nfront: self.nodes.iter().map(|n| n.nfront).max().unwrap_or(0),
+            max_npiv: self.nodes.iter().map(|n| n.npiv).max().unwrap_or(0),
+            factor_entries: self.total_factor_entries(),
+            flops: self.total_flops(),
+        }
+    }
+}
+
+/// Shape summary of an assembly tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of fronts.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Maximum root-to-leaf depth.
+    pub depth: usize,
+    /// Largest front order.
+    pub max_nfront: usize,
+    /// Largest pivot-block size.
+    pub max_npiv: usize,
+    /// Total factor entries.
+    pub factor_entries: u64,
+    /// Total elimination flops.
+    pub flops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built 3-node tree: two leaves and a root, unsymmetric.
+    pub(crate) fn toy_tree(sym: Symmetry) -> AssemblyTree {
+        AssemblyTree {
+            nodes: vec![
+                FrontNode { first_col: 0, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
+                FrontNode { first_col: 2, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
+                FrontNode { first_col: 4, npiv: 2, nfront: 2, parent: None, children: vec![0, 1], chain_head: None },
+            ],
+            sym,
+            n: 6,
+        }
+    }
+
+    #[test]
+    fn toy_tree_validates() {
+        assert!(toy_tree(Symmetry::General).validate().is_ok());
+        assert!(toy_tree(Symmetry::Symmetric).validate().is_ok());
+    }
+
+    #[test]
+    fn sizes_unsymmetric() {
+        let t = toy_tree(Symmetry::General);
+        assert_eq!(t.front_entries(0), 16);
+        assert_eq!(t.cb_entries(0), 4);
+        assert_eq!(t.factor_entries(0), 12);
+        assert_eq!(t.master_entries(0), 2 * 4);
+    }
+
+    #[test]
+    fn sizes_symmetric() {
+        let t = toy_tree(Symmetry::Symmetric);
+        assert_eq!(t.front_entries(0), 10); // tri(4)
+        assert_eq!(t.cb_entries(0), 3); // tri(2)
+        assert_eq!(t.factor_entries(0), 7);
+        assert_eq!(t.master_entries(0), 3); // tri(2)
+    }
+
+    #[test]
+    fn flops_match_manual_count() {
+        let t = toy_tree(Symmetry::General);
+        // npiv=2, nfront=4: k=0: r=3 -> 3+18=21; k=1: r=2 -> 2+8=10.
+        assert_eq!(t.flops(0), 31);
+        let ts = toy_tree(Symmetry::Symmetric);
+        assert_eq!(ts.flops(0), (3 + 9) + (2 + 4));
+    }
+
+    #[test]
+    fn topo_order_children_first() {
+        let t = toy_tree(Symmetry::General);
+        let order = t.topo_order();
+        assert_eq!(order.len(), 3);
+        let pos2 = order.iter().position(|&x| x == 2).unwrap();
+        assert_eq!(pos2, 2, "root must come last");
+    }
+
+    #[test]
+    fn subtree_sum_accumulates() {
+        let t = toy_tree(Symmetry::General);
+        let s = t.subtree_sum(|_| 1);
+        assert_eq!(s, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn col_to_node_partition() {
+        let t = toy_tree(Symmetry::General);
+        assert_eq!(t.col_to_node(), vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn validate_catches_broken_links() {
+        let mut t = toy_tree(Symmetry::General);
+        t.nodes[0].parent = None; // root with a CB
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn depths_from_roots() {
+        let t = toy_tree(Symmetry::General);
+        assert_eq!(t.depths(), vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figures 2 and 7 of the paper: how an assembly tree is distributed over
+//! processors (leaf subtrees, type 1/2/3 nodes) and what the per-processor
+//! pools of ready tasks look like initially.
+//!
+//! Run with: `cargo run --release --example tree_mapping`
+
+use multifrontal::core::mapping::{compute_mapping, NodeKind};
+use multifrontal::prelude::*;
+use multifrontal::symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+
+fn main() {
+    // A small shell-structure problem over 4 processors, like Figure 2.
+    let a = multifrontal::sparse::gen::grid::shell3d(24, 18, 2);
+    let perm = OrderingKind::Metis.compute(&a);
+    let mut s = analyze(&a, &perm, &AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+
+    let cfg = SolverConfig {
+        type2_front_min: 60,
+        type3_front_min: 150,
+        ..SolverConfig::mumps_baseline(4)
+    };
+    let map = compute_mapping(&s.tree, &cfg);
+
+    // ---- Figure 2: distribution of node types. ----
+    let mut counts = [0usize; 4]; // subtree, type1, type2, type3
+    for v in 0..s.tree.len() {
+        match map.kind[v] {
+            NodeKind::Subtree(_) => counts[0] += 1,
+            NodeKind::Type1 => counts[1] += 1,
+            NodeKind::Type2 => counts[2] += 1,
+            NodeKind::Type3 => counts[3] += 1,
+        }
+    }
+    println!("tree: {} fronts over {} processors", s.tree.len(), cfg.nprocs);
+    println!(
+        "  subtree nodes: {}   upper type-1: {}   type-2: {}   type-3 root: {}",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+    println!("  {} leaf subtrees:", map.subtree_roots.len());
+    for (i, &r) in map.subtree_roots.iter().enumerate() {
+        println!(
+            "   subtree {i:>2} -> P{} (root front {:>4}, peak {:>7} entries)",
+            map.subtree_proc[i], s.tree.nodes[r].nfront, map.subtree_peak[i]
+        );
+    }
+    let flops_by_kind = |want: fn(&NodeKind) -> bool| -> u64 {
+        (0..s.tree.len()).filter(|&v| want(&map.kind[v])).map(|v| s.tree.flops(v)).sum()
+    };
+    let total = s.tree.total_flops();
+    println!(
+        "  flops share: subtrees {:.0}%, type-2 {:.0}%, type-3 {:.0}%",
+        100.0 * flops_by_kind(|k| matches!(k, NodeKind::Subtree(_))) as f64 / total as f64,
+        100.0 * flops_by_kind(|k| matches!(k, NodeKind::Type2)) as f64 / total as f64,
+        100.0 * flops_by_kind(|k| matches!(k, NodeKind::Type3)) as f64 / total as f64,
+    );
+
+    // ---- Figure 7: the initial pools of ready tasks. ----
+    println!("\ninitial pools (L = leaf task; popped from the right):");
+    for p in 0..cfg.nprocs {
+        let pool = &map.initial_pool[p];
+        let label: Vec<String> = pool
+            .iter()
+            .map(|&v| format!("L{}", map.subtree_of[v].map(|s| s.to_string()).unwrap_or_default()))
+            .collect();
+        println!("  P{p}: [{}] ({} tasks)", label.join(" "), pool.len());
+    }
+
+    // ---- And run it: the simulated parallel factorization. ----
+    let r = multifrontal::core::parsim::run(&s.tree, &map, &cfg);
+    println!("\nsimulated factorization: makespan {} ticks, {} messages", r.makespan, r.messages);
+    for (p, &peak) in r.peaks.iter().enumerate() {
+        println!("  P{p}: stack peak {:>8} entries", peak);
+    }
+}

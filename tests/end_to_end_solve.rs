@@ -1,0 +1,104 @@
+//! End-to-end numeric validation: every paper-matrix family × every
+//! ordering must factorize and solve accurately, sequentially and with
+//! the rayon tree-parallel engine, with and without static splitting.
+
+use multifrontal::frontal::parallel::factorize_parallel;
+use multifrontal::prelude::*;
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2654435761) % 2000) as f64 / 100.0 - 10.0).collect()
+}
+
+fn check(a: &CscMatrix, kind: OrderingKind) -> f64 {
+    let perm = kind.compute(a);
+    let f = Factorization::new(a, &perm, &AmalgamationOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    let b = rhs(a.nrows());
+    let x = f.solve(&b);
+    Factorization::residual_inf(a, &x, &b)
+}
+
+#[test]
+fn all_matrices_all_orderings_solve() {
+    for m in ALL_PAPER_MATRICES {
+        let a = m.instantiate_scaled(0.06);
+        for kind in ALL_ORDERINGS {
+            let r = check(&a, kind);
+            assert!(r < 1e-8, "{} / {}: residual {r:e}", m.name(), kind.name());
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential() {
+    let a = PaperMatrix::Xenon2.instantiate_scaled(0.1);
+    let perm = OrderingKind::Metis.compute(&a);
+    let s = analyze(&a, &perm, &AmalgamationOptions::default());
+    let fs = Factorization::from_symbolic(&a, &s).unwrap();
+    let fp = factorize_parallel(&a, &s).unwrap();
+    let b = rhs(a.nrows());
+    let (xs, xp) = (fs.solve(&b), fp.solve(&b));
+    let max_diff = xs.iter().zip(&xp).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-9, "sequential vs parallel diverged by {max_diff:e}");
+}
+
+#[test]
+fn split_trees_solve_correctly() {
+    let a = PaperMatrix::Ultrasound3.instantiate_scaled(0.08);
+    let perm = OrderingKind::Amd.compute(&a);
+    let mut s = analyze(&a, &perm, &AmalgamationOptions::default());
+    let before = s.tree.len();
+    multifrontal::symbolic::split::split_large_masters(&mut s.tree, 10_000);
+    assert!(s.tree.len() > before, "splitting must actually trigger");
+    let f = Factorization::from_symbolic(&a, &s).unwrap();
+    let b = rhs(a.nrows());
+    let x = f.solve(&b);
+    let r = Factorization::residual_inf(&a, &x, &b);
+    assert!(r < 1e-8, "split-tree residual {r:e}");
+}
+
+#[test]
+fn numeric_stack_peak_matches_symbolic_model_on_paper_matrices() {
+    for m in [PaperMatrix::MsDoor, PaperMatrix::TwoTone] {
+        let a = m.instantiate_scaled(0.05);
+        let perm = OrderingKind::Amf.compute(&a);
+        let s = analyze(&a, &perm, &AmalgamationOptions::default());
+        let f = Factorization::from_symbolic(&a, &s).unwrap();
+        let model = multifrontal::symbolic::seqstack::sequential_peak(
+            &s.tree,
+            multifrontal::symbolic::seqstack::AssemblyDiscipline::FrontThenFree,
+        );
+        assert_eq!(f.stats.active_peak, model, "{}", m.name());
+    }
+}
+
+#[test]
+fn amalgamation_options_do_not_change_the_answer() {
+    let a = PaperMatrix::Ship003.instantiate_scaled(0.05);
+    let perm = OrderingKind::Pord.compute(&a);
+    let b = rhs(a.nrows());
+    let mut answers = Vec::new();
+    for opts in [
+        AmalgamationOptions::none(),
+        AmalgamationOptions::default(),
+        AmalgamationOptions { always_merge_npiv: 32, max_fill_ratio: 0.5, ..AmalgamationOptions::default() },
+    ] {
+        let f = Factorization::new(&a, &perm, &opts).unwrap();
+        answers.push(f.solve(&b));
+    }
+    for x in &answers[1..] {
+        let d = answers[0].iter().zip(x).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(d < 1e-8, "amalgamation changed the solution by {d:e}");
+    }
+}
+
+#[test]
+fn identity_ordering_also_works() {
+    let a = multifrontal::sparse::gen::grid::grid2d(15, 17, Stencil::Box);
+    let f =
+        Factorization::new(&a, &Permutation::identity(a.nrows()), &AmalgamationOptions::default())
+            .unwrap();
+    let b = rhs(a.nrows());
+    let x = f.solve(&b);
+    assert!(Factorization::residual_inf(&a, &x, &b) < 1e-9);
+}

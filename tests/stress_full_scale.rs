@@ -1,0 +1,64 @@
+//! Full-scale stress pass, excluded from the default run (`--ignored`).
+//!
+//! Runs the complete pipeline — generation, all four orderings, symbolic
+//! analysis, numeric factorize+solve, and the 32-processor scheduling
+//! simulation under both strategies — on every paper matrix at the full
+//! reproduction scale. This is the "everything at once" soak that the
+//! fast suite samples; run it with
+//!
+//! ```bash
+//! cargo test --release --test stress_full_scale -- --ignored --nocapture
+//! ```
+
+use multifrontal::prelude::*;
+
+#[test]
+#[ignore = "full-scale soak (~minutes); run explicitly with --ignored"]
+fn full_scale_everything() {
+    for m in ALL_PAPER_MATRICES {
+        let a = m.instantiate();
+        // Numeric correctness at a size where fronts reach the blocked
+        // kernel path.
+        let perm = OrderingKind::Metis.compute(&a);
+        let f = Factorization::new(&a, &perm, &AmalgamationOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let x = f.solve(&b);
+        let r = Factorization::residual_inf(&a, &x, &b);
+        assert!(r < 1e-8, "{}: residual {r:e}", m.name());
+        eprintln!(
+            "{:12} n={:6} residual={:.1e} seq stack peak={:>9}",
+            m.name(),
+            a.nrows(),
+            r,
+            f.stats.active_peak
+        );
+
+        // Scheduling at paper scale, all orderings, both strategies.
+        for k in ALL_ORDERINGS {
+            let input = ExperimentInput { matrix: &a, ordering: k };
+            for memory in [false, true] {
+                let mut cfg = SolverConfig {
+                    type2_front_min: 150,
+                    type3_front_min: 500,
+                    min_rows_per_slave: 12,
+                    ..SolverConfig::mumps_baseline(32)
+                };
+                if memory {
+                    cfg.slave_selection = SlaveSelection::Memory;
+                    cfg.task_selection = TaskSelection::MemoryAware;
+                    cfg.use_subtree_info = true;
+                    cfg.use_prediction = true;
+                }
+                let res = run_experiment(&input, &cfg);
+                assert_eq!(
+                    res.nodes_done,
+                    res.total_nodes,
+                    "{} / {} (memory={memory})",
+                    m.name(),
+                    k.name()
+                );
+            }
+        }
+    }
+}
