@@ -1,0 +1,219 @@
+//! End-to-end performance harness: times the sweep fast path against the
+//! old sequential/uncached execution model and the two hot-path kernels,
+//! then writes the numbers to `BENCH_sweep.json` (see DESIGN.md,
+//! "Performance").
+//!
+//! Three sections:
+//!
+//! 1. **sweep subset** — a representative slice of the Table 2/3 grid
+//!    run (a) the old way: one cell at a time, rebuilding the matrix,
+//!    permutation and tree from scratch per cell; and (b) the current
+//!    way: [`sweep_cells`] over the shared artifact cache. The two must
+//!    agree peak-for-peak (asserted) — the speedup is pure scheduling
+//!    and reuse, not a change of results.
+//! 2. **event queue** — raw push/pop throughput of the simulator's
+//!    single-heap event queue.
+//! 3. **LU kernel** — the blocked partial-LU front kernel at several
+//!    front orders.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mf_bench::sweep::{sweep_cell, sweep_cells, CellResult, CellSpec};
+use mf_frontal::dense::{partial_lu_blocked, DenseMat};
+use mf_order::OrderingKind;
+use mf_sim::engine::{EventPayload, Sim};
+use mf_sparse::gen::paper::PaperMatrix;
+use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+use mf_symbolic::AmalgamationOptions;
+
+/// The timed sweep subset mirrors the Table 5 driver's shape: each
+/// (matrix, ordering) pair swept across split settings and processor
+/// counts. That key overlap is exactly what the real drivers present to
+/// the artifact cache — the matrix, permutation and base tree are shared
+/// across every cell of a pair, and each split threshold re-derives its
+/// tree from the cached base once.
+fn subset() -> Vec<CellSpec> {
+    let thr = mf_bench::sweep::split_threshold_for();
+    let mut specs = Vec::new();
+    for (m, k) in [
+        (PaperMatrix::TwoTone, OrderingKind::Amd),
+        (PaperMatrix::Ship003, OrderingKind::Metis),
+    ] {
+        for nprocs in [16usize, 32] {
+            for split in [None, Some(thr)] {
+                specs.push((m, k, nprocs, split, false));
+            }
+        }
+    }
+    specs
+}
+
+/// One cell the way the pre-cache drivers ran it: every artifact rebuilt
+/// from scratch, nothing shared, strictly sequential at the call site.
+fn uncached_cell(spec: &CellSpec) -> CellResult {
+    let &(matrix, ordering, nprocs, split, traces) = spec;
+    let a = matrix.instantiate();
+    let perm = ordering.compute(&a);
+    let mut s = mf_symbolic::analyze(&a, &perm, &AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+    if let Some(t) = split {
+        mf_symbolic::split::split_large_masters(&mut s.tree, t);
+    }
+    // The simulation part is identical to sweep_cell's; only the tree
+    // construction differs (fresh vs cached). Reuse sweep_cell for the
+    // runs by... no: sweep_cell would hit the cache. Run the two
+    // strategies directly instead.
+    use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+    let base_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Workload,
+        task_selection: TaskSelection::Lifo,
+        use_subtree_info: false,
+        use_prediction: false,
+        record_traces: traces,
+        ..mf_bench::sweep::paper_scale_config(nprocs)
+    };
+    let mem_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        record_traces: traces,
+        ..mf_bench::sweep::paper_scale_config(nprocs)
+    };
+    let map = mf_core::mapping::compute_mapping(&s.tree, &base_cfg);
+    let baseline = mf_core::parsim::run(&s.tree, &map, &base_cfg);
+    let memory = mf_core::parsim::run(&s.tree, &map, &mem_cfg);
+    CellResult { matrix, ordering, split, stats: s.tree.stats(), baseline, memory }
+}
+
+/// Section 2: ns/event for schedule+next through the single-heap queue,
+/// with a live queue of `depth` events (each pop schedules a successor).
+fn event_queue_ns(depth: usize, events: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let mut delay = 1u64;
+    for k in 0..depth as u64 {
+        delay = delay.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        sim.schedule(delay % 1024, EventPayload::Timer { proc: 0, key: k });
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let e = sim.next().expect("queue kept full");
+        if let EventPayload::Timer { proc, key } = e.payload {
+            delay = delay.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sim.schedule_timer(proc, delay % 1024, key);
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(sim.pending(), depth, "queue depth must stay constant");
+    ns / events as f64
+}
+
+/// Section 3: blocked partial LU on a synthetic diagonally dominant
+/// front; returns (milliseconds, gflop/s).
+fn lu_kernel(f: usize, npiv: usize, reps: u32) -> (f64, f64) {
+    let mut a = DenseMat::zeros(f, f);
+    let mut h = 0x9e3779b97f4a7c15u64 ^ f as u64;
+    for j in 0..f {
+        for i in 0..f {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            *a.get_mut(i, j) = if i == j { f as f64 } else { v };
+        }
+    }
+    // Flops of a partial LU with npiv pivots on an f×f front.
+    let mut flops = 0f64;
+    for k in 0..npiv {
+        let r = (f - k - 1) as f64;
+        flops += r + 2.0 * r * r;
+    }
+    let mut perm = Vec::new();
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let mut w = a.clone();
+        let start = Instant::now();
+        partial_lu_blocked(&mut w, npiv, 64, &mut perm).expect("dominant front factors");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+    }
+    (best_ms, flops / (best_ms * 1e6))
+}
+
+fn main() {
+    let specs = subset();
+
+    eprintln!("[1/3] sweep subset, {} cells, sequential + uncached ...", specs.len());
+    let start = Instant::now();
+    let slow: Vec<CellResult> = specs.iter().map(uncached_cell).collect();
+    let sequential_uncached_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("[2/3] sweep subset, parallel + shared artifact cache ...");
+    let start = Instant::now();
+    let fast = sweep_cells(&specs);
+    let parallel_cached_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    for (s, f) in slow.iter().zip(&fast) {
+        assert_eq!(s.baseline.max_peak, f.baseline.max_peak, "peaks must not change");
+        assert_eq!(s.memory.max_peak, f.memory.max_peak, "peaks must not change");
+        assert_eq!(s.baseline.makespan, f.baseline.makespan, "makespans must not change");
+        assert_eq!(s.memory.makespan, f.memory.makespan, "makespans must not change");
+    }
+    // A third pass through the warm cache isolates the memoization gain.
+    let start = Instant::now();
+    let warm = sweep_cells(&specs);
+    let warm_cache_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm.len(), fast.len());
+    let speedup = sequential_uncached_ms / parallel_cached_ms;
+
+    eprintln!("[3/3] event queue + LU kernel ...");
+    let eq_depth = 10_000;
+    let eq_events = 2_000_000u64;
+    let eq_ns = event_queue_ns(eq_depth, eq_events);
+    let kernels: Vec<(usize, usize, f64, f64)> = [(256usize, 128usize, 20u32), (512, 256, 10), (1024, 512, 3)]
+        .into_iter()
+        .map(|(f, p, reps)| {
+            let (ms, gflops) = lu_kernel(f, p, reps);
+            (f, p, ms, gflops)
+        })
+        .collect();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin perf_baseline\",").unwrap();
+    writeln!(json, "  \"sweep_subset\": {{").unwrap();
+    writeln!(json, "    \"cells\": {},", specs.len()).unwrap();
+    writeln!(json, "    \"shape\": \"2 (matrix,ordering) x 2 nprocs x 2 split\",").unwrap();
+    writeln!(json, "    \"sequential_uncached_ms\": {sequential_uncached_ms:.1},").unwrap();
+    writeln!(json, "    \"parallel_cached_ms\": {parallel_cached_ms:.1},").unwrap();
+    writeln!(json, "    \"warm_cache_ms\": {warm_cache_ms:.1},").unwrap();
+    writeln!(json, "    \"speedup\": {speedup:.2},").unwrap();
+    writeln!(json, "    \"results_identical\": true").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"event_queue\": {{").unwrap();
+    writeln!(json, "    \"queue_depth\": {eq_depth},").unwrap();
+    writeln!(json, "    \"events\": {eq_events},").unwrap();
+    writeln!(json, "    \"ns_per_event\": {eq_ns:.1}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"lu_kernel_blocked\": [").unwrap();
+    for (i, (f, p, ms, gflops)) in kernels.iter().enumerate() {
+        let sep = if i + 1 == kernels.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{ \"front\": {f}, \"npiv\": {p}, \"ms\": {ms:.2}, \"gflops\": {gflops:.2} }}{sep}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    eprintln!(
+        "sweep subset: {sequential_uncached_ms:.0} ms -> {parallel_cached_ms:.0} ms \
+         ({speedup:.1}x; warm cache {warm_cache_ms:.0} ms); \
+         event queue {eq_ns:.0} ns/event"
+    );
+    // Re-running a cell sequentially now also hits the warm cache.
+    let c = sweep_cell(specs[0].0, specs[0].1, specs[0].2, specs[0].3, false);
+    assert_eq!(c.baseline.max_peak, fast[0].baseline.max_peak);
+}

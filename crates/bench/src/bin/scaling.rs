@@ -17,6 +17,7 @@ use mf_core::parsim;
 use mf_order::OrderingKind;
 use mf_sparse::gen::paper::PaperMatrix;
 use mf_symbolic::seqstack::{sequential_peak, AssemblyDiscipline};
+use rayon::prelude::*;
 
 fn main() {
     let tree = build_tree(PaperMatrix::Ultrasound3, OrderingKind::Metis, None);
@@ -26,9 +27,16 @@ fn main() {
         "{:>6} {:>10} {:>12} {:>12} {:>10} {:>8}  strategy",
         "procs", "max peak", "sum peaks", "efficiency", "makespan", "speedup"
     );
-    let mut t1 = [0u64; 2];
-    for nprocs in [1usize, 2, 4, 8, 16, 32] {
-        for (si, memory) in [(0usize, false), (1, true)] {
+    // All (processor count, strategy) points run in parallel against the
+    // shared tree; results come back in input order so the report rows
+    // and the speedup baselines (the nprocs=1 rows) are unchanged.
+    let points: Vec<(usize, usize, bool)> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .flat_map(|np| [(np, 0usize, false), (np, 1, true)])
+        .collect();
+    let results: Vec<_> = points
+        .par_iter()
+        .map(|&(nprocs, _, memory)| {
             let mut cfg = paper_scale_config(nprocs);
             if memory {
                 cfg = SolverConfig {
@@ -42,20 +50,21 @@ fn main() {
             let map = compute_mapping(&tree, &cfg);
             let r = parsim::run(&tree, &map, &cfg);
             assert_eq!(r.nodes_done, r.total_nodes);
-            if nprocs == 1 {
-                t1[si] = r.makespan;
-            }
-            let sum: u64 = r.peaks.iter().sum();
-            println!(
-                "{:>6} {:>10} {:>12} {:>11.1}% {:>10} {:>7.1}x  {}",
-                nprocs,
-                r.max_peak,
-                sum,
-                100.0 * seq as f64 / (nprocs as f64 * r.max_peak as f64),
-                r.makespan,
-                t1[si] as f64 / r.makespan as f64,
-                if memory { "memory" } else { "workload" },
-            );
-        }
+            r
+        })
+        .collect();
+    let t1 = [results[0].makespan, results[1].makespan];
+    for (&(nprocs, si, memory), r) in points.iter().zip(&results) {
+        let sum: u64 = r.peaks.iter().sum();
+        println!(
+            "{:>6} {:>10} {:>12} {:>11.1}% {:>10} {:>7.1}x  {}",
+            nprocs,
+            r.max_peak,
+            sum,
+            100.0 * seq as f64 / (nprocs as f64 * r.max_peak as f64),
+            r.makespan,
+            t1[si] as f64 / r.makespan as f64,
+            if memory { "memory" } else { "workload" },
+        );
     }
 }

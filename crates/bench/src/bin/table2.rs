@@ -4,22 +4,28 @@
 //! — 8 matrices x 4 orderings, 32 simulated processors, no splitting.
 
 use mf_bench::paper_data::PAPER_TABLE2;
-use mf_bench::sweep::{render_percent_table, sweep_cell};
+use mf_bench::sweep::{render_percent_table, sweep_cells, CellSpec};
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
 
 fn main() {
     let nprocs = 32;
+    let specs: Vec<CellSpec> = ALL_PAPER_MATRICES
+        .into_iter()
+        .flat_map(|m| ALL_ORDERINGS.into_iter().map(move |k| (m, k, nprocs, None, false)))
+        .collect();
+    // All 32 cells run in parallel; results come back in spec order, so
+    // the rendered table is identical to the sequential loop's.
+    let cells = sweep_cells(&specs);
     let mut rows = Vec::new();
-    for m in ALL_PAPER_MATRICES {
+    for (m, row) in ALL_PAPER_MATRICES.into_iter().zip(cells.chunks_exact(4)) {
         let mut vals = [0.0f64; 4];
-        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
-            let c = sweep_cell(m, k, nprocs, None, false);
+        for (i, c) in row.iter().enumerate() {
             vals[i] = c.gain_percent();
             eprintln!(
                 "{:12} {:5}: baseline peak {:>9}, memory peak {:>9} -> {:+.1}%",
                 m.name(),
-                k.name(),
+                c.ordering.name(),
                 c.baseline.max_peak,
                 c.memory.max_peak,
                 vals[i]

@@ -3,23 +3,29 @@
 //! statically split (both runs use the same split tree, as in the paper).
 
 use mf_bench::paper_data::PAPER_TABLE3;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cell};
+use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
 use mf_order::ALL_ORDERINGS;
-use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
+use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
 
 fn main() {
     let nprocs = 32;
     let thr = split_threshold_for();
+    let matrices: Vec<PaperMatrix> =
+        ALL_PAPER_MATRICES.into_iter().filter(|m| m.is_unsymmetric()).collect();
+    let specs: Vec<CellSpec> = matrices
+        .iter()
+        .flat_map(|&m| ALL_ORDERINGS.into_iter().map(move |k| (m, k, nprocs, Some(thr), false)))
+        .collect();
+    let cells = sweep_cells(&specs);
     let mut rows = Vec::new();
-    for m in ALL_PAPER_MATRICES.into_iter().filter(|m| m.is_unsymmetric()) {
+    for (m, row) in matrices.iter().zip(cells.chunks_exact(4)) {
         let mut vals = [0.0f64; 4];
-        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
-            let c = sweep_cell(m, k, nprocs, Some(thr), false);
+        for (i, c) in row.iter().enumerate() {
             vals[i] = c.gain_percent();
             eprintln!(
                 "{:12} {:5}: split-baseline {:>9}, split-memory {:>9} -> {:+.1}% ({} fronts)",
                 m.name(),
-                k.name(),
+                c.ordering.name(),
                 c.baseline.max_peak,
                 c.memory.max_peak,
                 vals[i],

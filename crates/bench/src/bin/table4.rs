@@ -3,24 +3,30 @@
 //! the gain of the dynamic memory strategies.
 
 use mf_bench::paper_data::PAPER_TABLE4;
-use mf_bench::sweep::{split_threshold_for, sweep_cell};
+use mf_bench::sweep::{split_threshold_for, sweep_cells, CellSpec};
 use mf_order::OrderingKind;
 use mf_sparse::gen::paper::PaperMatrix;
 
 fn main() {
     let nprocs = 32;
     let thr = split_threshold_for();
+    let cases = [
+        (PaperMatrix::Ultrasound3, OrderingKind::Metis, "ULTRASOUND3-METIS"),
+        (PaperMatrix::Xenon2, OrderingKind::Amf, "XENON2-AMF"),
+    ];
+    // Per case: the unsplit cell, then the split cell.
+    let specs: Vec<CellSpec> = cases
+        .iter()
+        .flat_map(|&(m, k, _)| [(m, k, nprocs, None, false), (m, k, nprocs, Some(thr), false)])
+        .collect();
+    let cells = sweep_cells(&specs);
     println!("Table 4: max stack peak, millions of entries (measured | paper)");
     println!(
         "{:18} {:16} {:>10} {:>10}   {:>7} {:>7}",
         "Case", "Strategy", "No split", "Split", "paper:N", "paper:S"
     );
-    for (m, k, case) in [
-        (PaperMatrix::Ultrasound3, OrderingKind::Metis, "ULTRASOUND3-METIS"),
-        (PaperMatrix::Xenon2, OrderingKind::Amf, "XENON2-AMF"),
-    ] {
-        let plain = sweep_cell(m, k, nprocs, None, false);
-        let split = sweep_cell(m, k, nprocs, Some(thr), false);
+    for ((_, _, case), pair) in cases.iter().zip(cells.chunks_exact(2)) {
+        let (plain, split) = (&pair[0], &pair[1]);
         let to_m = |v: u64| v as f64 / 1.0e6;
         for (strategy, nosplit, withsplit) in [
             ("MUMPS dynamic", plain.baseline.max_peak, split.baseline.max_peak),
@@ -28,7 +34,7 @@ fn main() {
         ] {
             let paper = PAPER_TABLE4
                 .iter()
-                .find(|(c, s, _, _)| *c == case && strategy.starts_with(&s[..5]))
+                .find(|(c, s, _, _)| c == case && strategy.starts_with(&s[..5]))
                 .map(|&(_, _, a, b)| (a, b))
                 .unwrap_or((f64::NAN, f64::NAN));
             println!(

@@ -3,25 +3,37 @@
 //! applied, compared to the original MUMPS strategy on the unsplit tree.
 
 use mf_bench::paper_data::PAPER_TABLE5;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cell};
+use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
 use mf_core::driver::percent_decrease;
 use mf_order::ALL_ORDERINGS;
-use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
+use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
 
 fn main() {
     let nprocs = 32;
     let thr = split_threshold_for();
+    let matrices: Vec<PaperMatrix> =
+        ALL_PAPER_MATRICES.into_iter().filter(|m| m.is_unsymmetric()).collect();
+    // Per (matrix, ordering): the original (unsplit) cell, then the
+    // combined (split) cell.
+    let specs: Vec<CellSpec> = matrices
+        .iter()
+        .flat_map(|&m| {
+            ALL_ORDERINGS.into_iter().flat_map(move |k| {
+                [(m, k, nprocs, None, false), (m, k, nprocs, Some(thr), false)]
+            })
+        })
+        .collect();
+    let cells = sweep_cells(&specs);
     let mut rows = Vec::new();
-    for m in ALL_PAPER_MATRICES.into_iter().filter(|m| m.is_unsymmetric()) {
+    for (m, row) in matrices.iter().zip(cells.chunks_exact(8)) {
         let mut vals = [0.0f64; 4];
-        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
-            let original = sweep_cell(m, k, nprocs, None, false);
-            let combined = sweep_cell(m, k, nprocs, Some(thr), false);
+        for (i, pair) in row.chunks_exact(2).enumerate() {
+            let (original, combined) = (&pair[0], &pair[1]);
             vals[i] = percent_decrease(original.baseline.max_peak, combined.memory.max_peak);
             eprintln!(
                 "{:12} {:5}: original {:>9} -> split+memory {:>9} = {:+.1}%",
                 m.name(),
-                k.name(),
+                original.ordering.name(),
                 original.baseline.max_peak,
                 combined.memory.max_peak,
                 vals[i]

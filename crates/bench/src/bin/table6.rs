@@ -3,7 +3,7 @@
 //! memory-optimized strategy (splitting + dynamic memory scheduling).
 
 use mf_bench::paper_data::PAPER_TABLE6;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cell};
+use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
 use mf_core::driver::percent_increase;
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::PaperMatrix;
@@ -11,20 +11,30 @@ use mf_sparse::gen::paper::PaperMatrix;
 fn main() {
     let nprocs = 32;
     let thr = split_threshold_for();
-    let mut rows = Vec::new();
-    for m in [PaperMatrix::Ship003, PaperMatrix::Pre2, PaperMatrix::Ultrasound3] {
-        let mut vals = [0.0f64; 4];
-        for (i, k) in ALL_ORDERINGS.into_iter().enumerate() {
-            // Symmetric SHIP_003 was not split in the paper's Table 3/5
-            // either; apply splitting only to the unsymmetric problems.
+    let matrices = [PaperMatrix::Ship003, PaperMatrix::Pre2, PaperMatrix::Ultrasound3];
+    // Per (matrix, ordering): the original cell, then the optimized one.
+    // Symmetric SHIP_003 was not split in the paper's Table 3/5 either;
+    // apply splitting only to the unsymmetric problems.
+    let specs: Vec<CellSpec> = matrices
+        .iter()
+        .flat_map(|&m| {
             let split = m.is_unsymmetric().then_some(thr);
-            let original = sweep_cell(m, k, nprocs, None, false);
-            let optimized = sweep_cell(m, k, nprocs, split, false);
+            ALL_ORDERINGS
+                .into_iter()
+                .flat_map(move |k| [(m, k, nprocs, None, false), (m, k, nprocs, split, false)])
+        })
+        .collect();
+    let cells = sweep_cells(&specs);
+    let mut rows = Vec::new();
+    for (m, row) in matrices.iter().zip(cells.chunks_exact(8)) {
+        let mut vals = [0.0f64; 4];
+        for (i, pair) in row.chunks_exact(2).enumerate() {
+            let (original, optimized) = (&pair[0], &pair[1]);
             vals[i] = percent_increase(original.baseline.makespan, optimized.memory.makespan);
             eprintln!(
                 "{:12} {:5}: makespan {:>9} -> {:>9} = {:+.1}%",
                 m.name(),
-                k.name(),
+                original.ordering.name(),
                 original.baseline.makespan,
                 optimized.memory.makespan,
                 vals[i]

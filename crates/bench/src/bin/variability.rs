@@ -13,16 +13,22 @@ use mf_core::mapping::compute_mapping;
 use mf_core::parsim;
 use mf_order::OrderingKind;
 use mf_sparse::gen::paper::PaperMatrix;
+use rayon::prelude::*;
 
 fn spread(tree: &mf_symbolic::AssemblyTree, cfg: &SolverConfig, seeds: u64) -> (u64, u64, f64) {
     let map = compute_mapping(tree, cfg);
-    let mut peaks = Vec::new();
-    for seed in 0..seeds {
-        let jcfg = SolverConfig { jitter: Some((seed, 0.10)), ..cfg.clone() };
-        let r = parsim::run(tree, &map, &jcfg);
-        assert_eq!(r.nodes_done, r.total_nodes);
-        peaks.push(r.max_peak);
-    }
+    // Independent seeded runs; each seed fully determines its jittered
+    // simulation, so the parallel fan-out changes nothing but wall time.
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let peaks: Vec<u64> = seed_list
+        .par_iter()
+        .map(|&seed| {
+            let jcfg = SolverConfig { jitter: Some((seed, 0.10)), ..cfg.clone() };
+            let r = parsim::run(tree, &map, &jcfg);
+            assert_eq!(r.nodes_done, r.total_nodes);
+            r.max_peak
+        })
+        .collect();
     let min = *peaks.iter().min().unwrap();
     let max = *peaks.iter().max().unwrap();
     let mean = peaks.iter().sum::<u64>() as f64 / peaks.len() as f64;

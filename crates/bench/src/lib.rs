@@ -16,10 +16,12 @@
 //! binaries stay thin and the sweeps are testable.
 
 #![warn(missing_docs)]
+pub mod cache;
 pub mod paper_data;
 pub mod scenarios;
 pub mod sweep;
 
 pub use sweep::{
-    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, CellResult,
+    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, sweep_cells,
+    CellResult, CellSpec,
 };

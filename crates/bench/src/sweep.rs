@@ -1,13 +1,15 @@
 //! Shared experiment-sweep machinery.
 
+use std::sync::Arc;
+
 use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
 use mf_core::mapping::compute_mapping;
 use mf_core::parsim::{self, RunResult};
 use mf_order::OrderingKind;
 use mf_sparse::gen::paper::PaperMatrix;
-use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
 use mf_symbolic::tree::TreeStats;
-use mf_symbolic::{AmalgamationOptions, AssemblyTree};
+use mf_symbolic::AssemblyTree;
+use rayon::prelude::*;
 
 /// Result of one experiment cell (matrix × ordering × split setting),
 /// with the baseline (workload) and the memory-based runs on the *same*
@@ -66,20 +68,14 @@ pub fn split_threshold_for() -> u64 {
 }
 
 /// Builds the assembly tree for a cell (ordering + analysis + Liu child
-/// order + optional splitting).
+/// order + optional splitting), memoized process-wide: repeated calls
+/// with the same key share one [`Arc`]'d artifact (see [`crate::cache`]).
 pub fn build_tree(
     matrix: PaperMatrix,
     ordering: OrderingKind,
     split: Option<u64>,
-) -> AssemblyTree {
-    let a = matrix.instantiate();
-    let perm = ordering.compute(&a);
-    let mut s = mf_symbolic::analyze(&a, &perm, &AmalgamationOptions::default());
-    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
-    if let Some(t) = split {
-        mf_symbolic::split::split_large_masters(&mut s.tree, t);
-    }
-    s.tree
+) -> Arc<AssemblyTree> {
+    crate::cache::cached_tree(matrix, ordering, split)
 }
 
 /// Runs one cell: same tree and static mapping, both dynamic strategies.
@@ -113,6 +109,23 @@ pub fn sweep_cell(
     assert_eq!(baseline.nodes_done, baseline.total_nodes, "baseline deadlock");
     assert_eq!(memory.nodes_done, memory.total_nodes, "memory-run deadlock");
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
+}
+
+/// One entry of a parallel sweep: the arguments of [`sweep_cell`].
+pub type CellSpec = (PaperMatrix, OrderingKind, usize, Option<u64>, bool);
+
+/// Runs many sweep cells in parallel, returning the results **in input
+/// order** — cell `i` of the output is `sweep_cell(specs[i])`, whatever
+/// the execution interleaving. Each cell is itself a deterministic pure
+/// function (the simulator's virtual clock is unaffected by wall-clock
+/// scheduling), so a parallel sweep renders bit-identical tables to the
+/// sequential loop it replaces; the `parallel_sweep_is_deterministic`
+/// test pins this under different thread-pool sizes.
+pub fn sweep_cells(specs: &[CellSpec]) -> Vec<CellResult> {
+    specs
+        .par_iter()
+        .map(|&(m, k, nprocs, split, traces)| sweep_cell(m, k, nprocs, split, traces))
+        .collect()
 }
 
 /// Renders a matrix × ordering table of percentages, paper-style.

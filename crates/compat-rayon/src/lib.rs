@@ -1,0 +1,344 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace carries
+//! this minimal fork-join implementation over `std::thread::scope`:
+//!
+//! * order-preserving `par_iter()` / `into_par_iter()` + `map` + `collect`
+//!   (results are collected in input order, so a parallel run is
+//!   bit-identical to the sequential one);
+//! * a global permit counter bounding the number of live worker threads
+//!   across nested parallel calls (tree-recursive callers stay sane);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] scoping an explicit
+//!   parallelism degree, which the determinism tests use to compare
+//!   single-threaded and multi-threaded sweeps.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Extra worker threads allowed to exist fleet-wide (the caller's thread
+/// is always free). Bounds thread creation under nested parallelism.
+fn permits() -> &'static AtomicIsize {
+    static PERMITS: OnceLock<AtomicIsize> = OnceLock::new();
+    PERMITS.get_or_init(|| AtomicIsize::new(default_threads() as isize - 1))
+}
+
+fn acquire_up_to(want: usize) -> usize {
+    let p = permits();
+    let mut cur = p.load(Ordering::Relaxed);
+    loop {
+        let take = (cur.max(0) as usize).min(want);
+        if take == 0 {
+            return 0;
+        }
+        match p.compare_exchange_weak(
+            cur,
+            cur - take as isize,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn release(n: usize) {
+    if n > 0 {
+        permits().fetch_add(n as isize, Ordering::AcqRel);
+    }
+}
+
+thread_local! {
+    /// Parallelism cap installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads the current scope may use.
+pub fn current_num_threads() -> usize {
+    INSTALLED.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Runs `f` over `items`, returning results in input order. Work is
+/// striped over up to `current_num_threads()` scoped threads (bounded by
+/// the global permit pool); panics propagate to the caller.
+fn execute<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let len = items.len();
+    let limit = current_num_threads();
+    if len <= 1 || limit <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = acquire_up_to((limit - 1).min(len - 1));
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let nchunks = extra + 1;
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..nchunks).map(|_| Vec::new()).collect();
+    for (i, it) in items.into_iter().enumerate() {
+        buckets[i % nchunks].push((i, it));
+    }
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let fref = &f;
+    let mut produced: Vec<Vec<(usize, T)>> = Vec::with_capacity(nchunks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .drain(1..)
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket.into_iter().map(|(i, it)| (i, fref(it))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let local: Vec<(usize, T)> = buckets
+            .pop()
+            .unwrap()
+            .into_iter()
+            .map(|(i, it)| (i, fref(it)))
+            .collect();
+        produced.push(local);
+        for h in handles {
+            match h.join() {
+                Ok(v) => produced.push(v),
+                Err(p) => {
+                    release(extra);
+                    std::panic::resume_unwind(p);
+                }
+            }
+        }
+    });
+    release(extra);
+    for chunk in produced {
+        for (i, v) in chunk {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|v| v.expect("every index produced")).collect()
+}
+
+/// Parallel iterator machinery (subset).
+pub mod iter {
+    /// An order-preserving parallel iterator over owned items.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    /// A mapped parallel iterator.
+    pub struct ParMap<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    impl<I: Send> ParIter<I> {
+        /// Maps each item through `f` (applied in parallel at collect time).
+        pub fn map<T: Send, F: Fn(I) -> T + Sync>(self, f: F) -> ParMap<I, F> {
+            ParMap { items: self.items, f }
+        }
+
+        /// Runs `f` on every item in parallel.
+        pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+            super::execute(self.items, f);
+        }
+
+        /// Collects the items in input order.
+        pub fn collect<C: FromIterator<I>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+    }
+
+    impl<I: Send, T: Send, F: Fn(I) -> T + Sync> ParMap<I, F> {
+        /// Applies the map in parallel and collects in input order.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            super::execute(self.items, &self.f).into_iter().collect()
+        }
+
+        /// Applies the map in parallel, discarding results.
+        pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+            let f = &self.f;
+            super::execute(self.items, move |i| g(f(i)));
+        }
+    }
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self.into_iter().collect() }
+        }
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type (a reference).
+        type Item: Send;
+        /// Borrows into a parallel iterator.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+}
+
+/// The rayon prelude (subset).
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped-parallelism pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A parallelism scope: inside [`ThreadPool::install`], parallel
+/// iterators on the calling thread use at most this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's parallelism cap installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_collects_results() {
+        let v: Vec<u32> = (0..100).collect();
+        let r: Result<Vec<u32>, ()> = v.into_par_iter().map(Ok).collect();
+        assert_eq!(r.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let v: Vec<u32> = (0..100).collect();
+        let r: Result<Vec<u32>, u32> =
+            v.into_par_iter().map(|x| if x == 50 { Err(x) } else { Ok(x) }).collect();
+        assert_eq!(r, Err(50));
+    }
+
+    #[test]
+    fn nested_parallelism_terminates() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..100).collect();
+                inner.par_iter().map(|&j| i + j).collect::<Vec<_>>().iter().sum()
+            })
+            .collect();
+        assert_eq!(sums[0], (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn install_caps_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        let seq: Vec<usize> = pool.install(|| (0..10).collect::<Vec<_>>().into_par_iter().collect());
+        assert_eq!(seq, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..64).collect();
+            let _: Vec<usize> = v
+                .into_par_iter()
+                .map(|x| if x == 63 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(caught.is_err());
+    }
+}

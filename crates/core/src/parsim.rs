@@ -247,12 +247,8 @@ impl<'a> World<'a> {
     }
 
     fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
-        for q in 0..self.cfg.nprocs {
-            if q != from {
-                self.messages += 1;
-                self.net.send(&mut self.sim, from, q, msg.clone(), bytes);
-            }
-        }
+        self.messages += self.cfg.nprocs.saturating_sub(1) as u64;
+        self.net.broadcast(&mut self.sim, from, self.cfg.nprocs, msg, bytes);
     }
 
     // ---------- memory helpers (every change refreshes the exact local

@@ -46,6 +46,7 @@ impl DenseMat {
     /// Adds `v` to element `(i, j)` (assembly primitive).
     #[inline]
     pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
         self.data[j * self.nrows + i] += v;
     }
 
@@ -66,8 +67,9 @@ impl DenseMat {
         if a == b {
             return;
         }
-        for j in 0..self.ncols {
-            self.data.swap(j * self.nrows + a, j * self.nrows + b);
+        debug_assert!(a < self.nrows && b < self.nrows);
+        for col in self.data.chunks_exact_mut(self.nrows) {
+            col.swap(a, b);
         }
     }
 
@@ -110,6 +112,35 @@ impl std::fmt::Display for KernelError {
 }
 
 impl std::error::Error for KernelError {}
+
+/// `dst[i] -= l[i] * u` over equal-length slices. Slicing `l` to
+/// `dst.len()` up front lets the inner loop run without bounds checks.
+#[inline]
+fn axpy_sub(dst: &mut [f64], l: &[f64], u: f64) {
+    let n = dst.len();
+    let l = &l[..n];
+    for i in 0..n {
+        dst[i] -= l[i] * u;
+    }
+}
+
+/// Four fused axpy updates: `dst[i] -= l0[i]*u0; dst[i] -= l1[i]*u1; ...`
+/// with the subtractions kept sequential per element, so the rounding of
+/// each destination value is exactly that of four separate [`axpy_sub`]
+/// calls (one pass over `dst` instead of four).
+#[inline]
+fn axpy_sub4(dst: &mut [f64], l0: &[f64], l1: &[f64], l2: &[f64], l3: &[f64], u: [f64; 4]) {
+    let n = dst.len();
+    let (l0, l1, l2, l3) = (&l0[..n], &l1[..n], &l2[..n], &l3[..n]);
+    for i in 0..n {
+        let mut v = dst[i];
+        v -= l0[i] * u[0];
+        v -= l1[i] * u[1];
+        v -= l2[i] * u[2];
+        v -= l3[i] * u[3];
+        dst[i] = v;
+    }
+}
 
 /// Partial LU of the leading `npiv` columns of a square front `w`
 /// (order `f = w.nrows()`), with partial pivoting restricted to the
@@ -155,16 +186,16 @@ pub fn partial_lu(w: &mut DenseMat, npiv: usize, row_perm: &mut Vec<usize>) -> R
             *w.get_mut(i, k) *= inv;
         }
         // Rank-1 update of the trailing block: W[k+1.., k+1..] -= l * u.
-        for j in k + 1..f {
-            let ukj = w.get(k, j);
+        // Splitting after column k separates the finished L column from
+        // the columns being updated, so the axpy runs on plain slices.
+        let (head, tail) = w.data.split_at_mut((k + 1) * f);
+        let lcol = &head[k * f + k + 1..];
+        for colj in tail.chunks_exact_mut(f) {
+            let ukj = colj[k];
             if ukj == 0.0 {
                 continue;
             }
-            let (lcol_start, col_start) = (k * f, j * f);
-            for i in k + 1..f {
-                let l = w.data[lcol_start + i];
-                w.data[col_start + i] -= l * ukj;
-            }
+            axpy_sub(&mut colj[k + 1..], lcol, ukj);
         }
     }
     Ok(())
@@ -174,12 +205,11 @@ pub fn partial_lu(w: &mut DenseMat, npiv: usize, row_perm: &mut Vec<usize>) -> R
 /// choices), computed by panels of `nb` columns with a GEMM-shaped
 /// trailing update — the textbook BLAS-3 restructuring.
 ///
-/// Measurement note (see the `numeric/kernel` benches and
-/// `bench_output.txt`): at the front orders of this reproduction
-/// (≤ ~2.7k, trailing blocks cache-resident) the simple rank-1 kernel is
-/// as fast or faster, because its single inner loop vectorizes cleanly;
-/// the blocked form is provided for the large-front regime and
-/// [`factor_front_lu`] only dispatches to it beyond 512 pivots.
+/// The trailing update is a register-blocked microkernel on disjoint
+/// column slices ([`axpy_sub4`]): one pass over each target column per
+/// four panel columns, no bounds checks in the inner loop. See the
+/// `numeric/kernel` benches; [`factor_front_lu`] dispatches here beyond
+/// 512 pivots, where panel reuse pays for the extra structure.
 pub fn partial_lu_blocked(
     w: &mut DenseMat,
     npiv: usize,
@@ -218,46 +248,61 @@ pub fn partial_lu_blocked(
                 *w.get_mut(i, k) *= inv;
             }
             // Update only the remaining panel columns now.
-            for j in k + 1..k0 + kb {
-                let ukj = w.get(k, j);
+            let (head, tail) = w.data.split_at_mut((k + 1) * f);
+            let lcol = &head[k * f + k + 1..];
+            for colj in tail.chunks_exact_mut(f).take(k0 + kb - k - 1) {
+                let ukj = colj[k];
                 if ukj == 0.0 {
                     continue;
                 }
-                let (lcol, col) = (k * f, j * f);
-                for i in k + 1..f {
-                    let l = w.data[lcol + i];
-                    w.data[col + i] -= l * ukj;
-                }
+                axpy_sub(&mut colj[k + 1..], lcol, ukj);
             }
         }
         let kend = k0 + kb;
-        // ---- U12 update: solve L11 (unit lower) against columns right of
-        // the panel, rows k0..kend. ----
-        for j in kend..f {
+        // ---- Columns right of the panel: the triangular U12 update
+        // (rows k0..kend) followed by the trailing GEMM update
+        // (rows kend..f), fused so each column is touched once per panel.
+        // One split separates the factored panel (read-only L) from the
+        // columns being updated; the microkernels then run on plain
+        // slices with no index arithmetic in the inner loop. Each target
+        // element receives its panel updates one `k` at a time in
+        // ascending order — the same subtraction sequence as the rank-1
+        // form, so downstream pivot decisions are unaffected. ----
+        let (panel, trailing) = w.data.split_at_mut(kend * f);
+        for colj in trailing.chunks_exact_mut(f) {
+            // U12: solve L11 (unit lower) against rows k0..kend.
             for k in k0..kend {
-                let ukj = w.get(k, j);
+                let ukj = colj[k];
                 if ukj == 0.0 {
                     continue;
                 }
-                for i in k + 1..kend {
-                    let l = w.get(i, k);
-                    *w.get_mut(i, j) -= l * ukj;
-                }
+                let base = k * f + k + 1;
+                axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ukj);
             }
-        }
-        // ---- Trailing GEMM: W[kend.., kend..] -= L21_panel * U12_panel. ----
-        for j in kend..f {
-            let col = j * f;
-            for k in k0..kend {
-                let ukj = w.data[col + k];
-                if ukj == 0.0 {
-                    continue;
+            // GEMM: rows kend..f minus L21 times this column of U12,
+            // four panel columns per pass.
+            let (u12, dst) = colj.split_at_mut(kend);
+            let n = dst.len();
+            let mut k = k0;
+            while k + 4 <= kend {
+                let base = k * f + kend;
+                axpy_sub4(
+                    dst,
+                    &panel[base..base + n],
+                    &panel[base + f..base + f + n],
+                    &panel[base + 2 * f..base + 2 * f + n],
+                    &panel[base + 3 * f..base + 3 * f + n],
+                    [u12[k], u12[k + 1], u12[k + 2], u12[k + 3]],
+                );
+                k += 4;
+            }
+            while k < kend {
+                let ukj = u12[k];
+                if ukj != 0.0 {
+                    let base = k * f + kend;
+                    axpy_sub(dst, &panel[base..base + n], ukj);
                 }
-                let lcol = k * f;
-                for i in kend..f {
-                    let l = w.data[lcol + i];
-                    w.data[col + i] -= l * ukj;
-                }
+                k += 1;
             }
         }
         k0 = kend;
@@ -284,24 +329,20 @@ pub fn partial_ldlt(w: &mut DenseMat, npiv: usize) -> Result<(), KernelError> {
         for i in k + 1..f {
             *w.get_mut(i, k) *= inv;
         }
-        for j in k + 1..f {
-            let ljk_d = w.get(j, k) * d; // l_jk * d_k
+        // Rank-1 update over *full* trailing columns (rows k+1..f), which
+        // keeps both triangles current directly — no separate mirror pass.
+        // The lower triangle and diagonal see the exact subtraction
+        // sequence of a lower-only update, so the factor and the lower
+        // Schur triangle are unchanged; upper entries are now computed by
+        // the symmetric formula instead of copied.
+        let (head, tail) = w.data.split_at_mut((k + 1) * f);
+        let lcol = &head[k * f + k + 1..];
+        for (jt, colj) in tail.chunks_exact_mut(f).enumerate() {
+            let ljk_d = lcol[jt] * d; // l_jk * d_k
             if ljk_d == 0.0 {
                 continue;
             }
-            let (lcol_start, col_start) = (k * f, j * f);
-            for i in j..f {
-                let l = w.data[lcol_start + i];
-                w.data[col_start + i] -= l * ljk_d;
-            }
-        }
-        // Mirror the updated lower triangle into the upper one so later
-        // pivot columns read consistent values.
-        for j in k + 1..f {
-            for i in j + 1..f {
-                let v = w.get(i, j);
-                *w.get_mut(j, i) = v;
-            }
+            axpy_sub(&mut colj[k + 1..], lcol, ljk_d);
         }
     }
     Ok(())

@@ -1,6 +1,5 @@
 //! Virtual clock and event queue.
 
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Virtual time, in abstract ticks. The multifrontal layer uses
@@ -38,6 +37,63 @@ pub struct Event<M> {
     pub payload: EventPayload<M>,
 }
 
+/// What one heap entry delivers: a single event, or a whole broadcast
+/// block (the same message to every processor but the sender, all at one
+/// instant). A broadcast's per-target messages would occupy contiguous
+/// sequence numbers at a single firing time, so no other event can ever
+/// interleave them — storing the block as ONE entry and unrolling it at
+/// delivery keeps the event sequence bit-identical while cutting the
+/// heap traffic of an n-processor broadcast from n-1 sifts to one.
+#[derive(Debug)]
+enum Queued<M> {
+    One(EventPayload<M>),
+    Broadcast { from: usize, nprocs: usize, msg: M },
+}
+
+/// An in-progress broadcast block: delivers `msg` to each `to` in
+/// `0..nprocs` except `from`, in ascending order, before the queue pops
+/// anything else (see [`Queued`] for why that order is exact).
+#[derive(Debug)]
+struct ActiveBroadcast<M> {
+    at: Time,
+    from: usize,
+    nprocs: usize,
+    next: usize,
+    msg: M,
+}
+
+/// A queued event with its payload stored inline: the heap is the only
+/// data structure on the hot path (one sift per push/pop, no per-event
+/// hash-map insert/remove). Ordering ignores the payload and inverts
+/// `(time, seq)` so the max-heap pops the earliest event, FIFO on ties.
+#[derive(Debug)]
+struct HeapEntry<M> {
+    at: Time,
+    seq: u64,
+    payload: Queued<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for HeapEntry<M> {}
+
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: smallest (time, seq) is the heap maximum.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// Deterministic discrete-event queue.
 ///
 /// Events fire in `(time, insertion order)` order: ties break FIFO, so a
@@ -47,8 +103,8 @@ pub struct Event<M> {
 pub struct Sim<M> {
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<(Time, u64)>>,
-    payloads: std::collections::HashMap<u64, EventPayload<M>>,
+    queue: BinaryHeap<HeapEntry<M>>,
+    bcast: Option<ActiveBroadcast<M>>,
     delivered: u64,
 }
 
@@ -61,13 +117,7 @@ impl<M> Default for Sim<M> {
 impl<M> Sim<M> {
     /// Empty queue at time zero.
     pub fn new() -> Self {
-        Sim {
-            now: 0,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
-            delivered: 0,
-        }
+        Sim { now: 0, seq: 0, queue: BinaryHeap::new(), bcast: None, delivered: 0 }
     }
 
     /// Current virtual time.
@@ -80,18 +130,30 @@ impl<M> Sim<M> {
         self.delivered
     }
 
-    /// Number of pending events.
+    /// Number of pending events (counting every undelivered message of a
+    /// broadcast block individually).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        let queued: usize = self
+            .queue
+            .iter()
+            .map(|e| match &e.payload {
+                Queued::One(_) => 1,
+                Queued::Broadcast { from, nprocs, .. } => broadcast_targets(*from, *nprocs, 0),
+            })
+            .sum();
+        let draining = self
+            .bcast
+            .as_ref()
+            .map_or(0, |b| broadcast_targets(b.from, b.nprocs, b.next));
+        queued + draining
     }
 
     /// Schedules `payload` to fire `delay` ticks from now.
     pub fn schedule(&mut self, delay: Time, payload: EventPayload<M>) {
         let at = self.now + delay;
-        let id = self.seq;
+        let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse((at, id)));
-        self.payloads.insert(id, payload);
+        self.queue.push(HeapEntry { at, seq, payload: Queued::One(payload) });
     }
 
     /// Schedules a timer on `proc` after `delay`.
@@ -99,15 +161,74 @@ impl<M> Sim<M> {
         self.schedule(delay, EventPayload::Timer { proc, key });
     }
 
+    /// Schedules delivery of clones of `msg` from `from` to every other
+    /// processor in `0..nprocs`, `delay` ticks from now. Exactly
+    /// equivalent to `nprocs - 1` back-to-back [`Sim::schedule`] calls of
+    /// `Message` payloads — same firing time, same ascending-target FIFO
+    /// order against every other event — but a single queue entry.
+    pub fn schedule_broadcast(&mut self, delay: Time, from: usize, nprocs: usize, msg: M) {
+        if broadcast_targets(from, nprocs, 0) == 0 {
+            return;
+        }
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(HeapEntry { at, seq, payload: Queued::Broadcast { from, nprocs, msg } });
+    }
+}
+
+/// Number of undelivered targets of a broadcast block whose scan is at
+/// position `next`: the members of `next..nprocs` minus the sender.
+fn broadcast_targets(from: usize, nprocs: usize, next: usize) -> usize {
+    (nprocs.saturating_sub(next)) - usize::from(from >= next && from < nprocs)
+}
+
+impl<M: Clone> Sim<M> {
     /// Pops the next event, advancing the clock to its firing time.
     #[allow(clippy::should_implement_trait)] // deliberate: reads naturally at call sites
     pub fn next(&mut self) -> Option<Event<M>> {
-        let Reverse((at, id)) = self.queue.pop()?;
-        debug_assert!(at >= self.now, "time cannot run backwards");
-        self.now = at;
+        loop {
+            if let Some(e) = self.next_broadcast_delivery() {
+                return Some(e);
+            }
+            let HeapEntry { at, payload, .. } = self.queue.pop()?;
+            debug_assert!(at >= self.now, "time cannot run backwards");
+            self.now = at;
+            match payload {
+                Queued::One(p) => {
+                    self.delivered += 1;
+                    return Some(Event { at, payload: p });
+                }
+                Queued::Broadcast { from, nprocs, msg } => {
+                    // Unrolled by next_broadcast_delivery on the next
+                    // loop iteration (an empty block just clears itself).
+                    self.bcast = Some(ActiveBroadcast { at, from, nprocs, next: 0, msg });
+                }
+            }
+        }
+    }
+
+    /// Delivers the next message of the active broadcast block, if any.
+    fn next_broadcast_delivery(&mut self) -> Option<Event<M>> {
+        let b = self.bcast.as_mut()?;
+        if b.next == b.from {
+            b.next += 1;
+        }
+        if b.next >= b.nprocs {
+            self.bcast = None;
+            return None;
+        }
+        let to = b.next;
+        b.next += 1;
+        let (at, from) = (b.at, b.from);
+        let msg = if broadcast_targets(b.from, b.nprocs, b.next) == 0 {
+            // Last delivery: move the message out instead of cloning.
+            self.bcast.take().expect("active broadcast").msg
+        } else {
+            b.msg.clone()
+        };
         self.delivered += 1;
-        let payload = self.payloads.remove(&id).expect("payload for queued event");
-        Some(Event { at, payload })
+        Some(Event { at, payload: EventPayload::Message { from, to, msg } })
     }
 }
 
@@ -167,6 +288,57 @@ mod tests {
         let mut sim: Sim<u32> = Sim::new();
         assert!(sim.next().is_none());
         assert_eq!(sim.delivered(), 0);
+    }
+
+    #[test]
+    fn broadcast_matches_per_message_schedules_exactly() {
+        // The broadcast fast path must produce the same event sequence as
+        // the per-target schedule loop it replaces, including FIFO
+        // interleaving with other events at the same instant.
+        let mut a: Sim<u32> = Sim::new();
+        let mut b: Sim<u32> = Sim::new();
+        a.schedule(5, EventPayload::Timer { proc: 9, key: 0 });
+        b.schedule(5, EventPayload::Timer { proc: 9, key: 0 });
+        for to in 0..4 {
+            if to != 1 {
+                a.schedule(5, EventPayload::Message { from: 1, to, msg: 7 });
+            }
+        }
+        b.schedule_broadcast(5, 1, 4, 7);
+        a.schedule(5, EventPayload::Timer { proc: 9, key: 1 });
+        b.schedule(5, EventPayload::Timer { proc: 9, key: 1 });
+        assert_eq!(a.pending(), b.pending());
+        loop {
+            let (ea, eb) = (a.next(), b.next());
+            assert_eq!(ea, eb);
+            if ea.is_none() {
+                break;
+            }
+        }
+        assert_eq!(a.delivered(), b.delivered());
+    }
+
+    #[test]
+    fn broadcast_with_no_targets_schedules_nothing() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_broadcast(3, 0, 1, 42);
+        assert_eq!(sim.pending(), 0);
+        assert!(sim.next().is_none());
+    }
+
+    #[test]
+    fn events_scheduled_during_broadcast_drain_come_after_the_block() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_broadcast(2, 0, 3, 5);
+        let first = sim.next().unwrap();
+        assert_eq!(first.payload, EventPayload::Message { from: 0, to: 1, msg: 5 });
+        // Scheduling at delay 0 lands at the same instant but AFTER the
+        // remaining block messages, as its seq would be larger.
+        sim.schedule(0, EventPayload::Timer { proc: 7, key: 1 });
+        let second = sim.next().unwrap();
+        assert_eq!(second.payload, EventPayload::Message { from: 0, to: 2, msg: 5 });
+        let third = sim.next().unwrap();
+        assert_eq!(third.payload, EventPayload::Timer { proc: 7, key: 1 });
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl NetworkModel {
     }
 
     /// Broadcasts clones of `msg` to every processor in `0..nprocs`
-    /// except `from` (the usual "inform the others" pattern).
+    /// except `from` (the usual "inform the others" pattern). Delivery
+    /// order and times are exactly those of per-target [`Self::send`]
+    /// calls in ascending target order, but the whole block costs one
+    /// queue entry (see [`Sim::schedule_broadcast`]).
     pub fn broadcast<M: Clone>(
         &self,
         sim: &mut Sim<M>,
@@ -52,11 +55,7 @@ impl NetworkModel {
         msg: M,
         bytes: u64,
     ) {
-        for to in 0..nprocs {
-            if to != from {
-                self.send(sim, from, to, msg.clone(), bytes);
-            }
-        }
+        sim.schedule_broadcast(self.transfer_time(bytes), from, nprocs, msg);
     }
 }
 
