@@ -26,9 +26,11 @@ fn bench_simulation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("static_mapping", |b| b.iter(|| compute_mapping(&tree, &base_cfg)));
     group.bench_function("run_workload_baseline", |b| {
-        b.iter(|| parsim::run(&tree, &map, &base_cfg))
+        b.iter(|| parsim::run(&tree, &map, &base_cfg).unwrap())
     });
-    group.bench_function("run_memory_based", |b| b.iter(|| parsim::run(&tree, &map, &mem_cfg)));
+    group.bench_function("run_memory_based", |b| {
+        b.iter(|| parsim::run(&tree, &map, &mem_cfg).unwrap())
+    });
     group.finish();
 }
 

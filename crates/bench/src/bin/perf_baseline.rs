@@ -82,8 +82,8 @@ fn uncached_cell(spec: &CellSpec) -> CellResult {
         ..mf_bench::sweep::paper_scale_config(nprocs)
     };
     let map = mf_core::mapping::compute_mapping(&s.tree, &base_cfg);
-    let baseline = mf_core::parsim::run(&s.tree, &map, &base_cfg);
-    let memory = mf_core::parsim::run(&s.tree, &map, &mem_cfg);
+    let baseline = mf_core::parsim::run(&s.tree, &map, &base_cfg).expect("baseline run failed");
+    let memory = mf_core::parsim::run(&s.tree, &map, &mem_cfg).expect("memory run failed");
     CellResult { matrix, ordering, split, stats: s.tree.stats(), baseline, memory }
 }
 

@@ -1,0 +1,243 @@
+//! Robustness sweep: perturbation intensity × scheduling strategy.
+//!
+//! For each (matrix, ordering) pair and each strategy, runs the simulated
+//! factorization under a ladder of fault intensities (latency jitter,
+//! bounded extra delay/reordering, status-message drops, stragglers —
+//! see `mf_sim::FaultModel`), several seeds per intensity, and reports
+//! how the schedule degrades: makespan and peak ratios versus the
+//! unperturbed run, messages dropped, and whether every run completed
+//! (it must — that is the robustness claim).
+//!
+//! A second section exercises the hard per-processor memory cap: with
+//! `capacity` set to 1.2× the uncapped peak, every strategy must finish
+//! without any processor exceeding the cap.
+//!
+//! Writes `BENCH_robustness.json` and prints it.
+
+use std::fmt::Write as _;
+
+use mf_bench::sweep::{build_tree, paper_scale_config};
+use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim::{self, RunResult};
+use mf_order::OrderingKind;
+use mf_sim::FaultModel;
+use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
+use rayon::prelude::*;
+
+const NPROCS: usize = 32;
+const INTENSITIES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 3.0];
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+struct Strategy {
+    name: &'static str,
+    cfg: fn() -> SolverConfig,
+}
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy { name: "workload", cfg: workload_cfg },
+    Strategy { name: "memory", cfg: memory_cfg },
+    Strategy { name: "memory+improvements", cfg: improved_cfg },
+];
+
+fn workload_cfg() -> SolverConfig {
+    SolverConfig {
+        slave_selection: SlaveSelection::Workload,
+        task_selection: TaskSelection::Lifo,
+        use_subtree_info: false,
+        use_prediction: false,
+        ..paper_scale_config(NPROCS)
+    }
+}
+
+fn memory_cfg() -> SolverConfig {
+    SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: false,
+        use_prediction: false,
+        ..paper_scale_config(NPROCS)
+    }
+}
+
+fn improved_cfg() -> SolverConfig {
+    SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAwareGlobal,
+        use_subtree_info: true,
+        use_prediction: true,
+        ..paper_scale_config(NPROCS)
+    }
+}
+
+struct PerturbRow {
+    matrix: PaperMatrix,
+    strategy: &'static str,
+    level: f64,
+    seeds: usize,
+    makespan_ratio_max: f64,
+    peak_ratio_max: f64,
+    dropped_total: u64,
+}
+
+struct CapRow {
+    matrix: PaperMatrix,
+    strategy: &'static str,
+    capacity: u64,
+    uncapped_peak: u64,
+    capped_peak: u64,
+    makespan_ratio: f64,
+    forced_activations: u64,
+}
+
+fn run_ok(
+    tree: &mf_symbolic::AssemblyTree,
+    map: &mf_core::mapping::StaticMapping,
+    cfg: &SolverConfig,
+    what: &str,
+) -> RunResult {
+    let r = parsim::run(tree, map, cfg).unwrap_or_else(|e| panic!("{what} failed: {e}"));
+    assert_eq!(r.nodes_done, r.total_nodes, "{what}: fronts lost");
+    assert!(r.final_active.iter().all(|&a| a == 0), "{what}: stack leaked");
+    r
+}
+
+fn main() {
+    let pairs = [
+        (PaperMatrix::TwoTone, OrderingKind::Amd),
+        (PaperMatrix::Ship003, OrderingKind::Metis),
+    ];
+
+    let mut perturb_rows: Vec<PerturbRow> = Vec::new();
+    let mut cap_rows: Vec<CapRow> = Vec::new();
+
+    for (m, k) in pairs {
+        let tree = build_tree(m, k, None);
+        for s in &STRATEGIES {
+            let cfg0 = (s.cfg)();
+            let map = compute_mapping(&tree, &cfg0);
+            let plain = run_ok(&tree, &map, &cfg0, "unperturbed run");
+
+            for level in INTENSITIES {
+                // All seeds of a level are independent: fan them out.
+                let runs: Vec<RunResult> = SEEDS
+                    .par_iter()
+                    .map(|&seed| {
+                        let cfg = SolverConfig {
+                            fault: Some(FaultModel::intensity(seed, level)),
+                            ..cfg0.clone()
+                        };
+                        run_ok(&tree, &map, &cfg, "perturbed run")
+                    })
+                    .collect();
+                if level == 0.0 {
+                    // Intensity zero is the bit-identical guarantee.
+                    for r in &runs {
+                        assert_eq!(r.peaks, plain.peaks, "quiet fault model changed peaks");
+                        assert_eq!(r.makespan, plain.makespan, "quiet fault model moved time");
+                        assert_eq!(r.dropped_messages, 0);
+                    }
+                }
+                let ratio = |v: u64, base: u64| v as f64 / base.max(1) as f64;
+                perturb_rows.push(PerturbRow {
+                    matrix: m,
+                    strategy: s.name,
+                    level,
+                    seeds: SEEDS.len(),
+                    makespan_ratio_max: runs
+                        .iter()
+                        .map(|r| ratio(r.makespan, plain.makespan))
+                        .fold(0.0, f64::max),
+                    peak_ratio_max: runs
+                        .iter()
+                        .map(|r| ratio(r.max_peak, plain.max_peak))
+                        .fold(0.0, f64::max),
+                    dropped_total: runs.iter().map(|r| r.dropped_messages).sum(),
+                });
+            }
+            eprintln!("{:10} / {:20} perturbation ladder done", m.name(), s.name);
+        }
+    }
+
+    // Hard caps at 1.2x the uncapped peak, on EVERY test matrix and
+    // strategy: graceful degradation must hold across the whole suite,
+    // not just the two sweep cells.
+    for m in ALL_PAPER_MATRICES {
+        let tree = build_tree(m, OrderingKind::Metis, None);
+        for s in &STRATEGIES {
+            let cfg0 = (s.cfg)();
+            let map = compute_mapping(&tree, &cfg0);
+            let plain = run_ok(&tree, &map, &cfg0, "unperturbed run");
+            let cap = plain.max_peak + plain.max_peak / 5;
+            let capped_cfg = SolverConfig { capacity: Some(cap), ..cfg0.clone() };
+            let capped = run_ok(&tree, &map, &capped_cfg, "capped run");
+            assert!(
+                capped.peaks.iter().all(|&pk| pk <= cap),
+                "{} / {}: capped peaks {:?} exceed {}",
+                m.name(),
+                s.name,
+                capped.peaks,
+                cap
+            );
+            cap_rows.push(CapRow {
+                matrix: m,
+                strategy: s.name,
+                capacity: cap,
+                uncapped_peak: plain.max_peak,
+                capped_peak: capped.max_peak,
+                makespan_ratio: capped.makespan as f64 / plain.makespan.max(1) as f64,
+                forced_activations: capped.forced_activations,
+            });
+            eprintln!("{:10} / {:20} cap {} held", m.name(), s.name, cap);
+        }
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin robustness\",")
+        .unwrap();
+    writeln!(json, "  \"nprocs\": {NPROCS},").unwrap();
+    writeln!(json, "  \"seeds_per_level\": {},", SEEDS.len()).unwrap();
+    writeln!(json, "  \"perturbation\": [").unwrap();
+    for (i, r) in perturb_rows.iter().enumerate() {
+        let sep = if i + 1 == perturb_rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{ \"matrix\": \"{}\", \"strategy\": \"{}\", \"intensity\": {:.1}, \
+             \"seeds\": {}, \"completed\": true, \"makespan_ratio_max\": {:.3}, \
+             \"peak_ratio_max\": {:.3}, \"dropped_messages\": {} }}{sep}",
+            r.matrix.name(),
+            r.strategy,
+            r.level,
+            r.seeds,
+            r.makespan_ratio_max,
+            r.peak_ratio_max,
+            r.dropped_total
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"capacity\": [").unwrap();
+    for (i, r) in cap_rows.iter().enumerate() {
+        let sep = if i + 1 == cap_rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{ \"matrix\": \"{}\", \"strategy\": \"{}\", \"capacity\": {}, \
+             \"uncapped_peak\": {}, \"capped_peak\": {}, \"within_cap\": true, \
+             \"makespan_ratio\": {:.3}, \"forced_activations\": {} }}{sep}",
+            r.matrix.name(),
+            r.strategy,
+            r.capacity,
+            r.uncapped_peak,
+            r.capped_peak,
+            r.makespan_ratio,
+            r.forced_activations
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+    print!("{json}");
+}

@@ -105,8 +105,8 @@ pub fn figure5() -> ScenarioOutcome {
         ..race_config()
     };
     let fast = SolverConfig { network: NetworkModel::instantaneous(), ..race_config() };
-    let bad = parsim::run(&tree, &map, &slow);
-    let good = parsim::run(&tree, &map, &fast);
+    let bad = parsim::run(&tree, &map, &slow).expect("scenario run failed");
+    let good = parsim::run(&tree, &map, &fast).expect("scenario run failed");
     outcome(&bad, &good)
 }
 
@@ -118,8 +118,8 @@ pub fn figure6() -> ScenarioOutcome {
     let (tree, map) = race_tree(10); // S ready before B activates
     let without = race_config();
     let with = SolverConfig { use_prediction: true, ..race_config() };
-    let bad = parsim::run(&tree, &map, &without);
-    let good = parsim::run(&tree, &map, &with);
+    let bad = parsim::run(&tree, &map, &without).expect("scenario run failed");
+    let good = parsim::run(&tree, &map, &with).expect("scenario run failed");
     outcome(&bad, &good)
 }
 
@@ -176,8 +176,8 @@ pub fn figure8() -> ScenarioOutcome {
         ..SolverConfig::mumps_baseline(2)
     };
     let alg2 = SolverConfig { task_selection: TaskSelection::MemoryAware, ..base.clone() };
-    let bad = parsim::run(&tree, &map, &base);
-    let good = parsim::run(&tree, &map, &alg2);
+    let bad = parsim::run(&tree, &map, &base).expect("scenario run failed");
+    let good = parsim::run(&tree, &map, &alg2).expect("scenario run failed");
     outcome(&bad, &good)
 }
 

@@ -104,10 +104,12 @@ pub fn sweep_cell(
         ..paper_scale_config(nprocs)
     };
     let map = compute_mapping(&tree, &base_cfg);
-    let baseline = parsim::run(&tree, &map, &base_cfg);
-    let memory = parsim::run(&tree, &map, &mem_cfg);
-    assert_eq!(baseline.nodes_done, baseline.total_nodes, "baseline deadlock");
-    assert_eq!(memory.nodes_done, memory.total_nodes, "memory-run deadlock");
+    // Table cells run unperturbed and uncapped; a SimError here is a bug,
+    // so the sweep aborts with the full diagnostics instead of limping on.
+    let baseline = parsim::run(&tree, &map, &base_cfg)
+        .unwrap_or_else(|e| panic!("baseline run failed: {e}"));
+    let memory = parsim::run(&tree, &map, &mem_cfg)
+        .unwrap_or_else(|e| panic!("memory-based run failed: {e}"));
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
 }
 

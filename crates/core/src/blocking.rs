@@ -76,8 +76,9 @@ pub fn equal_entry_blocks(
     }
     // Any leftover rows go to the last block.
     if row < total_rows {
-        let (off, n) = blocks.pop().unwrap();
-        blocks.push((off, n + (total_rows - row)));
+        if let Some((off, n)) = blocks.pop() {
+            blocks.push((off, n + (total_rows - row)));
+        }
     }
     blocks
 }
@@ -112,13 +113,13 @@ pub fn blocks_from_entry_budgets(
     // Spread remaining rows as equally as possible (the "assign the
     // remaining rows equitably" step of Algorithm 1).
     while row < total_rows {
-        let j = (0..k).min_by_key(|&j| rows[j]).unwrap();
+        let Some(j) = (0..k).min_by_key(|&j| rows[j]) else { break };
         rows[j] += 1;
         row += 1;
     }
     // Guarantee ≥1 row each by stealing from the largest.
     while let Some(j0) = (0..k).find(|&j| rows[j] == 0) {
-        let jmax = (0..k).max_by_key(|&j| rows[j]).unwrap();
+        let Some(jmax) = (0..k).max_by_key(|&j| rows[j]) else { break };
         debug_assert!(rows[jmax] > 1);
         rows[jmax] -= 1;
         rows[j0] += 1;

@@ -1,7 +1,7 @@
 //! Solver configuration: machine model, static thresholds, and the
 //! dynamic-strategy switches the paper's experiments toggle.
 
-use mf_sim::NetworkModel;
+use mf_sim::{FaultModel, NetworkModel, Time};
 
 /// Dynamic slave-selection strategy for type-2 fronts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +107,21 @@ pub struct SolverConfig {
     /// binary measure how sensitive each strategy is to timing noise.
     /// `None` keeps exact durations.
     pub jitter: Option<(u64, f64)>,
+    /// Seeded network/processor perturbations (see [`mf_sim::fault`]):
+    /// latency jitter, bounded delay/reordering, status-message loss, and
+    /// stragglers. `None` keeps the exact happy-path execution — runs are
+    /// bit-identical to a build without the fault layer.
+    pub fault: Option<FaultModel>,
+    /// Hard per-processor memory capacity (active entries). Masters skip
+    /// slave candidates whose projected memory would exceed it (falling
+    /// back to fewer/larger shares, last resort serialize-on-master), and
+    /// the task pool defers out-of-subtree activations that would breach
+    /// it. Degrades time, never correctness. `None` means unbounded.
+    pub capacity: Option<u64>,
+    /// Watchdog: abort with [`crate::error::SimError::TimeLimit`] when
+    /// virtual time passes this many ticks (runaway guard). `None`
+    /// disables the check.
+    pub time_limit: Option<Time>,
 }
 
 impl Default for SolverConfig {
@@ -129,6 +144,9 @@ impl Default for SolverConfig {
             record_traces: false,
             out_of_core: None,
             jitter: None,
+            fault: None,
+            capacity: None,
+            time_limit: None,
         }
     }
 }

@@ -5,6 +5,7 @@
 //! static mapping → simulated parallel factorization.
 
 use crate::config::SolverConfig;
+use crate::error::SimError;
 use crate::mapping::compute_mapping;
 use crate::parsim;
 pub use crate::parsim::RunResult;
@@ -34,20 +35,21 @@ pub fn prepare_tree(input: &ExperimentInput<'_>, cfg: &SolverConfig) -> Assembly
 }
 
 /// Runs one experiment cell: matrix × ordering × configuration.
-pub fn run_experiment(input: &ExperimentInput<'_>, cfg: &SolverConfig) -> RunResult {
+pub fn run_experiment(
+    input: &ExperimentInput<'_>,
+    cfg: &SolverConfig,
+) -> Result<RunResult, SimError> {
     let tree = prepare_tree(input, cfg);
     run_on_tree(&tree, cfg)
 }
 
-/// Runs the simulated factorization on an already prepared tree.
-pub fn run_on_tree(tree: &AssemblyTree, cfg: &SolverConfig) -> RunResult {
+/// Runs the simulated factorization on an already prepared tree. A run
+/// that cannot complete (deadlock, runaway, accounting bug) returns a
+/// typed [`SimError`] with per-processor diagnostics instead of
+/// panicking.
+pub fn run_on_tree(tree: &AssemblyTree, cfg: &SolverConfig) -> Result<RunResult, SimError> {
     let map = compute_mapping(tree, cfg);
-    let r = parsim::run(tree, &map, cfg);
-    assert_eq!(
-        r.nodes_done, r.total_nodes,
-        "simulation ended with unprocessed fronts — scheduling deadlock"
-    );
-    r
+    parsim::run(tree, &map, cfg)
 }
 
 /// Sequential stack peak of the same tree (reference point for the
@@ -82,7 +84,7 @@ mod tests {
         let a = grid2d(24, 24, Stencil::Star);
         let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
         let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
-        let r = run_experiment(&input, &cfg);
+        let r = run_experiment(&input, &cfg).unwrap();
         assert!(r.max_peak > 0);
         assert!(r.makespan > 0);
     }

@@ -1,0 +1,156 @@
+//! Typed simulation errors with per-processor diagnostics.
+//!
+//! The event loop never panics and never hangs: when it detects a
+//! no-progress state (drained queue with unfinished fronts), a virtual
+//! time runaway, an accounting underflow, or a protocol violation, it
+//! returns a [`SimError`] carrying a full [`RunDiagnostics`] snapshot —
+//! what every processor was doing, holding, and waiting for — so a failed
+//! run is debuggable from the error value alone.
+
+use mf_sim::Time;
+use std::fmt;
+
+/// Why a simulated factorization could not complete.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The event queue drained with unfinished fronts and nothing left to
+    /// force: a scheduling deadlock (e.g. a dead network swallowed a
+    /// control message).
+    Stalled {
+        /// State of the world at the stall.
+        diag: RunDiagnostics,
+    },
+    /// Virtual time passed the configured
+    /// [`crate::config::SolverConfig::time_limit`] (runaway guard).
+    TimeLimit {
+        /// The exceeded limit (ticks).
+        limit: Time,
+        /// State of the world when the limit tripped.
+        diag: RunDiagnostics,
+    },
+    /// A memory account underflowed: more entries released than held — an
+    /// accounting bug, caught in release builds too.
+    Accounting {
+        /// The underflowing processor.
+        proc: usize,
+        /// Which account underflowed (`"stack"` or `"fronts"`).
+        area: &'static str,
+        /// State of the world at the underflow.
+        diag: RunDiagnostics,
+    },
+    /// The message protocol was violated (e.g. a contribution block for a
+    /// node without a parent, or an unknown work key).
+    Protocol {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+        /// State of the world at the violation.
+        diag: RunDiagnostics,
+    },
+}
+
+impl SimError {
+    /// The diagnostics snapshot attached to any error variant.
+    pub fn diagnostics(&self) -> &RunDiagnostics {
+        match self {
+            SimError::Stalled { diag }
+            | SimError::TimeLimit { diag, .. }
+            | SimError::Accounting { diag, .. }
+            | SimError::Protocol { diag, .. } => diag,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled { diag } => write!(
+                f,
+                "no progress possible: event queue drained at t={} with {}/{} fronts done \
+                 ({} messages in flight, {} dropped)",
+                diag.now, diag.nodes_done, diag.total_nodes, diag.in_flight, diag.dropped_messages
+            ),
+            SimError::TimeLimit { limit, diag } => write!(
+                f,
+                "virtual time ran past the limit of {} ticks with {}/{} fronts done",
+                limit, diag.nodes_done, diag.total_nodes
+            ),
+            SimError::Accounting { proc, area, diag } => write!(
+                f,
+                "memory accounting underflow in the {} area of processor {} at t={}",
+                area, proc, diag.now
+            ),
+            SimError::Protocol { detail, diag } => {
+                write!(f, "protocol violation at t={}: {}", diag.now, detail)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Snapshot of the simulated world, attached to every [`SimError`].
+#[derive(Debug, Clone, Default)]
+pub struct RunDiagnostics {
+    /// Virtual time of the snapshot.
+    pub now: Time,
+    /// Events delivered before the snapshot.
+    pub delivered_events: u64,
+    /// Messages still queued (undelivered) in the simulator.
+    pub in_flight: usize,
+    /// Fronts fully processed.
+    pub nodes_done: usize,
+    /// Fronts in the tree.
+    pub total_nodes: usize,
+    /// Messages the fault injector dropped.
+    pub dropped_messages: u64,
+    /// Per-processor state.
+    pub procs: Vec<ProcDiag>,
+}
+
+/// One processor's state inside a [`RunDiagnostics`] snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ProcDiag {
+    /// Processor id.
+    pub proc: usize,
+    /// Whether it was computing.
+    pub busy: bool,
+    /// Active memory (stack + fronts), in entries.
+    pub active: u64,
+    /// Stack-only usage, in entries.
+    pub stack: u64,
+    /// Factor entries stored.
+    pub factors: u64,
+    /// Ready tasks in the local pool (bottom to top).
+    pub pool: Vec<usize>,
+    /// Received-but-unstarted slave tasks.
+    pub queued_slave_tasks: usize,
+    /// Leaf subtree currently in progress, if any.
+    pub current_subtree: Option<usize>,
+    /// Accounting underflows recorded on this processor.
+    pub underflows: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let diag = RunDiagnostics {
+            now: 123,
+            nodes_done: 4,
+            total_nodes: 9,
+            in_flight: 2,
+            ..Default::default()
+        };
+        let s = SimError::Stalled { diag: diag.clone() }.to_string();
+        assert!(s.contains("t=123") && s.contains("4/9"), "{s}");
+        let s = SimError::TimeLimit { limit: 77, diag: diag.clone() }.to_string();
+        assert!(s.contains("77"), "{s}");
+        let s = SimError::Accounting { proc: 3, area: "stack", diag: diag.clone() }.to_string();
+        assert!(s.contains("processor 3") && s.contains("stack"), "{s}");
+        let e = SimError::Protocol { detail: "oops".into(), diag };
+        assert!(e.to_string().contains("oops"));
+        assert_eq!(e.diagnostics().nodes_done, 4);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod blocking;
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod mapping;
 pub mod parsim;
 pub mod pool;
@@ -38,4 +39,5 @@ pub mod views;
 
 pub use config::{SolverConfig, SlaveSelection, TaskSelection};
 pub use driver::{run_experiment, ExperimentInput, RunResult};
+pub use error::{ProcDiag, RunDiagnostics, SimError};
 pub use mapping::StaticMapping;

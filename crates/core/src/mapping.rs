@@ -109,7 +109,7 @@ pub fn compute_mapping(tree: &AssemblyTree, cfg: &SolverConfig) -> StaticMapping
     let mut proc_load = vec![0u64; cfg.nprocs];
     let mut subtree_proc = vec![0usize; nsub];
     for &s in &by_load {
-        let p = (0..cfg.nprocs).min_by_key(|&p| (proc_load[p], p)).unwrap();
+        let p = (0..cfg.nprocs).min_by_key(|&p| (proc_load[p], p)).unwrap_or(0);
         subtree_proc[s] = p;
         proc_load[p] += subtree_flops[subtree_roots[s]];
     }
@@ -160,17 +160,17 @@ pub fn compute_mapping(tree: &AssemblyTree, cfg: &SolverConfig) -> StaticMapping
                 factor_mem[owner[v]] += tree.factor_entries(v);
             }
             NodeKind::Type1 => {
-                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap();
+                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap_or(0);
                 owner[v] = p;
                 factor_mem[p] += tree.factor_entries(v);
             }
             NodeKind::Type2 => {
-                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap();
+                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap_or(0);
                 owner[v] = p;
                 factor_mem[p] += tree.master_entries(v);
             }
             NodeKind::Type3 => {
-                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap();
+                let p = (0..cfg.nprocs).min_by_key(|&p| (factor_mem[p], p)).unwrap_or(0);
                 owner[v] = p;
                 factor_mem[p] += tree.factor_entries(v) / cfg.nprocs as u64;
             }

@@ -11,11 +11,12 @@
 //! ready-master predictions) travel as messages with real latency.
 
 use crate::config::{SlaveSelection, SolverConfig, TaskSelection};
+use crate::error::{ProcDiag, RunDiagnostics, SimError};
 use crate::mapping::{NodeKind, StaticMapping};
 use crate::pool::TaskPool;
-use crate::slavesel::{select_memory, select_workload, SelectionInput};
+use crate::slavesel::{select_memory, select_workload, SelectionInput, SlaveAssignment};
 use crate::views::Views;
-use mf_sim::{Event, EventPayload, NetworkModel, ProcMemory, Sim, Time, Trace};
+use mf_sim::{Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory, Sim, Time, Trace};
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -61,6 +62,34 @@ enum Msg {
     /// choices "known as quickly as possible by the others" (Section 4),
     /// without which concurrent masters pile work on the same processor.
     Assigned { proc: usize, entries: u64 },
+}
+
+impl Msg {
+    /// Fault-injection delivery class: view refreshes are idempotent
+    /// [`MsgClass::Status`] traffic a perturbed network may drop (the run
+    /// stays correct, the views get staler); everything that carries an
+    /// obligation — task payloads, completions, CB bookkeeping, the
+    /// prediction *trigger* `ChildStarted` (its counter must reach the
+    /// child count exactly once per child) — is [`MsgClass::Control`].
+    fn class(&self) -> MsgClass {
+        match self {
+            Msg::MemDelta { .. }
+            | Msg::LoadDelta { .. }
+            | Msg::SubtreePeak { .. }
+            | Msg::Predicted { .. }
+            | Msg::Assigned { .. } => MsgClass::Status,
+            _ => MsgClass::Control,
+        }
+    }
+}
+
+/// A fatal condition detected deep inside the event handlers; the main
+/// loop converts it into a [`SimError`] with full diagnostics after the
+/// current event unwinds.
+#[derive(Debug, Clone)]
+enum Violation {
+    Accounting { proc: usize, area: &'static str },
+    Protocol { detail: String },
 }
 
 /// Work units whose completion is signalled by a timer.
@@ -130,6 +159,15 @@ pub struct RunResult {
     pub nodes_done: usize,
     /// Fronts in the tree.
     pub total_nodes: usize,
+    /// Messages the fault injector dropped (0 without a fault model).
+    pub dropped_messages: u64,
+    /// Degradation events under a hard capacity: serialize-on-master
+    /// fallbacks plus force-activated deferred tasks (0 without a cap).
+    pub forced_activations: u64,
+    /// Per-processor active memory at the end: all zeros in a correct
+    /// run (every CB pushed was popped, every front freed — the entry
+    /// conservation invariant the robustness proptests assert).
+    pub final_active: Vec<u64>,
 }
 
 struct World<'a> {
@@ -154,10 +192,26 @@ struct World<'a> {
     nodes_done: usize,
     messages: u64,
     jitter: Option<(SmallRng, f64)>,
+    fault: Option<FaultInjector>,
+    /// First fatal condition seen by an event handler (checked by the
+    /// main loop after every event).
+    violation: Option<Violation>,
+    /// Count of capacity-degradation events (see
+    /// [`RunResult::forced_activations`]).
+    forced: u64,
 }
 
 /// Runs the simulated parallel factorization.
-pub fn run(tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunResult {
+///
+/// Never panics and never hangs: a no-progress state, a virtual-time
+/// runaway past [`SolverConfig::time_limit`], an accounting underflow, or
+/// a protocol violation returns a typed [`SimError`] carrying a full
+/// per-processor diagnostic snapshot.
+pub fn run(
+    tree: &AssemblyTree,
+    map: &StaticMapping,
+    cfg: &SolverConfig,
+) -> Result<RunResult, SimError> {
     let n = tree.len();
     // Initial workloads: each processor starts with the cost of its
     // subtrees (Section 3); everyone knows this static information.
@@ -199,15 +253,44 @@ pub fn run(tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunR
         nodes_done: 0,
         messages: 0,
         jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
+        // A quiet model cannot perturb anything: keep the exact fast
+        // paths (broadcast blocks) so such runs stay bit-identical.
+        fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
+        violation: None,
+        forced: 0,
     };
 
     for p in 0..cfg.nprocs {
         world.try_start(p);
     }
-    while let Some(Event { payload, .. }) = world.sim.next() {
-        match payload {
-            EventPayload::Message { from, to, msg } => world.deliver(from, to, msg),
-            EventPayload::Timer { proc, key } => world.work_done(proc, key as usize),
+    loop {
+        while let Some(Event { payload, .. }) = world.sim.next() {
+            match payload {
+                EventPayload::Message { from, to, msg } => world.deliver(from, to, msg),
+                EventPayload::Timer { proc, key } => world.work_done(proc, key as usize),
+            }
+            if let Some(v) = world.violation.take() {
+                return Err(world.error_of(v));
+            }
+            if let Some(limit) = cfg.time_limit {
+                if world.sim.now() > limit {
+                    return Err(SimError::TimeLimit { limit, diag: world.diagnostics() });
+                }
+            }
+        }
+        if world.nodes_done >= n {
+            break;
+        }
+        // Drained queue with unfinished fronts. Under a hard capacity the
+        // deadlock may be self-inflicted (every idle processor deferring
+        // every task): force the globally cheapest deferred task and keep
+        // going — degrading memory, never correctness. Otherwise it is a
+        // genuine stall (e.g. a dead network): report it.
+        if !world.force_one_deferred() {
+            return Err(SimError::Stalled { diag: world.diagnostics() });
+        }
+        if let Some(v) = world.violation.take() {
+            return Err(world.error_of(v));
         }
     }
 
@@ -218,7 +301,7 @@ pub fn run(tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunR
     let factor_entries: Vec<u64> = world.procs.iter().map(|p| p.mem.factors()).collect();
     let max_peak = peaks.iter().copied().max().unwrap_or(0);
     let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
-    RunResult {
+    Ok(RunResult {
         total_peaks,
         factor_entries,
         max_peak,
@@ -230,25 +313,92 @@ pub fn run(tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunR
             .then(|| world.procs.iter().map(|p| p.mem.trace().cloned().unwrap_or_default()).collect()),
         nodes_done: world.nodes_done,
         total_nodes: n,
+        dropped_messages: world.fault.as_ref().map_or(0, |f| f.dropped()),
+        forced_activations: world.forced,
+        final_active: world.procs.iter().map(|p| p.mem.active()).collect(),
         peaks,
-    }
+    })
 }
 
 impl<'a> World<'a> {
+    // ---------- diagnostics ----------
+
+    fn diagnostics(&self) -> RunDiagnostics {
+        RunDiagnostics {
+            now: self.sim.now(),
+            delivered_events: self.sim.delivered(),
+            in_flight: self.sim.pending(),
+            nodes_done: self.nodes_done,
+            total_nodes: self.tree.len(),
+            dropped_messages: self.fault.as_ref().map_or(0, |f| f.dropped()),
+            procs: self
+                .procs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ProcDiag {
+                    proc: i,
+                    busy: p.busy,
+                    active: p.mem.active(),
+                    stack: p.mem.stack(),
+                    factors: p.mem.factors(),
+                    pool: p.pool.as_slice().to_vec(),
+                    queued_slave_tasks: p.slave_queue.len(),
+                    current_subtree: p.current_subtree,
+                    underflows: p.mem.underflows(),
+                })
+                .collect(),
+        }
+    }
+
+    fn error_of(&self, v: Violation) -> SimError {
+        let diag = self.diagnostics();
+        match v {
+            Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
+            Violation::Protocol { detail } => SimError::Protocol { detail, diag },
+        }
+    }
+
+    /// Records the first fatal condition; the main loop surfaces it after
+    /// the current event handler unwinds.
+    fn flag(&mut self, v: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(v);
+        }
+    }
+
     // ---------- messaging helpers ----------
 
     fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
         if from == to {
             self.deliver(from, to, msg);
-        } else {
-            self.messages += 1;
-            self.net.send(&mut self.sim, from, to, msg, bytes);
+            return;
+        }
+        self.messages += 1;
+        match &mut self.fault {
+            None => self.net.send(&mut self.sim, from, to, msg, bytes),
+            Some(inj) => {
+                let base = self.net.transfer_time(bytes);
+                if let Some(t) = inj.route(base, msg.class()) {
+                    self.sim.schedule(t, EventPayload::Message { from, to, msg });
+                }
+            }
         }
     }
 
     fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
-        self.messages += self.cfg.nprocs.saturating_sub(1) as u64;
-        self.net.broadcast(&mut self.sim, from, self.cfg.nprocs, msg, bytes);
+        if self.fault.is_none() {
+            self.messages += self.cfg.nprocs.saturating_sub(1) as u64;
+            self.net.broadcast(&mut self.sim, from, self.cfg.nprocs, msg, bytes);
+            return;
+        }
+        // Under fault every target is routed independently (jitter, delay
+        // and drops are per-message), so the single-entry broadcast fast
+        // path cannot apply.
+        for to in 0..self.cfg.nprocs {
+            if to != from {
+                self.send(from, to, msg.clone(), bytes);
+            }
+        }
     }
 
     // ---------- memory helpers (every change refreshes the exact local
@@ -262,7 +412,9 @@ impl<'a> World<'a> {
 
     fn mem_free_front(&mut self, p: usize, entries: u64) {
         let now = self.sim.now();
-        self.procs[p].mem.free_front(now, entries);
+        if !self.procs[p].mem.free_front(now, entries) {
+            self.flag(Violation::Accounting { proc: p, area: "fronts" });
+        }
         self.after_mem_change(p, -(entries as i64));
     }
 
@@ -274,7 +426,9 @@ impl<'a> World<'a> {
 
     fn mem_pop_cb(&mut self, p: usize, entries: u64) {
         let now = self.sim.now();
-        self.procs[p].mem.pop_cb(now, entries);
+        if !self.procs[p].mem.pop_cb(now, entries) {
+            self.flag(Violation::Accounting { proc: p, area: "stack" });
+        }
         self.after_mem_change(p, -(entries as i64));
     }
 
@@ -319,50 +473,115 @@ impl<'a> World<'a> {
         // Received slave tasks have priority (they are already consuming
         // memory; finishing them frees it).
         if let Some(key) = self.procs[p].slave_queue.pop_front() {
-            let flops = match &self.works[key].1 {
-                Work::Slave { flops, .. } | Work::RootShare { flops, .. } => *flops,
-                other => unreachable!("queued work must be slave-like, got {other:?}"),
+            let flops = match self.works.get(key).map(|(_, w)| w) {
+                Some(Work::Slave { flops, .. }) | Some(Work::RootShare { flops, .. }) => *flops,
+                other => {
+                    self.flag(Violation::Protocol {
+                        detail: format!("queued work {key} on proc {p} must be slave-like, got {other:?}"),
+                    });
+                    return;
+                }
             };
-            let duration = self.duration_of(flops);
+            let duration = self.duration_of(p, flops);
             self.procs[p].busy = true;
             self.sim.schedule_timer(p, duration, key as u64);
             return;
         }
+        let tree = self.tree;
+        let map = self.map;
+        let nprocs = self.cfg.nprocs;
+        let pieces = &self.cb_pieces;
+        let cost = |v: usize| match map.kind[v] {
+            NodeKind::Type2 => tree.master_entries(v),
+            NodeKind::Type3 => tree.front_entries(v) / nprocs as u64,
+            _ => tree.front_entries(v),
+        };
+        // Hard capacity: an out-of-subtree activation is deferred unless
+        // its net memory need (activation cost minus the locally stacked
+        // CBs it releases) fits under the cap. Subtree tasks are always
+        // admissible — the static mapping sized them in, and depth-first
+        // progress inside a subtree is what frees its memory.
+        let cap = self.cfg.capacity;
+        let active = self.procs[p].mem.active();
+        let admissible = |v: usize| match cap {
+            None => true,
+            Some(c) => {
+                map.subtree_of[v].is_some() || {
+                    let local_release: u64 =
+                        pieces[v].iter().filter(|&&(h, _)| h == p).map(|&(_, e)| e).sum();
+                    active + cost(v).saturating_sub(local_release) <= c
+                }
+            }
+        };
         let picked = match self.cfg.task_selection {
-            TaskSelection::Lifo => self.procs[p].pool.pick_lifo(),
+            TaskSelection::Lifo => match cap {
+                None => self.procs[p].pool.pick_lifo(),
+                Some(_) => self.procs[p].pool.pick_lifo_admissible(admissible),
+            },
             TaskSelection::MemoryAware | TaskSelection::MemoryAwareGlobal => {
-                let tree = self.tree;
-                let map = self.map;
                 let current = self.effective_memory(p);
                 let observed = self.procs[p].mem.active_peak();
-                let cost = |v: usize| match map.kind[v] {
-                    NodeKind::Type2 => tree.master_entries(v),
-                    NodeKind::Type3 => tree.front_entries(v) / self.cfg.nprocs as u64,
-                    _ => tree.front_entries(v),
-                };
                 match self.cfg.task_selection {
                     TaskSelection::MemoryAware => self.procs[p].pool.pick_memory_aware(
                         |v| map.subtree_of[v].is_some(),
                         cost,
                         current,
                         observed,
+                        admissible,
                     ),
-                    _ => {
-                        let pieces = &self.cb_pieces;
-                        self.procs[p].pool.pick_memory_aware_global(
-                            |v| map.subtree_of[v].is_some(),
-                            cost,
-                            |v| pieces[v].iter().map(|&(_, e)| e).sum(),
-                            current,
-                            observed,
-                        )
-                    }
+                    _ => self.procs[p].pool.pick_memory_aware_global(
+                        |v| map.subtree_of[v].is_some(),
+                        cost,
+                        |v| pieces[v].iter().map(|&(_, e)| e).sum(),
+                        current,
+                        observed,
+                        admissible,
+                    ),
                 }
             }
         };
         if let Some(v) = picked {
             self.activate_node(p, v);
         }
+    }
+
+    /// Memory an activation of `v` allocates on its owner (the cost used
+    /// by Algorithm 2, the capacity check, and the prediction mechanism).
+    fn activation_cost(&self, v: usize) -> u64 {
+        match self.map.kind[v] {
+            NodeKind::Type2 => self.tree.master_entries(v),
+            NodeKind::Type3 => self.tree.front_entries(v) / self.cfg.nprocs as u64,
+            _ => self.tree.front_entries(v),
+        }
+    }
+
+    /// Last-resort degradation step under a hard capacity: when the event
+    /// queue drains with unfinished fronts because every idle processor
+    /// is deferring every ready task, force the globally cheapest
+    /// deferred activation so the factorization completes (degrading
+    /// memory, never correctness). Returns `false` when there is nothing
+    /// to force (a genuine stall).
+    fn force_one_deferred(&mut self) -> bool {
+        if self.cfg.capacity.is_none() {
+            return false;
+        }
+        let mut best: Option<(u64, usize, usize)> = None; // (cost, proc, node)
+        for p in 0..self.cfg.nprocs {
+            if self.procs[p].busy || !self.procs[p].slave_queue.is_empty() {
+                continue;
+            }
+            for &v in self.procs[p].pool.as_slice() {
+                let cand = (self.activation_cost(v), p, v);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let Some((_, p, v)) = best else { return false };
+        self.procs[p].pool.remove_task(v);
+        self.forced += 1;
+        self.activate_node(p, v);
+        true
     }
 
     /// Algorithm 2's "current memory (including peak of subtree)": while a
@@ -422,10 +641,12 @@ impl<'a> World<'a> {
         self.schedule_work(p, Work::Elim { node: v, flops });
     }
 
-    fn start_type2(&mut self, p: usize, v: usize) {
+    /// One slave-selection decision for the type-2 node `v` on master `p`
+    /// restricted to `candidates` (the capacity filter shrinks the set
+    /// and re-selects).
+    fn select_slaves(&self, p: usize, v: usize, candidates: &[usize]) -> Vec<SlaveAssignment> {
         let nd = &self.tree.nodes[v];
         let (nfront, npiv) = (nd.nfront, nd.npiv);
-        let candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != p).collect();
         let metric: Vec<u64> = (0..self.cfg.nprocs)
             .map(|q| {
                 let views = &self.procs[p].views;
@@ -441,7 +662,7 @@ impl<'a> World<'a> {
             .collect();
         let raw_mem: Vec<u64> = (0..self.cfg.nprocs).map(|q| self.procs[p].views.mem[q]).collect();
         let input = SelectionInput {
-            candidates: &candidates,
+            candidates,
             metric: &metric,
             fill_metric: matches!(
                 self.cfg.slave_selection,
@@ -454,13 +675,53 @@ impl<'a> World<'a> {
             sym: self.tree.sym,
             min_rows_per_slave: self.cfg.min_rows_per_slave,
         };
-        let assignment = match self.cfg.slave_selection {
+        match self.cfg.slave_selection {
             SlaveSelection::Workload => select_workload(&input),
             SlaveSelection::Memory => select_memory(&input),
             SlaveSelection::Hybrid => {
                 let load: Vec<u64> =
                     (0..self.cfg.nprocs).map(|q| self.procs[p].views.load[q]).collect();
                 crate::slavesel::select_hybrid(&input, &load, load[p])
+            }
+        }
+    }
+
+    fn start_type2(&mut self, p: usize, v: usize) {
+        let nd = &self.tree.nodes[v];
+        let (nfront, npiv) = (nd.nfront, nd.npiv);
+        let mut candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != p).collect();
+        let assignment = loop {
+            let assignment = self.select_slaves(p, v, &candidates);
+            let Some(cap) = self.cfg.capacity else { break assignment };
+            if assignment.is_empty() {
+                break assignment;
+            }
+            // Hard capacity: drop every candidate whose projected memory
+            // (the master's view plus the block it would receive) would
+            // breach the cap, and re-select over the survivors — fewer,
+            // larger shares on the processors that still have room.
+            let violators: Vec<usize> = assignment
+                .iter()
+                .filter(|a| {
+                    let entries = crate::blocking::slave_block_entries(
+                        self.tree.sym,
+                        nfront,
+                        npiv,
+                        a.offset,
+                        a.nrows,
+                    );
+                    self.procs[p].views.mem[a.proc] + entries > cap
+                })
+                .map(|a| a.proc)
+                .collect();
+            if violators.is_empty() {
+                break assignment;
+            }
+            candidates.retain(|q| !violators.contains(q));
+            if candidates.is_empty() {
+                // Last resort: serialize the whole front on the master.
+                self.forced += 1;
+                break Vec::new();
             }
         };
         if assignment.is_empty() {
@@ -537,20 +798,32 @@ impl<'a> World<'a> {
             | Work::Slave { flops, .. }
             | Work::RootShare { flops, .. } => *flops,
         };
-        let duration = self.duration_of(flops);
+        let duration = self.duration_of(p, flops);
         let key = self.works.len();
         self.works.push((p, work));
         self.sim.schedule_timer(p, duration, key as u64);
     }
 
-    fn duration_of(&mut self, flops: u64) -> Time {
+    fn duration_of(&mut self, p: usize, flops: u64) -> Time {
         let exact = (flops / self.cfg.flops_per_tick.max(1)).max(1);
-        match &mut self.jitter {
+        let base = match &mut self.jitter {
             None => exact,
             Some((rng, pct)) => {
                 // Multiplicative noise in [1-pct, 1+pct].
                 let factor = 1.0 + *pct * (rng.gen::<f64>() * 2.0 - 1.0);
                 ((exact as f64 * factor).round() as Time).max(1)
+            }
+        };
+        // Straggler processors compute slower by their speed factor.
+        match &self.fault {
+            None => base,
+            Some(f) => {
+                let factor = f.speed_factor(p);
+                if factor > 1.0 {
+                    ((base as f64 * factor).round() as Time).max(1)
+                } else {
+                    base
+                }
             }
         }
     }
@@ -565,8 +838,7 @@ impl<'a> World<'a> {
             if holder == p {
                 self.mem_pop_cb(p, entries);
             } else {
-                self.messages += 1;
-                self.net.send(&mut self.sim, p, holder, Msg::FetchCb { entries }, 16);
+                self.send(p, holder, Msg::FetchCb { entries }, 16);
             }
         }
     }
@@ -574,7 +846,10 @@ impl<'a> World<'a> {
     // ---------- completions ----------
 
     fn work_done(&mut self, p: usize, key: usize) {
-        let (wp, work) = self.works[key].clone();
+        let Some((wp, work)) = self.works.get(key).cloned() else {
+            self.flag(Violation::Protocol { detail: format!("timer fired for unknown work key {key}") });
+            return;
+        };
         debug_assert_eq!(wp, p);
         match work {
             Work::Elim { node, flops } => {
@@ -644,7 +919,12 @@ impl<'a> World<'a> {
     /// until the parent activates; the parent's master is informed.
     fn produce_cb_piece(&mut self, p: usize, child: usize, entries: u64) {
         self.mem_push_cb(p, entries);
-        let parent = self.tree.nodes[child].parent.expect("CB piece needs a parent");
+        let Some(parent) = self.tree.nodes[child].parent else {
+            self.flag(Violation::Protocol {
+                detail: format!("CB piece produced for parentless node {child}"),
+            });
+            return;
+        };
         let dest = self.map.owner[parent];
         self.send(p, dest, Msg::PieceDone { child, holder: p, entries }, 16);
     }
@@ -654,14 +934,22 @@ impl<'a> World<'a> {
     fn deliver(&mut self, from: usize, to: usize, msg: Msg) {
         match msg {
             Msg::PieceDone { child, holder, entries } => {
-                let parent = self.tree.nodes[child].parent.expect("piece needs a parent");
+                let Some(parent) = self.tree.nodes[child].parent else {
+                    self.flag(Violation::Protocol {
+                        detail: format!("PieceDone for parentless node {child}"),
+                    });
+                    return;
+                };
                 // If the parent already activated, release immediately.
                 if self.activated[parent] {
                     if holder == to {
                         self.mem_pop_cb(to, entries);
+                        // Freed memory may admit a deferred task.
+                        if self.cfg.capacity.is_some() {
+                            self.try_start(to);
+                        }
                     } else {
-                        self.messages += 1;
-                        self.net.send(&mut self.sim, to, holder, Msg::FetchCb { entries }, 16);
+                        self.send(to, holder, Msg::FetchCb { entries }, 16);
                     }
                 } else {
                     self.cb_pieces[parent].push((holder, entries));
@@ -669,7 +957,15 @@ impl<'a> World<'a> {
                 self.pieces_got[child] += 1;
                 self.check_child_done(to, child);
             }
-            Msg::FetchCb { entries } => self.mem_pop_cb(to, entries),
+            Msg::FetchCb { entries } => {
+                self.mem_pop_cb(to, entries);
+                // Freed memory may admit a deferred task (only meaningful
+                // under a hard capacity; without one, nothing was ever
+                // deferred and this keeps the happy path untouched).
+                if self.cfg.capacity.is_some() {
+                    self.try_start(to);
+                }
+            }
             Msg::Complete { child, pieces } => {
                 self.pieces_expected[child] = Some(pieces);
                 self.child_complete[child] = true;
@@ -721,13 +1017,7 @@ impl<'a> World<'a> {
                     && self.map.subtree_of[node].is_none()
                     && !self.activated[node]
                 {
-                    let cost = match self.map.kind[node] {
-                        NodeKind::Type2 => self.tree.master_entries(node),
-                        NodeKind::Type3 => {
-                            self.tree.front_entries(node) / self.cfg.nprocs as u64
-                        }
-                        _ => self.tree.front_entries(node),
-                    };
+                    let cost = self.activation_cost(node);
                     self.procs[to].soon.insert(node, cost);
                     self.rebroadcast_prediction(to);
                 }
@@ -741,7 +1031,12 @@ impl<'a> World<'a> {
             return;
         }
         self.child_complete[child] = false; // fire once
-        let parent = self.tree.nodes[child].parent.expect("completion tracked at parent owner");
+        let Some(parent) = self.tree.nodes[child].parent else {
+            self.flag(Violation::Protocol {
+                detail: format!("completion tracked for parentless node {child}"),
+            });
+            return;
+        };
         self.done_children[parent] += 1;
         if self.done_children[parent] == self.tree.nodes[parent].children.len() {
             self.node_ready(q, parent);
@@ -819,7 +1114,7 @@ mod tests {
                 ..SolverConfig::mumps_baseline(nprocs)
             };
             let map = compute_mapping(&tree, &cfg);
-            let r = run(&tree, &map, &cfg);
+            let r = run(&tree, &map, &cfg).unwrap();
             assert_eq!(r.nodes_done, r.total_nodes, "nprocs={nprocs}");
             assert!(r.makespan > 0);
         }
@@ -833,7 +1128,7 @@ mod tests {
         let tree = tree_for(20);
         let cfg = SolverConfig::mumps_baseline(1);
         let map = compute_mapping(&tree, &cfg);
-        let r = run(&tree, &map, &cfg);
+        let r = run(&tree, &map, &cfg).unwrap();
         assert_eq!(r.nodes_done, r.total_nodes);
         assert_eq!(r.max_peak, sequential_peak(&tree, AssemblyDiscipline::FrontThenFree));
     }
@@ -843,8 +1138,8 @@ mod tests {
         let tree = tree_for(20);
         let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
         let map = compute_mapping(&tree, &cfg);
-        let r1 = run(&tree, &map, &cfg);
-        let r2 = run(&tree, &map, &cfg);
+        let r1 = run(&tree, &map, &cfg).unwrap();
+        let r2 = run(&tree, &map, &cfg).unwrap();
         assert_eq!(r1.peaks, r2.peaks);
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.messages, r2.messages);
@@ -858,7 +1153,7 @@ mod tests {
             SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(8) },
         ] {
             let map = compute_mapping(&tree, &cfg);
-            let r = run(&tree, &map, &cfg);
+            let r = run(&tree, &map, &cfg).unwrap();
             assert_eq!(r.nodes_done, r.total_nodes);
             assert!(r.max_peak > 0);
         }
@@ -869,10 +1164,10 @@ mod tests {
         let tree = tree_for(20);
         let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
         let map = compute_mapping(&tree, &cfg0);
-        let incore = run(&tree, &map, &cfg0);
+        let incore = run(&tree, &map, &cfg0).unwrap();
         // Fast disk: factors stream out, stack behaviour unchanged.
         let fast = SolverConfig { out_of_core: Some(u64::MAX), ..cfg0.clone() };
-        let r = run(&tree, &map, &fast);
+        let r = run(&tree, &map, &fast).unwrap();
         assert_eq!(r.nodes_done, r.total_nodes);
         assert_eq!(r.peaks, incore.peaks, "stack behaviour must not change");
         assert_eq!(r.total_peaks, r.peaks, "no factors in core");
@@ -880,7 +1175,7 @@ mod tests {
         assert!(incore.total_peaks.iter().sum::<u64>() > incore.peaks.iter().sum::<u64>());
         // Slow disk: same memory, longer makespan (disk is the bottleneck).
         let slow = SolverConfig { out_of_core: Some(1), ..cfg0 };
-        let rs = run(&tree, &map, &slow);
+        let rs = run(&tree, &map, &slow).unwrap();
         assert_eq!(rs.peaks, incore.peaks);
         assert!(rs.makespan > incore.makespan, "{} !> {}", rs.makespan, incore.makespan);
     }
@@ -890,10 +1185,10 @@ mod tests {
         let tree = tree_for(20);
         let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
         let map = compute_mapping(&tree, &cfg0);
-        let exact = run(&tree, &map, &cfg0);
+        let exact = run(&tree, &map, &cfg0).unwrap();
         let j1 = SolverConfig { jitter: Some((7, 0.1)), ..cfg0.clone() };
-        let r1 = run(&tree, &map, &j1);
-        let r2 = run(&tree, &map, &j1);
+        let r1 = run(&tree, &map, &j1).unwrap();
+        let r2 = run(&tree, &map, &j1).unwrap();
         // Same seed: bit-identical. All fronts still complete.
         assert_eq!(r1.peaks, r2.peaks);
         assert_eq!(r1.makespan, r2.makespan);
@@ -903,7 +1198,7 @@ mod tests {
         let hi = exact.makespan as f64 * 1.3;
         assert!((r1.makespan as f64) > lo && (r1.makespan as f64) < hi);
         // A different seed generally yields a different schedule.
-        let r3 = run(&tree, &map, &SolverConfig { jitter: Some((8, 0.1)), ..cfg0 });
+        let r3 = run(&tree, &map, &SolverConfig { jitter: Some((8, 0.1)), ..cfg0 }).unwrap();
         assert!(r3.makespan != r1.makespan || r3.peaks != r1.peaks);
     }
 
@@ -916,7 +1211,7 @@ mod tests {
             ..SolverConfig::mumps_baseline(4)
         };
         let map = compute_mapping(&tree, &cfg);
-        let r = run(&tree, &map, &cfg);
+        let r = run(&tree, &map, &cfg).unwrap();
         let traces = r.traces.unwrap();
         assert_eq!(traces.len(), 4);
         // Traces collapse same-instant transients to the final value, so
@@ -932,12 +1227,139 @@ mod tests {
         let tree = tree_for(24);
         let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
         let map = compute_mapping(&tree, &cfg);
-        let r = run(&tree, &map, &cfg);
+        let r = run(&tree, &map, &cfg).unwrap();
         let biggest_local = (0..tree.len())
             .filter(|&v| matches!(map.kind[v], NodeKind::Subtree(_) | NodeKind::Type1))
             .map(|v| tree.front_entries(v))
             .max()
             .unwrap_or(0);
         assert!(r.max_peak >= biggest_local);
+    }
+
+    #[test]
+    fn quiet_fault_model_is_bit_identical() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        let quiet = SolverConfig { fault: Some(mf_sim::FaultModel::quiet(9)), ..cfg0 };
+        let r = run(&tree, &map, &quiet).unwrap();
+        assert_eq!(r.peaks, plain.peaks);
+        assert_eq!(r.makespan, plain.makespan);
+        assert_eq!(r.messages, plain.messages);
+        assert_eq!(r.dropped_messages, 0);
+    }
+
+    #[test]
+    fn perturbed_runs_terminate_deterministically_with_same_factors() {
+        let tree = tree_for(24);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        let cfg = SolverConfig {
+            fault: Some(mf_sim::FaultModel::intensity(13, 3.0)),
+            ..cfg0
+        };
+        let r1 = run(&tree, &map, &cfg).unwrap();
+        let r2 = run(&tree, &map, &cfg).unwrap();
+        // Same seed: bit-identical.
+        assert_eq!(r1.peaks, r2.peaks);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.dropped_messages, r2.dropped_messages);
+        // Perturbed but correct: all fronts done, entry conservation, and
+        // the factors are the ones the tree defines — identical to the
+        // unperturbed run's.
+        assert_eq!(r1.nodes_done, r1.total_nodes);
+        assert!(r1.final_active.iter().all(|&a| a == 0), "{:?}", r1.final_active);
+        assert!(r1.dropped_messages > 0, "intensity 3 should drop something");
+        assert_eq!(
+            r1.factor_entries.iter().sum::<u64>(),
+            plain.factor_entries.iter().sum::<u64>(),
+        );
+    }
+
+    #[test]
+    fn watchdog_reports_stall_when_network_dies() {
+        // Kill the network early: some Complete/SlaveTask message is lost
+        // and the factorization can never finish — the watchdog must
+        // return a diagnosable Stalled error instead of hanging.
+        let tree = tree_for(24);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let cfg = SolverConfig {
+            fault: Some(mf_sim::FaultModel {
+                kill_network_after: Some(10),
+                ..mf_sim::FaultModel::quiet(1)
+            }),
+            ..cfg0
+        };
+        match run(&tree, &map, &cfg) {
+            Err(SimError::Stalled { diag }) => {
+                assert!(diag.nodes_done < diag.total_nodes);
+                assert_eq!(diag.procs.len(), 4);
+                assert!(diag.dropped_messages > 0);
+                // The snapshot names what every processor held.
+                assert!(diag.procs.iter().any(|p| !p.pool.is_empty() || p.active > 0));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_trips_the_runaway_guard() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let cfg = SolverConfig { time_limit: Some(1), ..cfg0 };
+        match run(&tree, &map, &cfg) {
+            Err(SimError::TimeLimit { limit, diag }) => {
+                assert_eq!(limit, 1);
+                assert!(diag.now > 1);
+            }
+            other => panic!("expected TimeLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capped_runs_complete_within_capacity() {
+        let tree = tree_for(28);
+        for base in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(8) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(8) },
+        ] {
+            let map = compute_mapping(&tree, &base);
+            let free = run(&tree, &map, &base).unwrap();
+            let cap = free.max_peak + free.max_peak / 5; // 1.2x headroom
+            let capped = SolverConfig { capacity: Some(cap), ..base };
+            let r = run(&tree, &map, &capped).unwrap();
+            assert_eq!(r.nodes_done, r.total_nodes);
+            assert!(
+                r.peaks.iter().all(|&pk| pk <= cap),
+                "peaks {:?} exceed capacity {cap}",
+                r.peaks
+            );
+            assert!(r.final_active.iter().all(|&a| a == 0));
+        }
+    }
+
+    #[test]
+    fn tight_capacity_degrades_time_not_correctness() {
+        // A capacity right at the biggest single allocation forces heavy
+        // deferral/serialization, but the run still completes.
+        let tree = tree_for(24);
+        let base = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &base);
+        let free = run(&tree, &map, &base).unwrap();
+        let floor = (0..tree.len()).map(|v| tree.front_entries(v)).max().unwrap_or(0);
+        let capped = SolverConfig { capacity: Some(floor.max(1)), ..base };
+        let r = run(&tree, &map, &capped).unwrap();
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert!(r.final_active.iter().all(|&a| a == 0));
+        assert!(
+            r.makespan >= free.makespan,
+            "tight cap should not be faster: {} < {}",
+            r.makespan,
+            free.makespan
+        );
     }
 }

@@ -43,12 +43,25 @@ impl TaskPool {
         self.stack.pop()
     }
 
+    /// LIFO restricted to `admissible` tasks: the topmost admissible task
+    /// is taken; `None` defers everything (hard-capacity backpressure —
+    /// the caller retries when memory frees or forces a task when the
+    /// whole simulation would otherwise stall).
+    pub fn pick_lifo_admissible(&mut self, admissible: impl Fn(usize) -> bool) -> Option<usize> {
+        let idx = self.stack.iter().rposition(|&t| admissible(t))?;
+        Some(self.stack.remove(idx))
+    }
+
     /// Algorithm 2 with the global refinement of Section 6: like
     /// [`TaskPool::pick_memory_aware`], but a task's cost is offset by the
     /// contribution blocks (`released(t)`, local and remote) its
     /// activation frees — "the selection should not only be based on the
     /// memory of the processor concerned but also on the memory that will
     /// be freed (contribution blocks) on others".
+    ///
+    /// Only `admissible` tasks are ever returned (pass `|_| true` when no
+    /// hard capacity applies); `None` with a non-empty pool means every
+    /// task is inadmissible and the processor should wait.
     pub fn pick_memory_aware_global(
         &mut self,
         in_subtree: impl Fn(usize) -> bool,
@@ -56,20 +69,22 @@ impl TaskPool {
         released: impl Fn(usize) -> u64,
         current_memory: u64,
         observed_peak: u64,
+        admissible: impl Fn(usize) -> bool,
     ) -> Option<usize> {
         let &top = self.stack.last()?;
-        if in_subtree(top) {
+        if in_subtree(top) && admissible(top) {
             return self.stack.pop();
         }
         for idx in (0..self.stack.len()).rev() {
             let t = self.stack[idx];
             let net_cost = cost(t).saturating_sub(released(t));
-            if net_cost + current_memory <= observed_peak || in_subtree(t) {
+            if admissible(t) && (net_cost + current_memory <= observed_peak || in_subtree(t)) {
                 return Some(self.stack.remove(idx));
             }
         }
         // Fallback: the pending task releasing the most memory system-wide.
         let best = (0..self.stack.len())
+            .filter(|&i| admissible(self.stack[i]))
             .max_by_key(|&i| (released(self.stack[i]), std::cmp::Reverse(cost(self.stack[i]))))?;
         Some(self.stack.remove(best))
     }
@@ -85,24 +100,43 @@ impl TaskPool {
     ///   depth-first traversal);
     /// * if no task qualifies, the top is returned (the factorization must
     ///   progress even if the peak grows).
+    ///
+    /// Only `admissible` tasks are ever returned (pass `|_| true` when no
+    /// hard capacity applies); `None` with a non-empty pool means every
+    /// task is inadmissible and the processor should wait.
     pub fn pick_memory_aware(
         &mut self,
         in_subtree: impl Fn(usize) -> bool,
         cost: impl Fn(usize) -> u64,
         current_memory: u64,
         observed_peak: u64,
+        admissible: impl Fn(usize) -> bool,
     ) -> Option<usize> {
         let &top = self.stack.last()?;
-        if in_subtree(top) {
+        if in_subtree(top) && admissible(top) {
             return self.stack.pop();
         }
         for idx in (0..self.stack.len()).rev() {
             let t = self.stack[idx];
-            if cost(t) + current_memory <= observed_peak || in_subtree(t) {
+            if admissible(t) && (cost(t) + current_memory <= observed_peak || in_subtree(t)) {
                 return Some(self.stack.remove(idx));
             }
         }
-        self.stack.pop()
+        let idx = self.stack.iter().rposition(|&t| admissible(t))?;
+        Some(self.stack.remove(idx))
+    }
+
+    /// Removes a specific task (used when the scheduler force-activates a
+    /// deferred task to break a capacity-induced stall). Returns `false`
+    /// when the task is not in the pool.
+    pub fn remove_task(&mut self, node: usize) -> bool {
+        match self.stack.iter().rposition(|&t| t == node) {
+            Some(idx) => {
+                self.stack.remove(idx);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -125,7 +159,7 @@ mod tests {
         let mut p = TaskPool::new(vec![10, 20]);
         // 20 is in a subtree; its cost would blow the peak, but it still
         // goes first.
-        let got = p.pick_memory_aware(|t| t == 20, |_| 1_000_000, 999, 1_000);
+        let got = p.pick_memory_aware(|t| t == 20, |_| 1_000_000, 999, 1_000, |_| true);
         assert_eq!(got, Some(20));
     }
 
@@ -135,7 +169,7 @@ mod tests {
         // below (5) fits under the observed peak and runs first.
         let mut p = TaskPool::new(vec![5, 100]);
         let cost = |t: usize| t as u64;
-        let got = p.pick_memory_aware(|_| false, cost, 50, 60);
+        let got = p.pick_memory_aware(|_| false, cost, 50, 60, |_| true);
         assert_eq!(got, Some(5));
         assert_eq!(p.as_slice(), &[100]);
     }
@@ -144,7 +178,7 @@ mod tests {
     fn subtree_task_deeper_in_pool_is_preferred() {
         let mut p = TaskPool::new(vec![7, 8, 100]);
         // 100 too big, 8 too big but in a subtree.
-        let got = p.pick_memory_aware(|t| t == 8, |t| t as u64, 50, 60);
+        let got = p.pick_memory_aware(|t| t == 8, |t| t as u64, 50, 60, |_| true);
         assert_eq!(got, Some(8));
         assert_eq!(p.as_slice(), &[7, 100]);
     }
@@ -152,21 +186,21 @@ mod tests {
     #[test]
     fn falls_back_to_top_when_nothing_fits() {
         let mut p = TaskPool::new(vec![70, 100]);
-        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60);
+        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60, |_| true);
         assert_eq!(got, Some(100));
     }
 
     #[test]
     fn fitting_top_task_is_taken_directly() {
         let mut p = TaskPool::new(vec![70, 5]);
-        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60);
+        let got = p.pick_memory_aware(|_| false, |t| t as u64, 50, 60, |_| true);
         assert_eq!(got, Some(5));
     }
 
     #[test]
     fn empty_pool_returns_none() {
         let mut p = TaskPool::default();
-        assert_eq!(p.pick_memory_aware(|_| false, |_| 0, 0, 0), None);
+        assert_eq!(p.pick_memory_aware(|_| false, |_| 0, 0, 0, |_| true), None);
     }
 
     #[test]
@@ -180,8 +214,39 @@ mod tests {
             |t| if t == 100 { 80 } else { 0 },
             50,
             75,
+            |_| true,
         );
         assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn inadmissible_tasks_are_deferred() {
+        // Hard capacity: nothing admissible -> None, the pool is intact.
+        let mut p = TaskPool::new(vec![5, 100]);
+        let got = p.pick_memory_aware(|_| false, |t| t as u64, 0, 1_000, |_| false);
+        assert_eq!(got, None);
+        assert_eq!(p.as_slice(), &[5, 100]);
+        // A subtree task at the top is also held back when inadmissible.
+        let got = p.pick_memory_aware(|t| t == 100, |t| t as u64, 0, 1_000, |t| t != 100);
+        assert_eq!(got, Some(5));
+        assert_eq!(p.as_slice(), &[100]);
+    }
+
+    #[test]
+    fn lifo_admissible_takes_topmost_fitting_task() {
+        let mut p = TaskPool::new(vec![1, 2, 3]);
+        assert_eq!(p.pick_lifo_admissible(|t| t != 3), Some(2));
+        assert_eq!(p.as_slice(), &[1, 3]);
+        assert_eq!(p.pick_lifo_admissible(|_| false), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn remove_task_extracts_a_specific_node() {
+        let mut p = TaskPool::new(vec![4, 9, 6]);
+        assert!(p.remove_task(9));
+        assert!(!p.remove_task(9));
+        assert_eq!(p.as_slice(), &[4, 6]);
     }
 
     #[test]
@@ -194,6 +259,7 @@ mod tests {
             |t| if t == 60 { 10 } else { 0 },
             50,
             10,
+            |_| true,
         );
         assert_eq!(got, Some(60));
     }

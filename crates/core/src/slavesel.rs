@@ -77,8 +77,10 @@ pub fn select_workload(input: &SelectionInput<'_>) -> Vec<SlaveAssignment> {
     if cands.is_empty() {
         // Nobody is less loaded: take the single least-loaded candidate so
         // the type-2 node still runs in parallel (MUMPS keeps ≥1 slave).
-        let best = *input.candidates.iter().min_by_key(|&&p| (input.metric[p], p)).unwrap();
-        cands.push(best);
+        match input.candidates.iter().min_by_key(|&&p| (input.metric[p], p)) {
+            Some(&best) => cands.push(best),
+            None => return Vec::new(),
+        }
     }
     cands.sort_by_key(|&p| (input.metric[p], p));
     let k = cands.len().min(input.max_slaves()).min(rows);
@@ -158,8 +160,10 @@ pub fn select_hybrid(
     let mut feasible: Vec<usize> =
         input.candidates.iter().copied().filter(|&p| load[p] < master_load).collect();
     if feasible.is_empty() {
-        let best = *input.candidates.iter().min_by_key(|&&p| (load[p], p)).unwrap();
-        feasible.push(best);
+        match input.candidates.iter().min_by_key(|&&p| (load[p], p)) {
+            Some(&best) => feasible.push(best),
+            None => return Vec::new(),
+        }
     }
     let narrowed = SelectionInput { candidates: &feasible, ..input.clone() };
     select_memory(&narrowed)

@@ -1,0 +1,141 @@
+//! Property tests of the robustness subsystem: whatever the perturbation
+//! seed and the scheduling strategy, a faulted run must still terminate,
+//! conserve contribution-block entries, and produce the factors of the
+//! unperturbed factorization; a capacity-capped run must stay under its
+//! cap on every processor.
+
+use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim;
+use mf_order::OrderingKind;
+use mf_sim::FaultModel;
+use mf_sparse::gen::grid::{grid2d, Stencil};
+use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+use mf_symbolic::{AmalgamationOptions, AssemblyTree};
+use proptest::prelude::*;
+
+fn tree_for(nx: usize) -> AssemblyTree {
+    let a = grid2d(nx, nx, Stencil::Star);
+    let p = OrderingKind::Metis.compute(&a);
+    let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+    s.tree
+}
+
+fn strategy_cfg(which: usize, nprocs: usize) -> SolverConfig {
+    let base = SolverConfig {
+        type2_front_min: 24,
+        ..SolverConfig::mumps_baseline(nprocs)
+    };
+    match which {
+        0 => base,
+        1 => SolverConfig {
+            slave_selection: SlaveSelection::Memory,
+            task_selection: TaskSelection::MemoryAware,
+            use_subtree_info: true,
+            use_prediction: true,
+            ..base
+        },
+        _ => SolverConfig {
+            slave_selection: SlaveSelection::Hybrid,
+            task_selection: TaskSelection::MemoryAwareGlobal,
+            use_subtree_info: true,
+            use_prediction: true,
+            ..base
+        },
+    }
+}
+
+proptest! {
+    // Each case runs a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Perturbed runs terminate with the right answer: every front is
+    /// factorized, every stacked contribution block is consumed (entry
+    /// conservation), and the factor entries are exactly the unperturbed
+    /// run's — jitter, delay, reordering and status drops may change the
+    /// schedule but never the factorization.
+    #[test]
+    fn perturbed_runs_terminate_and_preserve_factors(
+        seed in any::<u64>(),
+        level in 0.5f64..4.0,
+        strategy in 0usize..3,
+        nprocs in 2usize..9,
+        nx in 12usize..18,
+    ) {
+        let tree = tree_for(nx);
+        let cfg0 = strategy_cfg(strategy, nprocs);
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = parsim::run(&tree, &map, &cfg0).unwrap();
+        let cfg = SolverConfig {
+            fault: Some(FaultModel::intensity(seed, level)),
+            ..cfg0
+        };
+        let r = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert!(r.final_active.iter().all(|&a| a == 0),
+            "leaked stack entries: {:?}", r.final_active);
+        prop_assert_eq!(
+            r.factor_entries.iter().sum::<u64>(),
+            plain.factor_entries.iter().sum::<u64>(),
+        );
+        // Same seed, same level: the perturbation itself is deterministic.
+        let r2 = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.peaks, r2.peaks);
+        prop_assert_eq!(r.makespan, r2.makespan);
+        prop_assert_eq!(r.dropped_messages, r2.dropped_messages);
+    }
+
+    /// Hard memory caps hold: with capacity = 1.2x the uncapped peak, the
+    /// run completes and no processor's stack+front footprint ever
+    /// exceeds the cap.
+    #[test]
+    fn capped_runs_never_exceed_capacity(
+        strategy in 0usize..3,
+        nprocs in 2usize..9,
+        nx in 12usize..18,
+    ) {
+        let tree = tree_for(nx);
+        let cfg0 = strategy_cfg(strategy, nprocs);
+        let map = compute_mapping(&tree, &cfg0);
+        let free = parsim::run(&tree, &map, &cfg0).unwrap();
+        let cap = free.max_peak + free.max_peak / 5;
+        let capped = SolverConfig { capacity: Some(cap), ..cfg0 };
+        let r = parsim::run(&tree, &map, &capped).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert!(r.peaks.iter().all(|&pk| pk <= cap),
+            "peaks {:?} exceed capacity {}", r.peaks, cap);
+        prop_assert!(r.final_active.iter().all(|&a| a == 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Perturbation and capacity composed: the run still terminates under
+    /// the cap or degrades by deferring — it never hangs and never
+    /// corrupts the factors.
+    #[test]
+    fn perturbed_capped_runs_still_complete(
+        seed in any::<u64>(),
+        level in 0.5f64..3.0,
+        strategy in 0usize..3,
+    ) {
+        let tree = tree_for(14);
+        let cfg0 = strategy_cfg(strategy, 4);
+        let map = compute_mapping(&tree, &cfg0);
+        let free = parsim::run(&tree, &map, &cfg0).unwrap();
+        let cfg = SolverConfig {
+            fault: Some(FaultModel::intensity(seed, level)),
+            capacity: Some(free.max_peak + free.max_peak / 5),
+            ..cfg0
+        };
+        let r = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert!(r.final_active.iter().all(|&a| a == 0));
+        prop_assert_eq!(
+            r.factor_entries.iter().sum::<u64>(),
+            free.factor_entries.iter().sum::<u64>(),
+        );
+    }
+}

@@ -210,12 +210,11 @@ impl<M: Clone> Sim<M> {
 
     /// Delivers the next message of the active broadcast block, if any.
     fn next_broadcast_delivery(&mut self) -> Option<Event<M>> {
-        let b = self.bcast.as_mut()?;
+        let mut b = self.bcast.take()?;
         if b.next == b.from {
             b.next += 1;
         }
         if b.next >= b.nprocs {
-            self.bcast = None;
             return None;
         }
         let to = b.next;
@@ -223,9 +222,11 @@ impl<M: Clone> Sim<M> {
         let (at, from) = (b.at, b.from);
         let msg = if broadcast_targets(b.from, b.nprocs, b.next) == 0 {
             // Last delivery: move the message out instead of cloning.
-            self.bcast.take().expect("active broadcast").msg
+            b.msg
         } else {
-            b.msg.clone()
+            let msg = b.msg.clone();
+            self.bcast = Some(b);
+            msg
         };
         self.delivered += 1;
         Some(Event { at, payload: EventPayload::Message { from, to, msg } })

@@ -9,6 +9,8 @@
 //! * [`engine`] — a virtual clock and event queue with FIFO tie-breaking,
 //!   so every run is exactly reproducible;
 //! * [`network`] — a latency + bandwidth message model;
+//! * [`fault`] — seeded deterministic perturbations (jitter, delay,
+//!   status-message loss, stragglers) for robustness experiments;
 //! * [`memory`] — per-processor memory accounts (factors area + CB stack +
 //!   active fronts) with running peaks and optional time-series traces,
 //!   the measurement instrument behind every table of the reproduction.
@@ -18,11 +20,13 @@
 
 #![warn(missing_docs)]
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod network;
 pub mod trace;
 
 pub use engine::{Event, EventPayload, Sim, Time};
+pub use fault::{FaultInjector, FaultModel, MsgClass};
 pub use memory::ProcMemory;
 pub use network::NetworkModel;
 pub use trace::{Trace, TraceSample};

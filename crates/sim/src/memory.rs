@@ -17,6 +17,7 @@ pub struct ProcMemory {
     fronts: u64,
     active_peak: u64,
     total_peak: u64,
+    underflows: u64,
     trace: Option<Trace>,
 }
 
@@ -47,11 +48,19 @@ impl ProcMemory {
         self.bump(at);
     }
 
-    /// Releases a frontal matrix.
-    pub fn free_front(&mut self, at: Time, entries: u64) {
-        debug_assert!(self.fronts >= entries, "front underflow");
-        self.fronts -= entries;
+    /// Releases a frontal matrix. Returns `false` on underflow (an
+    /// accounting bug): the account saturates at zero instead of
+    /// wrapping, the event is counted in [`Self::underflows`], and the
+    /// caller's watchdog reports it — in release builds too.
+    #[must_use = "an underflow is an accounting bug the caller must surface"]
+    pub fn free_front(&mut self, at: Time, entries: u64) -> bool {
+        let ok = self.fronts >= entries;
+        if !ok {
+            self.underflows += 1;
+        }
+        self.fronts = self.fronts.saturating_sub(entries);
         self.bump(at);
+        ok
     }
 
     /// Pushes a contribution block.
@@ -60,11 +69,17 @@ impl ProcMemory {
         self.bump(at);
     }
 
-    /// Pops a contribution block.
-    pub fn pop_cb(&mut self, at: Time, entries: u64) {
-        debug_assert!(self.stack >= entries, "stack underflow");
-        self.stack -= entries;
+    /// Pops a contribution block. Returns `false` on underflow, with the
+    /// same saturate-and-count semantics as [`Self::free_front`].
+    #[must_use = "an underflow is an accounting bug the caller must surface"]
+    pub fn pop_cb(&mut self, at: Time, entries: u64) -> bool {
+        let ok = self.stack >= entries;
+        if !ok {
+            self.underflows += 1;
+        }
+        self.stack = self.stack.saturating_sub(entries);
         self.bump(at);
+        ok
     }
 
     /// Appends factor entries.
@@ -98,6 +113,12 @@ impl ProcMemory {
         self.total_peak
     }
 
+    /// Number of underflowing releases seen (always-on checked
+    /// accounting; zero in a correct run).
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
     /// Recorded time series, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -113,10 +134,11 @@ mod tests {
         let mut m = ProcMemory::new(false);
         m.push_cb(0, 100);
         m.alloc_front(1, 50);
-        m.pop_cb(2, 100);
-        m.free_front(3, 50);
+        assert!(m.pop_cb(2, 100));
+        assert!(m.free_front(3, 50));
         assert_eq!(m.active(), 0);
         assert_eq!(m.active_peak(), 150);
+        assert_eq!(m.underflows(), 0);
     }
 
     #[test]
@@ -132,16 +154,22 @@ mod tests {
     fn trace_records_every_change() {
         let mut m = ProcMemory::new(true);
         m.alloc_front(5, 7);
-        m.free_front(9, 7);
+        assert!(m.free_front(9, 7));
         let t = m.trace().unwrap();
         assert_eq!(t.samples(), &[(5, 7).into(), (9, 0).into()]);
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "stack underflow")]
-    fn underflow_is_caught() {
+    fn underflow_saturates_and_is_counted() {
+        // Always-on checked accounting: release builds must not wrap.
         let mut m = ProcMemory::new(false);
-        m.pop_cb(0, 1);
+        m.push_cb(0, 5);
+        assert!(!m.pop_cb(1, 8));
+        assert_eq!(m.stack(), 0);
+        assert!(!m.free_front(2, 1));
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.underflows(), 2);
+        // Peaks are unaffected by the saturated releases.
+        assert_eq!(m.active_peak(), 5);
     }
 }

@@ -25,12 +25,15 @@ impl NetworkModel {
         NetworkModel { latency: 0, bytes_per_tick: u64::MAX }
     }
 
-    /// Transfer time of a message of `bytes`.
+    /// Transfer time of a message of `bytes`. Partial ticks cost a full
+    /// tick (`div_ceil`): a 16-byte status broadcast at 350 B/tick takes
+    /// `latency + 1`, not `latency + 0` — on-the-wire bytes are never
+    /// free just because they fit inside one bandwidth quantum.
     pub fn transfer_time(&self, bytes: u64) -> Time {
         if self.bytes_per_tick == u64::MAX {
             self.latency
         } else {
-            self.latency + bytes / self.bytes_per_tick.max(1)
+            self.latency + bytes.div_ceil(self.bytes_per_tick.max(1))
         }
     }
 
@@ -69,6 +72,18 @@ mod tests {
         let net = NetworkModel { latency: 10, bytes_per_tick: 100 };
         assert_eq!(net.transfer_time(0), 10);
         assert_eq!(net.transfer_time(1000), 20);
+    }
+
+    #[test]
+    fn partial_ticks_cost_a_tick() {
+        let net = NetworkModel { latency: 10, bytes_per_tick: 100 };
+        assert_eq!(net.transfer_time(1), 11);
+        assert_eq!(net.transfer_time(99), 11);
+        assert_eq!(net.transfer_time(101), 12);
+        // The 16-byte status broadcasts of the SP-like model are no
+        // longer latency-only.
+        let sp = NetworkModel::sp_like();
+        assert_eq!(sp.transfer_time(16), sp.latency + 1);
     }
 
     #[test]

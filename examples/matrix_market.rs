@@ -44,11 +44,11 @@ fn main() {
         let base = run_experiment(&input, &SolverConfig {
             type2_front_min: 150, type3_front_min: 500,
             ..SolverConfig::mumps_baseline(8)
-        });
+        }).unwrap();
         let mem = run_experiment(&input, &SolverConfig {
             type2_front_min: 150, type3_front_min: 500,
             ..SolverConfig::memory_based(8)
-        });
+        }).unwrap();
         println!(
             "  {:5}: max stack peak {:>9} -> {:>9} ({:+.1}%)",
             kind.name(),

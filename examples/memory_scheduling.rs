@@ -40,8 +40,8 @@ fn main() {
         ..base_cfg.clone()
     };
     let map = compute_mapping(&s.tree, &base_cfg);
-    let base = multifrontal::core::parsim::run(&s.tree, &map, &base_cfg);
-    let mem = multifrontal::core::parsim::run(&s.tree, &map, &mem_cfg);
+    let base = multifrontal::core::parsim::run(&s.tree, &map, &base_cfg).unwrap();
+    let mem = multifrontal::core::parsim::run(&s.tree, &map, &mem_cfg).unwrap();
 
     println!("\nmax stack peak: baseline {} -> memory-based {} ({:+.1}%)",
         base.max_peak, mem.max_peak, percent_decrease(base.max_peak, mem.max_peak));

@@ -40,8 +40,8 @@ fn main() {
         c
     };
     let map = compute_mapping(&s.tree, &mk(false));
-    let base = multifrontal::core::parsim::run(&s.tree, &map, &mk(false));
-    let mem = multifrontal::core::parsim::run(&s.tree, &map, &mk(true));
+    let base = multifrontal::core::parsim::run(&s.tree, &map, &mk(false)).unwrap();
+    let mem = multifrontal::core::parsim::run(&s.tree, &map, &mk(true)).unwrap();
 
     for (name, r) in [("workload baseline", &base), ("memory-based", &mem)] {
         let max_total = r.total_peaks.iter().copied().max().unwrap();
@@ -63,7 +63,7 @@ fn main() {
     // And the time side of the tradeoff: stream factors to disk at
     // ~100 MB/s per processor (reference [6]'s adaptive paging regime).
     let ooc_cfg = SolverConfig { out_of_core: Some(100), ..mk(true) };
-    let ooc = multifrontal::core::parsim::run(&s.tree, &map, &ooc_cfg);
+    let ooc = multifrontal::core::parsim::run(&s.tree, &map, &ooc_cfg).unwrap();
     println!(
         "\nout-of-core run at 100 B/µs/proc disk: makespan {} -> {} ({:+.1}%), factors in core: {}",
         mem.makespan,

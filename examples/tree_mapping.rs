@@ -67,7 +67,7 @@ fn main() {
     }
 
     // ---- And run it: the simulated parallel factorization. ----
-    let r = multifrontal::core::parsim::run(&s.tree, &map, &cfg);
+    let r = multifrontal::core::parsim::run(&s.tree, &map, &cfg).unwrap();
     println!("\nsimulated factorization: makespan {} ticks, {} messages", r.makespan, r.messages);
     for (p, &peak) in r.peaks.iter().enumerate() {
         println!("  P{p}: stack peak {:>8} entries", peak);

@@ -40,8 +40,8 @@
 //!
 //! let a = PaperMatrix::TwoTone.instantiate_scaled(0.2);
 //! let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Amd };
-//! let baseline = run_experiment(&input, &SolverConfig::mumps_baseline(8));
-//! let memory = run_experiment(&input, &SolverConfig::memory_based(8));
+//! let baseline = run_experiment(&input, &SolverConfig::mumps_baseline(8)).unwrap();
+//! let memory = run_experiment(&input, &SolverConfig::memory_based(8)).unwrap();
 //! println!(
 //!     "max stack peak: {} -> {} ({:+.1}%)",
 //!     baseline.max_peak,

@@ -118,7 +118,7 @@ proptest! {
         let in_subtree = |t: usize| (subtree_mask >> (t % 32)) & 1 == 1;
         let cost = |t: usize| t as u64 * 10;
         let mut popped = Vec::new();
-        while let Some(t) = pool.pick_memory_aware(in_subtree, cost, current, peak) {
+        while let Some(t) = pool.pick_memory_aware(in_subtree, cost, current, peak, |_| true) {
             popped.push(t);
         }
         popped.sort_unstable();
@@ -162,7 +162,7 @@ proptest! {
         };
         let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
         let tree = prepare_tree(&input, &cfg);
-        let r = run_on_tree(&tree, &cfg);
+        let r = run_on_tree(&tree, &cfg).unwrap();
         prop_assert_eq!(r.nodes_done, r.total_nodes);
         prop_assert!(r.max_peak > 0);
         // Peak is bounded below by the largest single local allocation and

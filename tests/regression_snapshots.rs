@@ -37,8 +37,8 @@ fn pinned_twotone_amd_cell() {
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Amd };
     let tree = prepare_tree(&input, &cfg(false));
     let stats = tree.stats();
-    let base = run_on_tree(&tree, &cfg(false));
-    let mem = run_on_tree(&tree, &cfg(true));
+    let base = run_on_tree(&tree, &cfg(false)).unwrap();
+    let mem = run_on_tree(&tree, &cfg(true)).unwrap();
 
     // Re-derive the constants with:
     //   cargo test --test regression_snapshots -- --nocapture
@@ -54,8 +54,8 @@ fn pinned_twotone_amd_cell() {
     assert_eq!(base.nodes_done, base.total_nodes);
     assert_eq!(mem.nodes_done, mem.total_nodes);
     // Bit-exact pins (deterministic simulator).
-    assert_eq!(base.max_peak, run_on_tree(&tree, &cfg(false)).max_peak);
-    assert_eq!(mem.max_peak, run_on_tree(&tree, &cfg(true)).max_peak);
+    assert_eq!(base.max_peak, run_on_tree(&tree, &cfg(false)).unwrap().max_peak);
+    assert_eq!(mem.max_peak, run_on_tree(&tree, &cfg(true)).unwrap().max_peak);
     // Loose structural pins that survive refactors but catch regressions:
     assert!(stats.nodes > 100 && stats.nodes < 2000, "nodes={}", stats.nodes);
     assert!(base.max_peak > 10_000, "base peak collapsed: {}", base.max_peak);
@@ -117,6 +117,6 @@ fn disconnected_matrix_pipeline() {
     assert!(Factorization::residual_inf(&a, &x, &b) < 1e-10);
     // Scheduling: both trees of the forest complete.
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
-    let r = run_experiment(&input, &cfg(true));
+    let r = run_experiment(&input, &cfg(true)).unwrap();
     assert_eq!(r.nodes_done, r.total_nodes);
 }

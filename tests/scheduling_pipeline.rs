@@ -30,7 +30,7 @@ fn one_processor_equals_the_sequential_model() {
             let a = small_input(m, k);
             let input = ExperimentInput { matrix: &a, ordering: k };
             let tree = prepare_tree(&input, &cfg(1));
-            let r = run_on_tree(&tree, &cfg(1));
+            let r = run_on_tree(&tree, &cfg(1)).unwrap();
             let model = sequential_peak(&tree, AssemblyDiscipline::FrontThenFree);
             assert_eq!(r.max_peak, model, "{} / {}", m.name(), k.name());
         }
@@ -42,7 +42,7 @@ fn every_processor_count_completes() {
     let a = small_input(PaperMatrix::Pre2, OrderingKind::Metis);
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
     for nprocs in [1, 2, 3, 5, 8, 16, 32] {
-        let r = run_experiment(&input, &cfg(nprocs));
+        let r = run_experiment(&input, &cfg(nprocs)).unwrap();
         assert_eq!(r.nodes_done, r.total_nodes, "nprocs = {nprocs}");
         assert!(r.max_peak > 0 && r.makespan > 0);
     }
@@ -64,8 +64,8 @@ fn both_strategies_are_deterministic() {
                 ..cfg(8)
             }
         };
-        let r1 = run_experiment(&input, &c);
-        let r2 = run_experiment(&input, &c);
+        let r1 = run_experiment(&input, &c).unwrap();
+        let r2 = run_experiment(&input, &c).unwrap();
         assert_eq!(r1.peaks, r2.peaks);
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.messages, r2.messages);
@@ -76,8 +76,8 @@ fn both_strategies_are_deterministic() {
 fn more_processors_never_lose_fronts_and_spread_memory() {
     let a = small_input(PaperMatrix::Ultrasound3, OrderingKind::Metis);
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
-    let r1 = run_experiment(&input, &cfg(1));
-    let r8 = run_experiment(&input, &cfg(8));
+    let r1 = run_experiment(&input, &cfg(1)).unwrap();
+    let r8 = run_experiment(&input, &cfg(8)).unwrap();
     // Parallel peak per processor is below the sequential peak (memory is
     // the reason to parallelize at all), though the SUM across processors
     // exceeds it (the paper's memory-scalability problem).
@@ -102,7 +102,7 @@ fn splitting_caps_every_master_and_keeps_pivots() {
         assert!(split.master_entries(v) <= threshold, "node {v}");
     }
     // And the split tree still runs.
-    let r = run_on_tree(&split, &split_cfg);
+    let r = run_on_tree(&split, &split_cfg).unwrap();
     assert_eq!(r.nodes_done, r.total_nodes);
 }
 
@@ -116,8 +116,8 @@ fn memory_strategy_beats_baseline_on_its_home_ground() {
         prepare_tree(&input, &paper_cfg(false))
     };
     let map = compute_mapping(&tree, &paper_cfg(false));
-    let base = parsim::run(&tree, &map, &paper_cfg(false));
-    let mem = parsim::run(&tree, &map, &paper_cfg(true));
+    let base = parsim::run(&tree, &map, &paper_cfg(false)).unwrap();
+    let mem = parsim::run(&tree, &map, &paper_cfg(true)).unwrap();
     assert!(
         mem.max_peak < base.max_peak,
         "memory strategy must win on TWOTONE/AMD: {} !< {}",
@@ -148,7 +148,7 @@ fn traces_reconstruct_the_peaks() {
     let a = small_input(PaperMatrix::MsDoor, OrderingKind::Pord);
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Pord };
     let c = SolverConfig { record_traces: true, ..cfg(4) };
-    let r = run_experiment(&input, &c);
+    let r = run_experiment(&input, &c).unwrap();
     let traces = r.traces.expect("traces requested");
     assert_eq!(traces.len(), 4);
     for (p, t) in traces.iter().enumerate() {
@@ -163,8 +163,8 @@ fn workload_views_stay_consistent() {
     // one (the workload scheduler actually balances), and messages flow.
     let a = small_input(PaperMatrix::BmwCra1, OrderingKind::Metis);
     let input = ExperimentInput { matrix: &a, ordering: OrderingKind::Metis };
-    let r1 = run_experiment(&input, &cfg(1));
-    let r8 = run_experiment(&input, &cfg(8));
+    let r1 = run_experiment(&input, &cfg(1)).unwrap();
+    let r8 = run_experiment(&input, &cfg(8)).unwrap();
     assert!(
         (r8.makespan as f64) < 0.8 * r1.makespan as f64,
         "8 procs should be much faster: {} vs {}",

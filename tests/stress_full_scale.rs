@@ -50,7 +50,7 @@ fn full_scale_everything() {
                     cfg.use_subtree_info = true;
                     cfg.use_prediction = true;
                 }
-                let res = run_experiment(&input, &cfg);
+                let res = run_experiment(&input, &cfg).unwrap();
                 assert_eq!(
                     res.nodes_done,
                     res.total_nodes,
