@@ -1,0 +1,389 @@
+//! `explain` — peak-attribution reports from the flight recorder.
+//!
+//! Answers the question the tables cannot: *why* did a run peak where it
+//! did? For one experiment cell the binary re-runs both strategies with
+//! the flight recorder on, replays each recording, and prints:
+//!
+//! * the exact peak instant and live-front **composition** of every
+//!   processor's active-memory peak (entries per front/stack item, which
+//!   must — and is asserted to — sum bit-exactly to the solver's
+//!   `active_peak`);
+//! * the **decision chain** leading into the machine-wide peak: the last
+//!   scheduling decisions touching the peak processor, contrasting what
+//!   the deciding master *believed* (the recorded metric vector, view
+//!   ages) with the ground truth replayed from the same recording;
+//! * a **strategy diff**: where the baseline and the memory-based
+//!   schedules put their peaks, and which decisions moved.
+//!
+//! Usage:
+//!
+//! ```text
+//! explain [MATRIX] [ORDERING] [--nprocs N] [--split] [--obs-dir DIR] [--check-all]
+//! ```
+//!
+//! Defaults: TWOTONE, AMD, 32 processors, no splitting. `--check-all`
+//! replaces the report with the acceptance sweep: every paper matrix is
+//! run with the recorder on and the composition-sums-to-peak invariant is
+//! asserted for every processor under both strategies (CI runs this).
+//! With `--obs-dir` (or `MF_OBS_DIR`), the cell's Perfetto traces and
+//! run summary are exported too.
+
+use mf_bench::obs;
+use mf_bench::sweep::{split_threshold_for, sweep_cell_captured, CellResult};
+use mf_core::parsim::RunResult;
+use mf_order::{OrderingKind, ALL_ORDERINGS};
+use mf_sim::recorder::SchedEvent;
+use mf_sim::{active_before, attribute_peaks, PeakAttribution, Recording};
+use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
+
+fn parse_matrix(s: &str) -> Option<PaperMatrix> {
+    ALL_PAPER_MATRICES.into_iter().find(|m| m.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_ordering(s: &str) -> Option<OrderingKind> {
+    ALL_ORDERINGS.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+}
+
+struct Args {
+    matrix: PaperMatrix,
+    ordering: OrderingKind,
+    nprocs: usize,
+    split: Option<u64>,
+    check_all: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        matrix: PaperMatrix::TwoTone,
+        ordering: OrderingKind::Amd,
+        nprocs: 32,
+        split: None,
+        check_all: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--nprocs" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                out.nprocs = v.unwrap_or_else(|| die("--nprocs needs an integer"));
+            }
+            "--split" => out.split = Some(split_threshold_for()),
+            "--check-all" => out.check_all = true,
+            "--obs-dir" => {
+                args.next(); // consumed by obs::obs_dir()
+            }
+            other => {
+                if let Some(m) = parse_matrix(other) {
+                    out.matrix = m;
+                } else if let Some(k) = parse_ordering(other) {
+                    out.ordering = k;
+                } else {
+                    die(&format!(
+                        "unknown argument {other:?}; matrices: {}; orderings: {}",
+                        ALL_PAPER_MATRICES.map(|m| m.name()).join(", "),
+                        ALL_ORDERINGS.map(|k| k.name()).join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("explain: {msg}");
+    std::process::exit(2);
+}
+
+/// Asserts the report's central invariant for one run: the replayed
+/// composition of every processor's peak sums bit-exactly to the
+/// solver's own `active_peak`. Returns the attributions.
+fn checked_attribution(r: &RunResult) -> Vec<PeakAttribution> {
+    let rec = r.recording.as_ref().expect("captured run carries a recording");
+    assert_eq!(rec.dropped(), 0, "peak attribution needs an uncapped recording");
+    let att = attribute_peaks(r.peaks.len(), rec);
+    for (p, a) in att.iter().enumerate() {
+        let sum: u64 = a.composition.iter().map(|it| it.entries).sum();
+        assert_eq!(sum, a.peak, "proc {p}: composition must sum to the replayed peak");
+        assert_eq!(
+            a.peak, r.peaks[p],
+            "proc {p}: replayed peak must equal the solver's active_peak"
+        );
+    }
+    att
+}
+
+/// Stream index of the event that first set processor `p`'s peak.
+fn peak_event_index(rec: &Recording, p: usize) -> Option<usize> {
+    let mut active = 0u64;
+    let mut peak = 0u64;
+    let mut idx = None;
+    for (i, te) in rec.events().enumerate() {
+        match te.event {
+            SchedEvent::MemAlloc { proc, entries, .. } if proc == p => {
+                active += entries;
+                if active > peak {
+                    peak = active;
+                    idx = Some(i);
+                }
+            }
+            SchedEvent::MemFree { proc, entries, .. } if proc == p => {
+                active = active.saturating_sub(entries);
+            }
+            _ => {}
+        }
+    }
+    idx
+}
+
+/// Is this a scheduling *decision* involving processor `p`?
+fn involves(e: &SchedEvent, p: usize) -> bool {
+    match e {
+        SchedEvent::Activate { proc, .. }
+        | SchedEvent::PoolDecision { proc, .. }
+        | SchedEvent::Forced { proc, .. } => *proc == p,
+        SchedEvent::SlaveSelection { master, picked, .. } => {
+            *master == p || picked.iter().any(|s| s.proc == p)
+        }
+        SchedEvent::Reselect { master, dropped, .. } => *master == p || dropped.contains(&p),
+        SchedEvent::StatusApply { to, .. } => *to == p,
+        _ => false,
+    }
+}
+
+fn describe(e: &SchedEvent, p: usize, truth: &[u64]) -> String {
+    match e {
+        SchedEvent::Activate { proc, node, class } => {
+            format!("proc {proc} activates {} front n{node}", class.name())
+        }
+        SchedEvent::PoolDecision { proc, depth, picked } => match picked {
+            Some(n) => format!("proc {proc} picks n{n} from a pool of {depth}"),
+            None => format!("proc {proc} defers all {depth} pooled tasks (capacity verdict)"),
+        },
+        SchedEvent::Forced { proc, node, cost } => {
+            format!("stall-breaker forces n{node} on proc {proc} (cost {cost})")
+        }
+        SchedEvent::SlaveSelection { master, node, metric, view_age, picked, rounds, serialized } => {
+            let mut s = format!("master {master} selects slaves for type-2 n{node}: ");
+            if *serialized {
+                s.push_str("serialized on master");
+            } else {
+                let parts: Vec<String> = picked
+                    .iter()
+                    .map(|sl| format!("p{}\u{2190}{}", sl.proc, sl.entries))
+                    .collect();
+                s.push_str(&parts.join(" "));
+            }
+            if *rounds > 0 {
+                s.push_str(&format!(" after {rounds} capacity round(s)"));
+            }
+            // The believed-vs-actual contrast for the processor under the
+            // microscope: what the master's (stale) view said against the
+            // ground truth replayed at the same stream position.
+            s.push_str(&format!(
+                "; believed metric[p{p}]={} (view age {}), actual active={}",
+                metric[p], view_age[p], truth[p]
+            ));
+            s
+        }
+        SchedEvent::Reselect { master, node, dropped } => {
+            let procs: Vec<String> = dropped.iter().map(|q| format!("p{q}")).collect();
+            format!("master {master} drops {} over capacity on n{node}", procs.join(","))
+        }
+        SchedEvent::StatusApply { to, from, about, kind, age } => format!(
+            "proc {to} refreshes its view of p{about} ({} from p{from}, was {age} stale)",
+            kind.name()
+        ),
+        _ => String::new(),
+    }
+}
+
+/// Prints the decision chain leading into processor `p`'s peak: the last
+/// `limit` decisions involving `p` before (and including) the
+/// peak-setting instant.
+fn print_decision_chain(rec: &Recording, nprocs: usize, p: usize, limit: usize) {
+    let Some(peak_idx) = peak_event_index(rec, p) else {
+        println!("  (no memory traffic recorded for proc {p})");
+        return;
+    };
+    let decisions: Vec<(usize, mf_sim::Time, SchedEvent)> = rec
+        .events()
+        .enumerate()
+        .take(peak_idx + 1)
+        .filter(|(_, te)| involves(&te.event, p))
+        .map(|(i, te)| (i, te.at, te.event.clone()))
+        .collect();
+    let skipped = decisions.len().saturating_sub(limit);
+    if skipped > 0 {
+        println!("  ... {skipped} earlier decision(s) elided ...");
+    }
+    for (i, at, e) in decisions.iter().rev().take(limit).rev() {
+        let truth = active_before(nprocs, rec, *i);
+        println!("  t={at:>8}  {}", describe(e, p, &truth));
+    }
+}
+
+fn print_report(name: &str, r: &RunResult) {
+    let att = checked_attribution(r);
+    let rec = r.recording.as_ref().unwrap();
+    println!("\n=== {name} strategy ===");
+    println!(
+        "max peak {} entries, makespan {} ticks, {} messages, {} recorded events",
+        r.max_peak,
+        r.makespan,
+        r.messages,
+        rec.len()
+    );
+    println!("\nper-processor peaks (composition verified to sum to active_peak):");
+    println!("{:>5} {:>12} {:>10} {:>6}  top fronts at the peak", "proc", "peak", "at", "live");
+    for a in &att {
+        let mut top: Vec<_> = a.composition.iter().collect();
+        top.sort_by_key(|it| std::cmp::Reverse(it.entries));
+        let head: Vec<String> = top
+            .iter()
+            .take(3)
+            .map(|it| format!("n{}/{}:{}", it.node, it.area.name(), it.entries))
+            .collect();
+        println!(
+            "{:>5} {:>12} {:>10} {:>6}  {}",
+            a.proc,
+            a.peak,
+            a.at,
+            a.composition.len(),
+            head.join("  ")
+        );
+    }
+
+    let worst = att.iter().max_by_key(|a| a.peak).expect("at least one processor");
+    println!(
+        "\nmachine peak: proc {} at t={} with {} entries across {} live items:",
+        worst.proc,
+        worst.at,
+        worst.peak,
+        worst.composition.len()
+    );
+    let mut comp: Vec<_> = worst.composition.iter().collect();
+    comp.sort_by_key(|it| std::cmp::Reverse(it.entries));
+    for it in comp.iter().take(12) {
+        println!(
+            "    n{:<6} {:6} {:>12} entries ({:>5.1}%)",
+            it.node,
+            it.area.name(),
+            it.entries,
+            100.0 * it.entries as f64 / worst.peak.max(1) as f64
+        );
+    }
+    if comp.len() > 12 {
+        let rest: u64 = comp.iter().skip(12).map(|it| it.entries).sum();
+        println!("    ... {} more items, {} entries", comp.len() - 12, rest);
+    }
+
+    println!("\ndecision chain into the machine peak (believed vs actual):");
+    print_decision_chain(rec, r.peaks.len(), worst.proc, 10);
+
+    let m = &r.metrics;
+    println!(
+        "\ntraffic: {} control + {} status messages ({} + {} bytes), {} status dropped",
+        m.control_msgs, m.status_msgs, m.control_bytes, m.status_bytes, m.dropped_status
+    );
+    println!(
+        "decisions: staleness mean {:.0} ticks (max {}), pool depth mean {:.1}, \
+         {} deferrals, {} reselect rounds, {} serialized, {} forced",
+        m.view_staleness.mean(),
+        m.view_staleness.max,
+        m.pool_depth.mean(),
+        m.procs.iter().map(|p| p.deferrals).sum::<u64>(),
+        m.reselect_rounds,
+        m.serialized_fronts,
+        m.forced_activations
+    );
+}
+
+fn print_diff(c: &CellResult) {
+    let base = checked_attribution(&c.baseline);
+    let mem = checked_attribution(&c.memory);
+    println!("\n=== strategy vs strategy ===");
+    println!(
+        "max peak: {} -> {} ({:+.1}%), makespan: {} -> {} ({:+.1}%)",
+        c.baseline.max_peak,
+        c.memory.max_peak,
+        -c.gain_percent(),
+        c.baseline.makespan,
+        c.memory.makespan,
+        c.time_loss_percent()
+    );
+    let bw = base.iter().max_by_key(|a| a.peak).unwrap();
+    let mw = mem.iter().max_by_key(|a| a.peak).unwrap();
+    println!(
+        "machine peak moved: proc {} (t={}) -> proc {} (t={})",
+        bw.proc, bw.at, mw.proc, mw.at
+    );
+    println!("{:>5} {:>12} {:>12} {:>8}", "proc", "baseline", "memory", "delta%");
+    for (b, m) in base.iter().zip(&mem) {
+        let delta = if b.peak == 0 {
+            0.0
+        } else {
+            100.0 * (m.peak as f64 - b.peak as f64) / b.peak as f64
+        };
+        println!("{:>5} {:>12} {:>12} {:>+8.1}", b.proc, b.peak, m.peak, delta);
+    }
+    let (bm, mm) = (&c.baseline.metrics, &c.memory.metrics);
+    println!(
+        "status traffic: {} -> {} msgs; staleness mean {:.0} -> {:.0} ticks",
+        bm.status_msgs,
+        mm.status_msgs,
+        bm.view_staleness.mean(),
+        mm.view_staleness.mean()
+    );
+}
+
+/// `--check-all`: the acceptance sweep. Every paper matrix, both
+/// strategies, recorder on; asserts composition-sums-to-peak for every
+/// processor (via [`checked_attribution`]) and prints one line per cell.
+fn check_all(ordering: OrderingKind, nprocs: usize, split: Option<u64>) {
+    for m in ALL_PAPER_MATRICES {
+        let c = sweep_cell_captured(m, ordering, nprocs, split);
+        for (name, r) in [("workload", &c.baseline), ("memory", &c.memory)] {
+            let att = checked_attribution(r);
+            let worst = att.iter().max_by_key(|a| a.peak).unwrap();
+            println!(
+                "{:12} {:5} {:8}: {} procs verified, machine peak {} on proc {} at t={}",
+                m.name(),
+                ordering.name(),
+                name,
+                att.len(),
+                worst.peak,
+                worst.proc,
+                worst.at
+            );
+        }
+        obs::maybe_export_cell(&c);
+    }
+    println!("check-all: every composition sums to its active_peak under both strategies");
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check_all {
+        check_all(args.ordering, args.nprocs, args.split);
+        return;
+    }
+    println!(
+        "explain {} / {} on {} processors{}",
+        args.matrix.name(),
+        args.ordering.name(),
+        args.nprocs,
+        match args.split {
+            Some(t) => format!(", split at {t} entries"),
+            None => String::new(),
+        }
+    );
+    let c = sweep_cell_captured(args.matrix, args.ordering, args.nprocs, args.split);
+    print_report("workload (baseline)", &c.baseline);
+    print_report("memory-based", &c.memory);
+    print_diff(&c);
+    let written = obs::maybe_export_cell(&c);
+    if written > 0 {
+        eprintln!("explain: exported {written} artifact(s)");
+    }
+}

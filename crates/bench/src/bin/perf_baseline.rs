@@ -15,17 +15,23 @@
 //!    single-heap event queue.
 //! 3. **LU kernel** — the blocked partial-LU front kernel at several
 //!    front orders.
+//! 4. **recorder overhead** — the same warm-cache sweep with the flight
+//!    recorder off vs on. The disabled path must stay free (its warm
+//!    time is compared against the previous `BENCH_sweep.json`, guarded
+//!    to <3% regression plus a fixed noise floor) and the enabled path's
+//!    overhead is reported; both paths must agree peak-for-peak.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mf_bench::sweep::{sweep_cell, sweep_cells, CellResult, CellSpec};
+use mf_bench::sweep::{sweep_cell, sweep_cell_captured, sweep_cells, CellResult, CellSpec};
 use mf_frontal::dense::{partial_lu_blocked, DenseMat};
 use mf_order::OrderingKind;
 use mf_sim::engine::{EventPayload, Sim};
 use mf_sparse::gen::paper::PaperMatrix;
 use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
 use mf_symbolic::AmalgamationOptions;
+use rayon::prelude::*;
 
 /// The timed sweep subset mirrors the Table 5 driver's shape: each
 /// (matrix, ordering) pair swept across split settings and processor
@@ -139,15 +145,29 @@ fn lu_kernel(f: usize, npiv: usize, reps: u32) -> (f64, f64) {
     (best_ms, flops / (best_ms * 1e6))
 }
 
+/// Pulls `"key": <number>` out of a previous hand-rendered
+/// `BENCH_sweep.json`, if the file exists. String-searching is enough:
+/// the file is our own output with unique key names.
+fn prior_json_number(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let specs = subset();
+    // Read before this run overwrites the file.
+    let prior_warm_ms = prior_json_number("BENCH_sweep.json", "warm_cache_ms");
 
-    eprintln!("[1/3] sweep subset, {} cells, sequential + uncached ...", specs.len());
+    eprintln!("[1/4] sweep subset, {} cells, sequential + uncached ...", specs.len());
     let start = Instant::now();
     let slow: Vec<CellResult> = specs.iter().map(uncached_cell).collect();
     let sequential_uncached_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    eprintln!("[2/3] sweep subset, parallel + shared artifact cache ...");
+    eprintln!("[2/4] sweep subset, parallel + shared artifact cache ...");
     let start = Instant::now();
     let fast = sweep_cells(&specs);
     let parallel_cached_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -165,7 +185,7 @@ fn main() {
     assert_eq!(warm.len(), fast.len());
     let speedup = sequential_uncached_ms / parallel_cached_ms;
 
-    eprintln!("[3/3] event queue + LU kernel ...");
+    eprintln!("[3/4] event queue + LU kernel ...");
     let eq_depth = 10_000;
     let eq_events = 2_000_000u64;
     let eq_ns = event_queue_ns(eq_depth, eq_events);
@@ -177,6 +197,59 @@ fn main() {
         })
         .collect();
 
+    eprintln!("[4/4] recorder overhead, warm cache, disabled vs enabled ...");
+    let start = Instant::now();
+    let plain = sweep_cells(&specs);
+    let recorder_disabled_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let recorded: Vec<CellResult> = specs
+        .par_iter()
+        .map(|&(m, k, nprocs, split, _)| sweep_cell_captured(m, k, nprocs, split))
+        .collect();
+    let recorder_enabled_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Recording must observe, never perturb: same schedule either way.
+    for (a, b) in plain.iter().zip(&recorded) {
+        assert_eq!(a.baseline.peaks, b.baseline.peaks, "recorder changed baseline peaks");
+        assert_eq!(a.memory.peaks, b.memory.peaks, "recorder changed memory peaks");
+        assert_eq!(a.baseline.makespan, b.baseline.makespan, "recorder moved baseline time");
+        assert_eq!(a.memory.makespan, b.memory.makespan, "recorder moved memory time");
+    }
+    let events_recorded: usize = recorded
+        .iter()
+        .flat_map(|c| [&c.baseline.recording, &c.memory.recording])
+        .map(|r| r.as_ref().map_or(0, |rec| rec.len()))
+        .sum();
+    let overhead_percent = 100.0 * (recorder_enabled_ms / recorder_disabled_ms.max(1e-9) - 1.0);
+
+    // Regression guard for the disabled path: the recorder hooks must be
+    // free when off. Compare the better of the two warm disabled timings
+    // against the previous run's file, with a fixed noise floor so tiny
+    // absolute times cannot trip the percentage.
+    let best_disabled_ms = warm_cache_ms.min(recorder_disabled_ms);
+    if let Some(prior) = prior_warm_ms {
+        let allowed = prior * 1.03 + 250.0;
+        assert!(
+            best_disabled_ms <= allowed,
+            "recorder-off warm sweep regressed: {best_disabled_ms:.1} ms vs prior \
+             {prior:.1} ms (allowed {allowed:.1} ms = prior x1.03 + 250 ms noise floor)"
+        );
+        eprintln!(
+            "recorder-off guard: {best_disabled_ms:.1} ms vs prior {prior:.1} ms (<=3% + floor) OK"
+        );
+    } else {
+        eprintln!("recorder-off guard: no prior BENCH_sweep.json, recording first baseline");
+    }
+
+    // Degradation counters over the (unperturbed, uncapped) subset: all
+    // structurally zero here, surfaced so any nonzero value in a future
+    // run is visible in the artifact diff.
+    let count = |f: fn(&mf_core::parsim::RunResult) -> u64| -> u64 {
+        fast.iter().flat_map(|c| [&c.baseline, &c.memory]).map(f).sum()
+    };
+    let dropped_total = count(|r| r.dropped_messages);
+    let forced_total = count(|r| r.forced_activations);
+    let underflow_total = count(|r| r.underflows.iter().sum());
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin perf_baseline\",").unwrap();
@@ -187,7 +260,27 @@ fn main() {
     writeln!(json, "    \"parallel_cached_ms\": {parallel_cached_ms:.1},").unwrap();
     writeln!(json, "    \"warm_cache_ms\": {warm_cache_ms:.1},").unwrap();
     writeln!(json, "    \"speedup\": {speedup:.2},").unwrap();
-    writeln!(json, "    \"results_identical\": true").unwrap();
+    writeln!(json, "    \"results_identical\": true,").unwrap();
+    writeln!(
+        json,
+        "    \"dropped_messages\": {dropped_total}, \"forced_activations\": {forced_total}, \
+         \"underflows\": {underflow_total}"
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"recorder_overhead\": {{").unwrap();
+    writeln!(json, "    \"recorder_disabled_ms\": {recorder_disabled_ms:.1},").unwrap();
+    writeln!(json, "    \"recorder_enabled_ms\": {recorder_enabled_ms:.1},").unwrap();
+    writeln!(json, "    \"overhead_percent\": {overhead_percent:.1},").unwrap();
+    writeln!(json, "    \"events_recorded\": {events_recorded},").unwrap();
+    match prior_warm_ms {
+        Some(prior) => {
+            writeln!(json, "    \"prior_warm_cache_ms\": {prior:.1},").unwrap()
+        }
+        None => writeln!(json, "    \"prior_warm_cache_ms\": null,").unwrap(),
+    }
+    writeln!(json, "    \"disabled_regression_guard\": \"<=3% + 250 ms floor\",").unwrap();
+    writeln!(json, "    \"schedule_unperturbed\": true").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"event_queue\": {{").unwrap();
     writeln!(json, "    \"queue_depth\": {eq_depth},").unwrap();
@@ -206,12 +299,15 @@ fn main() {
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
+    mf_bench::obs::validate_json(&json).expect("BENCH_sweep.json must be well-formed");
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");
     eprintln!(
         "sweep subset: {sequential_uncached_ms:.0} ms -> {parallel_cached_ms:.0} ms \
          ({speedup:.1}x; warm cache {warm_cache_ms:.0} ms); \
-         event queue {eq_ns:.0} ns/event"
+         event queue {eq_ns:.0} ns/event; \
+         recorder {recorder_disabled_ms:.0} -> {recorder_enabled_ms:.0} ms \
+         ({overhead_percent:+.1}%, {events_recorded} events)"
     );
     // Re-running a cell sequentially now also hits the warm cache.
     let c = sweep_cell(specs[0].0, specs[0].1, specs[0].2, specs[0].3, false);

@@ -78,6 +78,8 @@ struct PerturbRow {
     makespan_ratio_max: f64,
     peak_ratio_max: f64,
     dropped_total: u64,
+    underflow_total: u64,
+    forced_total: u64,
 }
 
 struct CapRow {
@@ -88,6 +90,10 @@ struct CapRow {
     capped_peak: u64,
     makespan_ratio: f64,
     forced_activations: u64,
+    serialized_fronts: u64,
+    deferrals: u64,
+    stalled_ticks: u64,
+    underflow_total: u64,
 }
 
 fn run_ok(
@@ -153,9 +159,23 @@ fn main() {
                         .map(|r| ratio(r.max_peak, plain.max_peak))
                         .fold(0.0, f64::max),
                     dropped_total: runs.iter().map(|r| r.dropped_messages).sum(),
+                    underflow_total: runs
+                        .iter()
+                        .map(|r| r.underflows.iter().sum::<u64>())
+                        .sum(),
+                    forced_total: runs.iter().map(|r| r.forced_activations).sum(),
                 });
             }
-            eprintln!("{:10} / {:20} perturbation ladder done", m.name(), s.name);
+            let last = perturb_rows.last().unwrap();
+            eprintln!(
+                "{:10} / {:20} perturbation ladder done \
+                 (top level: {} dropped, {} forced, {} underflows)",
+                m.name(),
+                s.name,
+                last.dropped_total,
+                last.forced_total,
+                last.underflow_total
+            );
         }
     }
 
@@ -179,6 +199,7 @@ fn main() {
                 capped.peaks,
                 cap
             );
+            let mm = &capped.metrics;
             cap_rows.push(CapRow {
                 matrix: m,
                 strategy: s.name,
@@ -187,8 +208,24 @@ fn main() {
                 capped_peak: capped.max_peak,
                 makespan_ratio: capped.makespan as f64 / plain.makespan.max(1) as f64,
                 forced_activations: capped.forced_activations,
+                serialized_fronts: mm.serialized_fronts,
+                deferrals: mm.procs.iter().map(|p| p.deferrals).sum(),
+                stalled_ticks: mm.procs.iter().map(|p| p.stalled_ticks).sum(),
+                underflow_total: capped.underflows.iter().sum(),
             });
-            eprintln!("{:10} / {:20} cap {} held", m.name(), s.name, cap);
+            let row = cap_rows.last().unwrap();
+            eprintln!(
+                "{:10} / {:20} cap {} held \
+                 ({} deferrals, {} serialized, {} forced, {} stalled ticks, {} underflows)",
+                m.name(),
+                s.name,
+                cap,
+                row.deferrals,
+                row.serialized_fronts,
+                row.forced_activations,
+                row.stalled_ticks,
+                row.underflow_total
+            );
         }
     }
 
@@ -205,14 +242,17 @@ fn main() {
             json,
             "    {{ \"matrix\": \"{}\", \"strategy\": \"{}\", \"intensity\": {:.1}, \
              \"seeds\": {}, \"completed\": true, \"makespan_ratio_max\": {:.3}, \
-             \"peak_ratio_max\": {:.3}, \"dropped_messages\": {} }}{sep}",
+             \"peak_ratio_max\": {:.3}, \"dropped_messages\": {}, \
+             \"forced_activations\": {}, \"underflows\": {} }}{sep}",
             r.matrix.name(),
             r.strategy,
             r.level,
             r.seeds,
             r.makespan_ratio_max,
             r.peak_ratio_max,
-            r.dropped_total
+            r.dropped_total,
+            r.forced_total,
+            r.underflow_total
         )
         .unwrap();
     }
@@ -224,20 +264,27 @@ fn main() {
             json,
             "    {{ \"matrix\": \"{}\", \"strategy\": \"{}\", \"capacity\": {}, \
              \"uncapped_peak\": {}, \"capped_peak\": {}, \"within_cap\": true, \
-             \"makespan_ratio\": {:.3}, \"forced_activations\": {} }}{sep}",
+             \"makespan_ratio\": {:.3}, \"forced_activations\": {}, \
+             \"serialized_fronts\": {}, \"deferrals\": {}, \"stalled_ticks\": {}, \
+             \"underflows\": {} }}{sep}",
             r.matrix.name(),
             r.strategy,
             r.capacity,
             r.uncapped_peak,
             r.capped_peak,
             r.makespan_ratio,
-            r.forced_activations
+            r.forced_activations,
+            r.serialized_fronts,
+            r.deferrals,
+            r.stalled_ticks,
+            r.underflow_total
         )
         .unwrap();
     }
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
 
+    mf_bench::obs::validate_json(&json).expect("BENCH_robustness.json must be well-formed");
     std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
     print!("{json}");
 }

@@ -17,6 +17,7 @@ fn main() {
     // All 32 cells run in parallel; results come back in spec order, so
     // the rendered table is identical to the sequential loop's.
     let cells = sweep_cells(&specs);
+    mf_bench::obs::maybe_export_cells(&cells);
     let mut rows = Vec::new();
     for (m, row) in ALL_PAPER_MATRICES.into_iter().zip(cells.chunks_exact(4)) {
         let mut vals = [0.0f64; 4];

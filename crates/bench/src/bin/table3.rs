@@ -17,6 +17,7 @@ fn main() {
         .flat_map(|&m| ALL_ORDERINGS.into_iter().map(move |k| (m, k, nprocs, Some(thr), false)))
         .collect();
     let cells = sweep_cells(&specs);
+    mf_bench::obs::maybe_export_cells(&cells);
     let mut rows = Vec::new();
     for (m, row) in matrices.iter().zip(cells.chunks_exact(4)) {
         let mut vals = [0.0f64; 4];

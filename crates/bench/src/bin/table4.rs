@@ -20,6 +20,7 @@ fn main() {
         .flat_map(|&(m, k, _)| [(m, k, nprocs, None, false), (m, k, nprocs, Some(thr), false)])
         .collect();
     let cells = sweep_cells(&specs);
+    mf_bench::obs::maybe_export_cells(&cells);
     println!("Table 4: max stack peak, millions of entries (measured | paper)");
     println!(
         "{:18} {:16} {:>10} {:>10}   {:>7} {:>7}",

@@ -25,6 +25,7 @@ fn main() {
         })
         .collect();
     let cells = sweep_cells(&specs);
+    mf_bench::obs::maybe_export_cells(&cells);
     let mut rows = Vec::new();
     for (m, row) in matrices.iter().zip(cells.chunks_exact(8)) {
         let mut vals = [0.0f64; 4];

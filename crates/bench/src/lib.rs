@@ -10,18 +10,20 @@
 //! * `table5` — combined static + dynamic vs. original MUMPS strategy;
 //! * `table6` — factorization-time loss of the memory strategies;
 //! * `figures` — scenario reproductions of Figures 4, 5, 6 and 8;
-//! * `probe` — quick timing/shape scan of all matrix × ordering cells.
+//! * `probe` — quick timing/shape scan of all matrix × ordering cells;
+//! * `explain` — flight-recorder peak-attribution report (see [`obs`]).
 //!
 //! The library part holds the shared experiment-sweep machinery so the
 //! binaries stay thin and the sweeps are testable.
 
 #![warn(missing_docs)]
 pub mod cache;
+pub mod obs;
 pub mod paper_data;
 pub mod scenarios;
 pub mod sweep;
 
 pub use sweep::{
-    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, sweep_cells,
-    CellResult, CellSpec,
+    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell,
+    sweep_cell_captured, sweep_cells, CellResult, CellSpec,
 };

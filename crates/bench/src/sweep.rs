@@ -113,6 +113,48 @@ pub fn sweep_cell(
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
 }
 
+/// Runs one cell exactly like [`sweep_cell`], but with the full
+/// observability surface enabled on both strategies: per-processor
+/// memory traces *and* the structured flight recording (unbounded, so
+/// peak attribution is exact). Schedules are guaranteed unperturbed —
+/// the recorder's disabled/enabled paths produce identical peaks,
+/// makespans and message counts (pinned by `mf_core`'s
+/// `recording_is_deterministic_and_absent_when_disabled` test).
+pub fn sweep_cell_captured(
+    matrix: PaperMatrix,
+    ordering: OrderingKind,
+    nprocs: usize,
+    split: Option<u64>,
+) -> CellResult {
+    let tree = build_tree(matrix, ordering, split);
+    let observed = SolverConfig {
+        record_traces: true,
+        record_events: true,
+        event_capacity: None,
+        ..paper_scale_config(nprocs)
+    };
+    let base_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Workload,
+        task_selection: TaskSelection::Lifo,
+        use_subtree_info: false,
+        use_prediction: false,
+        ..observed.clone()
+    };
+    let mem_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        ..observed
+    };
+    let map = compute_mapping(&tree, &base_cfg);
+    let baseline = parsim::run(&tree, &map, &base_cfg)
+        .unwrap_or_else(|e| panic!("baseline run failed: {e}"));
+    let memory = parsim::run(&tree, &map, &mem_cfg)
+        .unwrap_or_else(|e| panic!("memory-based run failed: {e}"));
+    CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
+}
+
 /// One entry of a parallel sweep: the arguments of [`sweep_cell`].
 pub type CellSpec = (PaperMatrix, OrderingKind, usize, Option<u64>, bool);
 

@@ -1,0 +1,176 @@
+//! Integration tests for the observability layer: Perfetto export
+//! stability (golden file), schema validity of real exported traces, and
+//! bit-identical recordings across rayon thread-pool widths.
+
+use mf_bench::obs::{cell_summary_json, validate_json};
+use mf_bench::sweep::{sweep_cell_captured, CellResult};
+use mf_order::OrderingKind;
+use mf_sim::recorder::{FrontClass, MemArea, SchedEvent, TaskRole};
+use mf_sim::{write_chrome_trace, Recording};
+use mf_sparse::gen::paper::PaperMatrix;
+use rayon::prelude::*;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/flight_recorder.trace.json");
+const GOLDEN_SMALL: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/twotone_small.trace.json");
+
+/// A small hand-built recording exercising every event kind the exporter
+/// renders: slices on two processors, both memory areas, a transient
+/// same-instant alloc/free pair, an activation instant, and a
+/// stall-breaker instant.
+fn sample_recording() -> Recording {
+    let mut rec = Recording::new(None);
+    rec.record(0, SchedEvent::Activate { proc: 0, node: 4, class: FrontClass::Subtree });
+    rec.record(0, SchedEvent::MemAlloc { proc: 0, node: 4, area: MemArea::Front, entries: 120 });
+    rec.record(0, SchedEvent::ComputeStart { proc: 0, node: 4, role: TaskRole::Elim });
+    rec.record(8, SchedEvent::ComputeEnd { proc: 0, node: 4, role: TaskRole::Elim });
+    rec.record(8, SchedEvent::MemFree { proc: 0, node: 4, area: MemArea::Front, entries: 120 });
+    rec.record(8, SchedEvent::MemAlloc { proc: 0, node: 4, area: MemArea::Stack, entries: 30 });
+    rec.record(10, SchedEvent::Activate { proc: 1, node: 7, class: FrontClass::Type2 });
+    rec.record(10, SchedEvent::MemAlloc { proc: 1, node: 7, area: MemArea::Front, entries: 50 });
+    rec.record(10, SchedEvent::ComputeStart { proc: 1, node: 7, role: TaskRole::Master });
+    rec.record(12, SchedEvent::Forced { proc: 1, node: 9, cost: 77 });
+    rec.record(15, SchedEvent::ComputeEnd { proc: 1, node: 7, role: TaskRole::Master });
+    rec.record(15, SchedEvent::MemFree { proc: 1, node: 7, area: MemArea::Front, entries: 50 });
+    rec
+}
+
+fn render(rec: &Recording, nprocs: usize) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(&mut buf, nprocs, rec).expect("in-memory export cannot fail");
+    String::from_utf8(buf).expect("trace is ASCII")
+}
+
+/// The exporter's output format is pinned by a committed golden file:
+/// any change to the rendering is a deliberate, reviewed diff
+/// (regenerate with `UPDATE_GOLDEN=1 cargo test -p mf-bench`).
+#[test]
+fn golden_perfetto_export_is_stable() {
+    let s = render(&sample_recording(), 2);
+    validate_json(&s).expect("exported trace must be well-formed JSON");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &s).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file is committed");
+    assert_eq!(s, golden, "Perfetto export drifted from the golden file");
+}
+
+/// End-to-end golden on a *real* (scaled-down) paper matrix: the whole
+/// pipeline — generation, ordering, analysis, mapping, simulation with
+/// the recorder on, Perfetto export — must stay byte-stable.
+#[test]
+fn golden_small_paper_matrix_trace_is_stable() {
+    use mf_core::config::SolverConfig;
+    use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+
+    let nprocs = 4;
+    let a = PaperMatrix::TwoTone.instantiate_scaled(0.02);
+    let perm = OrderingKind::Amd.compute(&a);
+    let mut s = mf_symbolic::analyze(&a, &perm, &mf_symbolic::AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+    let cfg = SolverConfig { record_events: true, ..mf_bench::paper_scale_config(nprocs) };
+    let map = mf_core::mapping::compute_mapping(&s.tree, &cfg);
+    let r = mf_core::parsim::run(&s.tree, &map, &cfg).expect("small run completes");
+    let rec = r.recording.expect("recorder was on");
+
+    let out = render(&rec, nprocs);
+    validate_json(&out).expect("exported trace must be well-formed JSON");
+    let ts = int_values(&out, "ts");
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be monotone");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_SMALL, &out).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_SMALL).expect("golden file is committed");
+    assert_eq!(out, golden, "small-matrix trace drifted from the golden file");
+}
+
+/// Extracts every `"key": <integer>` occurrence, in document order.
+fn int_values(s: &str, key: &str) -> Vec<i64> {
+    let needle = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        out.push(rest[..end].parse().expect("integer after key"));
+    }
+    out
+}
+
+/// A real captured run exports a schema-valid trace with monotone
+/// timestamps and balanced, never-negative B/E slice nesting per
+/// processor.
+#[test]
+fn real_trace_is_valid_monotone_and_balanced() {
+    let nprocs = 4;
+    let c = sweep_cell_captured(PaperMatrix::TwoTone, OrderingKind::Amd, nprocs, None);
+    for run in [&c.baseline, &c.memory] {
+        let rec = run.recording.as_ref().expect("captured run records");
+        let s = render(rec, nprocs);
+        validate_json(&s).expect("exported trace must be well-formed JSON");
+
+        let ts = int_values(&s, "ts");
+        assert!(!ts.is_empty(), "trace must carry timestamped events");
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be monotone");
+
+        // Walk the emitted lines, tracking slice depth per pid.
+        let mut depth = vec![0i64; nprocs];
+        for line in s.lines() {
+            let pid = match int_values(line, "pid").first() {
+                Some(&p) => p as usize,
+                None => continue,
+            };
+            if line.contains("\"ph\": \"B\"") {
+                depth[pid] += 1;
+            } else if line.contains("\"ph\": \"E\"") {
+                depth[pid] -= 1;
+                assert!(depth[pid] >= 0, "E without matching B on pid {pid}");
+            }
+        }
+        assert!(depth.iter().all(|&d| d == 0), "unbalanced B/E slices: {depth:?}");
+
+        // The counter track replays the same accounting the solver ran:
+        // its maximum front+stack level per processor is the active peak.
+        let summary = cell_summary_json(&c);
+        validate_json(&summary).expect("summary must be well-formed JSON");
+    }
+}
+
+/// Flight recordings are part of the deterministic contract: sweeping
+/// the same cells under different rayon pool widths must produce
+/// byte-identical recordings, not just identical peaks.
+#[test]
+fn recordings_identical_across_thread_pool_widths() {
+    let specs = [
+        (PaperMatrix::TwoTone, OrderingKind::Amd),
+        (PaperMatrix::Ship003, OrderingKind::Metis),
+    ];
+    let run_with = |threads: usize| -> Vec<CellResult> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build local pool")
+            .install(|| {
+                specs
+                    .par_iter()
+                    .map(|&(m, k)| sweep_cell_captured(m, k, 4, None))
+                    .collect()
+            })
+    };
+    let narrow = run_with(1);
+    let wide = run_with(4);
+    for (a, b) in narrow.iter().zip(&wide) {
+        for (strat, x, y) in [
+            ("baseline", &a.baseline, &b.baseline),
+            ("memory", &a.memory, &b.memory),
+        ] {
+            let (rx, ry) = (x.recording.as_ref().unwrap(), y.recording.as_ref().unwrap());
+            assert!(rx == ry, "{}/{strat}: recordings differ across pool widths", a.matrix.name());
+            assert_eq!(x.peaks, y.peaks);
+            assert_eq!(x.makespan, y.makespan);
+            assert!(x.metrics == y.metrics, "{}/{strat}: metrics differ", a.matrix.name());
+        }
+    }
+}

@@ -94,6 +94,16 @@ pub struct SolverConfig {
     pub subtree_peak_factor: Option<f64>,
     /// Record per-processor active-memory traces (for the figures).
     pub record_traces: bool,
+    /// Record the structured flight recording ([`mf_sim::Recording`]):
+    /// every scheduling decision, memory movement, and status message,
+    /// replayable by the `explain` report and exportable to Perfetto.
+    /// Off by default — the disabled path is a single branch per event
+    /// and runs are byte-identical to a build without the recorder.
+    pub record_events: bool,
+    /// Ring-buffer capacity of the flight recording (`None` = unbounded,
+    /// which exact peak attribution requires; a bound keeps only the most
+    /// recent events and counts evictions).
+    pub event_capacity: Option<usize>,
     /// Out-of-core execution (the conclusion's coupling argument +
     /// reference \[6\]): factors are streamed to a per-processor disk at
     /// this bandwidth (bytes per tick) instead of occupying memory.
@@ -142,6 +152,8 @@ impl Default for SolverConfig {
             split_threshold: None,
             subtree_peak_factor: None,
             record_traces: false,
+            record_events: false,
+            event_capacity: None,
             out_of_core: None,
             jitter: None,
             fault: None,

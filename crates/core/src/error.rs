@@ -103,6 +103,11 @@ pub struct RunDiagnostics {
     pub total_nodes: usize,
     /// Messages the fault injector dropped.
     pub dropped_messages: u64,
+    /// Run-wide metrics accumulated up to the snapshot (traffic by
+    /// class, staleness/pool-depth histograms, per-processor busy and
+    /// stalled time) — a failed run keeps its observability. Boxed to
+    /// keep the error type small.
+    pub metrics: Box<mf_sim::RunMetrics>,
     /// Per-processor state.
     pub procs: Vec<ProcDiag>,
 }

@@ -16,7 +16,11 @@ use crate::mapping::{NodeKind, StaticMapping};
 use crate::pool::TaskPool;
 use crate::slavesel::{select_memory, select_workload, SelectionInput, SlaveAssignment};
 use crate::views::Views;
-use mf_sim::{Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory, Sim, Time, Trace};
+use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
+use mf_sim::{
+    Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory, Recording, RunMetrics,
+    SchedEvent, Sim, Time, Trace,
+};
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -33,8 +37,8 @@ enum Msg {
     /// in total (0 when the CB is empty).
     Complete { child: usize, pieces: usize },
     /// The parent activated: the addressed processor ships its stacked CB
-    /// piece to the parent's workers and frees it.
-    FetchCb { entries: u64 },
+    /// piece of `child` to the parent's workers and frees it.
+    FetchCb { child: usize, entries: u64 },
     /// A slave task of a type-2 node.
     SlaveTask {
         node: usize,
@@ -65,6 +69,19 @@ enum Msg {
 }
 
 impl Msg {
+    /// Status classification for the flight recorder and the traffic
+    /// metrics; `None` for control messages.
+    fn status_kind(&self) -> Option<(StatusKind, i64)> {
+        match *self {
+            Msg::MemDelta { delta } => Some((StatusKind::MemDelta, delta)),
+            Msg::LoadDelta { delta } => Some((StatusKind::LoadDelta, delta)),
+            Msg::SubtreePeak { peak } => Some((StatusKind::SubtreePeak, peak as i64)),
+            Msg::Predicted { cost } => Some((StatusKind::Predicted, cost as i64)),
+            Msg::Assigned { entries, .. } => Some((StatusKind::Assigned, entries as i64)),
+            _ => None,
+        }
+    }
+
     /// Fault-injection delivery class: view refreshes are idempotent
     /// [`MsgClass::Status`] traffic a perturbed network may drop (the run
     /// stays correct, the views get staler); everything that carries an
@@ -126,6 +143,10 @@ struct Proc {
     /// Active memory when the current subtree started (for Algorithm 2's
     /// "current memory including peak of subtree").
     subtree_base: u64,
+    /// Instant this processor entered its current stalled interval (idle
+    /// with every ready task deferred by the capacity verdict); `None`
+    /// when not stalled. Feeds `ProcMetrics::stalled_ticks`.
+    stalled_since: Option<Time>,
     /// Upper tasks owned here whose children have all started (node ->
     /// predicted activation cost), feeding the Predicted broadcasts.
     soon: std::collections::BTreeMap<usize, u64>,
@@ -168,6 +189,15 @@ pub struct RunResult {
     /// run (every CB pushed was popped, every front freed — the entry
     /// conservation invariant the robustness proptests assert).
     pub final_active: Vec<u64>,
+    /// Per-processor saturating-accounting underflow counts (0 in a
+    /// correct run; nonzero only on runs that also returned an error).
+    pub underflows: Vec<u64>,
+    /// Always-on run metrics: traffic by message class, staleness and
+    /// pool-depth histograms, per-processor busy/stalled/decision
+    /// counters.
+    pub metrics: RunMetrics,
+    /// The flight recording when [`SolverConfig::record_events`] was set.
+    pub recording: Option<Recording>,
 }
 
 struct World<'a> {
@@ -185,8 +215,9 @@ struct World<'a> {
     child_complete: Vec<bool>,
     done_children: Vec<usize>,
     /// CB pieces stacked for each *parent* node: (holder processor,
-    /// entries), recorded at the parent's owner, released at activation.
-    cb_pieces: Vec<Vec<(usize, u64)>>,
+    /// entries, producing child), recorded at the parent's owner,
+    /// released at activation.
+    cb_pieces: Vec<Vec<(usize, u64, usize)>>,
     started_children: Vec<usize>,
     activated: Vec<bool>,
     nodes_done: usize,
@@ -199,6 +230,11 @@ struct World<'a> {
     /// Count of capacity-degradation events (see
     /// [`RunResult::forced_activations`]).
     forced: u64,
+    /// Always-on metrics registry.
+    metrics: RunMetrics,
+    /// Flight recorder; `None` = disabled (the zero-cost path: every
+    /// emission site is one branch).
+    rec: Option<Recording>,
 }
 
 /// Runs the simulated parallel factorization.
@@ -231,6 +267,7 @@ pub fn run(
             slave_queue: VecDeque::new(),
             current_subtree: None,
             subtree_base: 0,
+            stalled_since: None,
             soon: Default::default(),
         })
         .collect();
@@ -258,6 +295,8 @@ pub fn run(
         fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
         violation: None,
         forced: 0,
+        metrics: RunMetrics::new(cfg.nprocs),
+        rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
     };
 
     for p in 0..cfg.nprocs {
@@ -316,6 +355,9 @@ pub fn run(
         dropped_messages: world.fault.as_ref().map_or(0, |f| f.dropped()),
         forced_activations: world.forced,
         final_active: world.procs.iter().map(|p| p.mem.active()).collect(),
+        underflows: world.procs.iter().map(|p| p.mem.underflows()).collect(),
+        metrics: world.metrics,
+        recording: world.rec,
         peaks,
     })
 }
@@ -331,6 +373,7 @@ impl<'a> World<'a> {
             nodes_done: self.nodes_done,
             total_nodes: self.tree.len(),
             dropped_messages: self.fault.as_ref().map_or(0, |f| f.dropped()),
+            metrics: Box::new(self.metrics.clone()),
             procs: self
                 .procs
                 .iter()
@@ -366,6 +409,26 @@ impl<'a> World<'a> {
         }
     }
 
+    // ---------- flight recorder ----------
+
+    /// Records an event when the recorder is enabled. The event is built
+    /// inside the closure, so the disabled path is a single branch with
+    /// no allocation — the zero-cost contract of the observability layer.
+    #[inline]
+    fn record(&mut self, build: impl FnOnce() -> SchedEvent) {
+        let now = self.sim.now();
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record(now, build());
+        }
+    }
+
+    /// Refreshes `to`'s view entry of `about` and returns the age of the
+    /// belief it replaced (the Figure 5 staleness).
+    fn touch_view(&mut self, to: usize, about: usize) -> Time {
+        let now = self.sim.now();
+        self.procs[to].views.touch(about, now)
+    }
+
     // ---------- messaging helpers ----------
 
     fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
@@ -374,20 +437,45 @@ impl<'a> World<'a> {
             return;
         }
         self.messages += 1;
+        match msg.class() {
+            MsgClass::Control => {
+                self.metrics.control_msgs += 1;
+                self.metrics.control_bytes += bytes;
+            }
+            MsgClass::Status => {
+                self.metrics.status_msgs += 1;
+                self.metrics.status_bytes += bytes;
+            }
+        }
         match &mut self.fault {
             None => self.net.send(&mut self.sim, from, to, msg, bytes),
             Some(inj) => {
                 let base = self.net.transfer_time(bytes);
-                if let Some(t) = inj.route(base, msg.class()) {
-                    self.sim.schedule(t, EventPayload::Message { from, to, msg });
+                match inj.route(base, msg.class()) {
+                    Some(t) => self.sim.schedule(t, EventPayload::Message { from, to, msg }),
+                    None => {
+                        self.metrics.dropped_status += 1;
+                        self.record(|| SchedEvent::FaultDrop { from, to });
+                    }
                 }
             }
         }
     }
 
     fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
+        // Every broadcast is a status refresh: record the send once (not
+        // per receiver) with its payload value.
+        if self.rec.is_some() {
+            if let Some((kind, value)) = msg.status_kind() {
+                self.record(|| SchedEvent::StatusSend { from, kind, value });
+            }
+        }
+        debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
         if self.fault.is_none() {
-            self.messages += self.cfg.nprocs.saturating_sub(1) as u64;
+            let n = self.cfg.nprocs.saturating_sub(1) as u64;
+            self.messages += n;
+            self.metrics.status_msgs += n;
+            self.metrics.status_bytes += n * bytes;
             self.net.broadcast(&mut self.sim, from, self.cfg.nprocs, msg, bytes);
             return;
         }
@@ -404,28 +492,32 @@ impl<'a> World<'a> {
     // ---------- memory helpers (every change refreshes the exact local
     // self-view and broadcasts the increment, Section 4) ----------
 
-    fn mem_alloc_front(&mut self, p: usize, entries: u64) {
+    fn mem_alloc_front(&mut self, p: usize, node: usize, entries: u64) {
         let now = self.sim.now();
+        self.record(|| SchedEvent::MemAlloc { proc: p, node, area: MemArea::Front, entries });
         self.procs[p].mem.alloc_front(now, entries);
         self.after_mem_change(p, entries as i64);
     }
 
-    fn mem_free_front(&mut self, p: usize, entries: u64) {
+    fn mem_free_front(&mut self, p: usize, node: usize, entries: u64) {
         let now = self.sim.now();
+        self.record(|| SchedEvent::MemFree { proc: p, node, area: MemArea::Front, entries });
         if !self.procs[p].mem.free_front(now, entries) {
             self.flag(Violation::Accounting { proc: p, area: "fronts" });
         }
         self.after_mem_change(p, -(entries as i64));
     }
 
-    fn mem_push_cb(&mut self, p: usize, entries: u64) {
+    fn mem_push_cb(&mut self, p: usize, node: usize, entries: u64) {
         let now = self.sim.now();
+        self.record(|| SchedEvent::MemAlloc { proc: p, node, area: MemArea::Stack, entries });
         self.procs[p].mem.push_cb(now, entries);
         self.after_mem_change(p, entries as i64);
     }
 
-    fn mem_pop_cb(&mut self, p: usize, entries: u64) {
+    fn mem_pop_cb(&mut self, p: usize, node: usize, entries: u64) {
         let now = self.sim.now();
+        self.record(|| SchedEvent::MemFree { proc: p, node, area: MemArea::Stack, entries });
         if !self.procs[p].mem.pop_cb(now, entries) {
             self.flag(Violation::Accounting { proc: p, area: "stack" });
         }
@@ -451,8 +543,12 @@ impl<'a> World<'a> {
         if delta == 0 {
             return;
         }
+        let now = self.sim.now();
         let active = self.procs[p].mem.active();
         self.procs[p].views.mem[p] = active;
+        // The self-view is exact: keep its freshness stamp current so
+        // decision-time staleness reads 0 for the deciding processor.
+        self.procs[p].views.touch(p, now);
         self.broadcast(p, Msg::MemDelta { delta }, 16);
     }
 
@@ -466,6 +562,15 @@ impl<'a> World<'a> {
 
     // ---------- scheduling loop ----------
 
+    /// Closes a stalled interval (idle with everything deferred) when the
+    /// processor gets going again.
+    fn close_stall(&mut self, p: usize) {
+        if let Some(since) = self.procs[p].stalled_since.take() {
+            let now = self.sim.now();
+            self.metrics.procs[p].stalled_ticks += now.saturating_sub(since);
+        }
+    }
+
     fn try_start(&mut self, p: usize) {
         if self.procs[p].busy {
             return;
@@ -473,8 +578,9 @@ impl<'a> World<'a> {
         // Received slave tasks have priority (they are already consuming
         // memory; finishing them frees it).
         if let Some(key) = self.procs[p].slave_queue.pop_front() {
-            let flops = match self.works.get(key).map(|(_, w)| w) {
-                Some(Work::Slave { flops, .. }) | Some(Work::RootShare { flops, .. }) => *flops,
+            let (flops, node, role) = match self.works.get(key).map(|(_, w)| w) {
+                Some(Work::Slave { flops, node, .. }) => (*flops, *node, TaskRole::Slave),
+                Some(Work::RootShare { flops, node, .. }) => (*flops, *node, TaskRole::Root),
                 other => {
                     self.flag(Violation::Protocol {
                         detail: format!("queued work {key} on proc {p} must be slave-like, got {other:?}"),
@@ -483,7 +589,10 @@ impl<'a> World<'a> {
                 }
             };
             let duration = self.duration_of(p, flops);
+            self.close_stall(p);
             self.procs[p].busy = true;
+            self.metrics.procs[p].busy_ticks += duration;
+            self.record(|| SchedEvent::ComputeStart { proc: p, node, role });
             self.sim.schedule_timer(p, duration, key as u64);
             return;
         }
@@ -508,11 +617,12 @@ impl<'a> World<'a> {
             Some(c) => {
                 map.subtree_of[v].is_some() || {
                     let local_release: u64 =
-                        pieces[v].iter().filter(|&&(h, _)| h == p).map(|&(_, e)| e).sum();
+                        pieces[v].iter().filter(|&&(h, _, _)| h == p).map(|&(_, e, _)| e).sum();
                     active + cost(v).saturating_sub(local_release) <= c
                 }
             }
         };
+        let depth = self.procs[p].pool.len();
         let picked = match self.cfg.task_selection {
             TaskSelection::Lifo => match cap {
                 None => self.procs[p].pool.pick_lifo(),
@@ -532,7 +642,7 @@ impl<'a> World<'a> {
                     _ => self.procs[p].pool.pick_memory_aware_global(
                         |v| map.subtree_of[v].is_some(),
                         cost,
-                        |v| pieces[v].iter().map(|&(_, e)| e).sum(),
+                        |v| pieces[v].iter().map(|&(_, e, _)| e).sum(),
                         current,
                         observed,
                         admissible,
@@ -540,6 +650,18 @@ impl<'a> World<'a> {
                 }
             }
         };
+        if depth > 0 {
+            // A real decision was taken over a non-empty pool: observe it.
+            self.metrics.pool_depth.observe(depth as u64);
+            self.record(|| SchedEvent::PoolDecision { proc: p, depth, picked });
+            if picked.is_none() {
+                // The Algorithm-2 / capacity verdict deferred everything:
+                // the processor is stalled until memory frees.
+                self.metrics.procs[p].deferrals += 1;
+                let now = self.sim.now();
+                self.procs[p].stalled_since.get_or_insert(now);
+            }
+        }
         if let Some(v) = picked {
             self.activate_node(p, v);
         }
@@ -577,9 +699,11 @@ impl<'a> World<'a> {
                 }
             }
         }
-        let Some((_, p, v)) = best else { return false };
+        let Some((cost, p, v)) = best else { return false };
         self.procs[p].pool.remove_task(v);
         self.forced += 1;
+        self.metrics.forced_activations += 1;
+        self.record(|| SchedEvent::Forced { proc: p, node: v, cost });
         self.activate_node(p, v);
         true
     }
@@ -598,7 +722,16 @@ impl<'a> World<'a> {
         debug_assert_eq!(self.map.owner[v], p);
         debug_assert!(!self.activated[v], "node {v} activated twice");
         self.activated[v] = true;
+        self.close_stall(p);
         self.procs[p].busy = true;
+        self.metrics.procs[p].activations += 1;
+        let class = match self.map.kind[v] {
+            NodeKind::Subtree(_) => FrontClass::Subtree,
+            NodeKind::Type1 => FrontClass::Type1,
+            NodeKind::Type2 => FrontClass::Type2,
+            NodeKind::Type3 => FrontClass::Type3,
+        };
+        self.record(|| SchedEvent::Activate { proc: p, node: v, class });
 
         if self.cfg.use_prediction {
             // This task is no longer "upcoming": refresh the broadcast.
@@ -635,7 +768,7 @@ impl<'a> World<'a> {
     }
 
     fn start_full_front(&mut self, p: usize, v: usize) {
-        self.mem_alloc_front(p, self.tree.front_entries(v));
+        self.mem_alloc_front(p, v, self.tree.front_entries(v));
         self.consume_stacked(p, v);
         let flops = self.tree.flops(v);
         self.schedule_work(p, Work::Elim { node: v, flops });
@@ -643,8 +776,15 @@ impl<'a> World<'a> {
 
     /// One slave-selection decision for the type-2 node `v` on master `p`
     /// restricted to `candidates` (the capacity filter shrinks the set
-    /// and re-selects).
-    fn select_slaves(&self, p: usize, v: usize, candidates: &[usize]) -> Vec<SlaveAssignment> {
+    /// and re-selects). Also returns the per-processor metric vector the
+    /// decision was made from — the flight recorder captures exactly what
+    /// the master *believed*, not what was true.
+    fn select_slaves(
+        &self,
+        p: usize,
+        v: usize,
+        candidates: &[usize],
+    ) -> (Vec<SlaveAssignment>, Vec<u64>) {
         let nd = &self.tree.nodes[v];
         let (nfront, npiv) = (nd.nfront, nd.npiv);
         let metric: Vec<u64> = (0..self.cfg.nprocs)
@@ -675,7 +815,7 @@ impl<'a> World<'a> {
             sym: self.tree.sym,
             min_rows_per_slave: self.cfg.min_rows_per_slave,
         };
-        match self.cfg.slave_selection {
+        let assignment = match self.cfg.slave_selection {
             SlaveSelection::Workload => select_workload(&input),
             SlaveSelection::Memory => select_memory(&input),
             SlaveSelection::Hybrid => {
@@ -683,18 +823,22 @@ impl<'a> World<'a> {
                     (0..self.cfg.nprocs).map(|q| self.procs[p].views.load[q]).collect();
                 crate::slavesel::select_hybrid(&input, &load, load[p])
             }
-        }
+        };
+        (assignment, metric)
     }
 
     fn start_type2(&mut self, p: usize, v: usize) {
         let nd = &self.tree.nodes[v];
         let (nfront, npiv) = (nd.nfront, nd.npiv);
         let mut candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != p).collect();
-        let assignment = loop {
-            let assignment = self.select_slaves(p, v, &candidates);
-            let Some(cap) = self.cfg.capacity else { break assignment };
+        let mut rounds = 0u32;
+        let mut serialized = false;
+        let (assignment, metric) = loop {
+            let picked = self.select_slaves(p, v, &candidates);
+            let Some(cap) = self.cfg.capacity else { break picked };
+            let (assignment, metric) = picked;
             if assignment.is_empty() {
-                break assignment;
+                break (assignment, metric);
             }
             // Hard capacity: drop every candidate whose projected memory
             // (the master's view plus the block it would receive) would
@@ -715,22 +859,67 @@ impl<'a> World<'a> {
                 .map(|a| a.proc)
                 .collect();
             if violators.is_empty() {
-                break assignment;
+                break (assignment, metric);
+            }
+            rounds += 1;
+            self.metrics.reselect_rounds += 1;
+            if self.rec.is_some() {
+                let dropped = violators.clone();
+                self.record(|| SchedEvent::Reselect { master: p, node: v, dropped });
             }
             candidates.retain(|q| !violators.contains(q));
             if candidates.is_empty() {
                 // Last resort: serialize the whole front on the master.
                 self.forced += 1;
-                break Vec::new();
+                self.metrics.serialized_fronts += 1;
+                serialized = true;
+                break (Vec::new(), metric);
             }
         };
+
+        // Observe decision-time view staleness (always-on) and record the
+        // full decision — the believed metric vector, per-processor view
+        // ages, the chosen blocks, and how the capacity loop resolved.
+        let now = self.sim.now();
+        for a in &assignment {
+            let age = self.procs[p].views.age(a.proc, now);
+            self.metrics.view_staleness.observe(age);
+        }
+        if self.rec.is_some() {
+            let view_age: Vec<Time> =
+                (0..self.cfg.nprocs).map(|q| self.procs[p].views.age(q, now)).collect();
+            let picked: Vec<SlavePick> = assignment
+                .iter()
+                .map(|a| SlavePick {
+                    proc: a.proc,
+                    entries: crate::blocking::slave_block_entries(
+                        self.tree.sym,
+                        nfront,
+                        npiv,
+                        a.offset,
+                        a.nrows,
+                    ),
+                })
+                .collect();
+            let serialized = serialized || assignment.is_empty();
+            self.record(|| SchedEvent::SlaveSelection {
+                master: p,
+                node: v,
+                metric,
+                view_age,
+                picked,
+                rounds,
+                serialized,
+            });
+        }
+
         if assignment.is_empty() {
             // No usable slave: the master handles the whole front.
             self.start_full_front(p, v);
             return;
         }
 
-        self.mem_alloc_front(p, self.tree.master_entries(v));
+        self.mem_alloc_front(p, v, self.tree.master_entries(v));
         self.consume_stacked(p, v);
 
         let total_flops = self.tree.flops(v);
@@ -760,6 +949,7 @@ impl<'a> World<'a> {
             // Announce the choice so other masters account for it before
             // the slave's own memory reports catch up (Section 4).
             self.procs[p].views.apply_mem_delta(a.proc, entries as i64);
+            self.procs[p].views.touch(a.proc, now);
             self.broadcast(p, Msg::Assigned { proc: a.proc, entries }, 16);
         }
         // Work handed to the slaves leaves the master's workload.
@@ -784,7 +974,7 @@ impl<'a> World<'a> {
         // Work scattered to the other processors leaves this workload.
         let total_flops = self.tree.flops(v);
         self.load_change(p, -((total_flops - share_flops) as i64));
-        self.mem_alloc_front(p, share_entries);
+        self.mem_alloc_front(p, v, share_entries);
         self.schedule_work(
             p,
             Work::RootShare { node: v, entries: share_entries, flops: share_flops, is_master: true },
@@ -792,13 +982,15 @@ impl<'a> World<'a> {
     }
 
     fn schedule_work(&mut self, p: usize, work: Work) {
-        let flops = match &work {
-            Work::Elim { flops, .. }
-            | Work::MasterPart { flops, .. }
-            | Work::Slave { flops, .. }
-            | Work::RootShare { flops, .. } => *flops,
+        let (flops, node, role) = match &work {
+            Work::Elim { flops, node } => (*flops, *node, TaskRole::Elim),
+            Work::MasterPart { flops, node, .. } => (*flops, *node, TaskRole::Master),
+            Work::Slave { flops, node, .. } => (*flops, *node, TaskRole::Slave),
+            Work::RootShare { flops, node, .. } => (*flops, *node, TaskRole::Root),
         };
         let duration = self.duration_of(p, flops);
+        self.metrics.procs[p].busy_ticks += duration;
+        self.record(|| SchedEvent::ComputeStart { proc: p, node, role });
         let key = self.works.len();
         self.works.push((p, work));
         self.sim.schedule_timer(p, duration, key as u64);
@@ -834,11 +1026,11 @@ impl<'a> World<'a> {
     /// real redistribution).
     fn consume_stacked(&mut self, p: usize, v: usize) {
         let pieces = std::mem::take(&mut self.cb_pieces[v]);
-        for (holder, entries) in pieces {
+        for (holder, entries, child) in pieces {
             if holder == p {
-                self.mem_pop_cb(p, entries);
+                self.mem_pop_cb(p, child, entries);
             } else {
-                self.send(p, holder, Msg::FetchCb { entries }, 16);
+                self.send(p, holder, Msg::FetchCb { child, entries }, 16);
             }
         }
     }
@@ -853,8 +1045,9 @@ impl<'a> World<'a> {
         debug_assert_eq!(wp, p);
         match work {
             Work::Elim { node, flops } => {
+                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Elim });
                 self.store_factors(p, self.tree.factor_entries(node));
-                self.mem_free_front(p, self.tree.front_entries(node));
+                self.mem_free_front(p, node, self.tree.front_entries(node));
                 let cb = self.tree.cb_entries(node);
                 let pieces = if cb > 0 && self.tree.nodes[node].parent.is_some() { 1 } else { 0 };
                 if pieces == 1 {
@@ -863,13 +1056,15 @@ impl<'a> World<'a> {
                 self.finish_node(p, node, pieces, flops);
             }
             Work::MasterPart { node, pieces, flops } => {
+                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Master });
                 self.store_factors(p, self.tree.master_entries(node));
-                self.mem_free_front(p, self.tree.master_entries(node));
+                self.mem_free_front(p, node, self.tree.master_entries(node));
                 self.finish_node(p, node, pieces, flops);
             }
             Work::Slave { node, entries, cb_share, factor_share, flops } => {
+                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Slave });
                 self.store_factors(p, factor_share);
-                self.mem_free_front(p, entries);
+                self.mem_free_front(p, node, entries);
                 if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
                     self.produce_cb_piece(p, node, cb_share);
                 }
@@ -878,8 +1073,9 @@ impl<'a> World<'a> {
                 self.try_start(p);
             }
             Work::RootShare { node, entries, flops, is_master } => {
+                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Root });
                 self.store_factors(p, entries);
-                self.mem_free_front(p, entries);
+                self.mem_free_front(p, node, entries);
                 self.load_change(p, -(flops as i64));
                 if is_master {
                     // The 2-D root has no parent: completing the master
@@ -918,7 +1114,7 @@ impl<'a> World<'a> {
     /// A CB piece of `child` was produced on `p`: it stays on `p`'s stack
     /// until the parent activates; the parent's master is informed.
     fn produce_cb_piece(&mut self, p: usize, child: usize, entries: u64) {
-        self.mem_push_cb(p, entries);
+        self.mem_push_cb(p, child, entries);
         let Some(parent) = self.tree.nodes[child].parent else {
             self.flag(Violation::Protocol {
                 detail: format!("CB piece produced for parentless node {child}"),
@@ -943,22 +1139,22 @@ impl<'a> World<'a> {
                 // If the parent already activated, release immediately.
                 if self.activated[parent] {
                     if holder == to {
-                        self.mem_pop_cb(to, entries);
+                        self.mem_pop_cb(to, child, entries);
                         // Freed memory may admit a deferred task.
                         if self.cfg.capacity.is_some() {
                             self.try_start(to);
                         }
                     } else {
-                        self.send(to, holder, Msg::FetchCb { entries }, 16);
+                        self.send(to, holder, Msg::FetchCb { child, entries }, 16);
                     }
                 } else {
-                    self.cb_pieces[parent].push((holder, entries));
+                    self.cb_pieces[parent].push((holder, entries, child));
                 }
                 self.pieces_got[child] += 1;
                 self.check_child_done(to, child);
             }
-            Msg::FetchCb { entries } => {
-                self.mem_pop_cb(to, entries);
+            Msg::FetchCb { child, entries } => {
+                self.mem_pop_cb(to, child, entries);
                 // Freed memory may admit a deferred task (only meaningful
                 // under a hard capacity; without one, nothing was ever
                 // deferred and this keeps the happy path untouched).
@@ -977,9 +1173,17 @@ impl<'a> World<'a> {
                 // increment is broadcast — the master's Assigned message
                 // already announced this allocation to everyone.
                 let now = self.sim.now();
+                self.record(|| SchedEvent::MemAlloc {
+                    proc: to,
+                    node,
+                    area: MemArea::Front,
+                    entries,
+                });
                 self.procs[to].mem.alloc_front(now, entries);
                 let active = self.procs[to].mem.active();
                 self.procs[to].views.mem[to] = active;
+                self.procs[to].views.touch(to, now);
+                self.metrics.procs[to].slave_tasks += 1;
                 self.load_change(to, flops_share as i64);
                 let key = self.works.len();
                 self.works.push((
@@ -990,7 +1194,7 @@ impl<'a> World<'a> {
                 self.try_start(to);
             }
             Msg::Type3Share { node, entries, flops_share } => {
-                self.mem_alloc_front(to, entries);
+                self.mem_alloc_front(to, node, entries);
                 self.load_change(to, flops_share as i64);
                 let key = self.works.len();
                 self.works.push((
@@ -1000,16 +1204,64 @@ impl<'a> World<'a> {
                 self.procs[to].slave_queue.push_back(key);
                 self.try_start(to);
             }
-            Msg::MemDelta { delta } => self.procs[to].views.apply_mem_delta(from, delta),
+            Msg::MemDelta { delta } => {
+                let age = self.touch_view(to, from);
+                self.procs[to].views.apply_mem_delta(from, delta);
+                self.record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::MemDelta,
+                    age,
+                });
+            }
             Msg::Assigned { proc, entries } => {
                 // Skip the slave itself: its self-view is exact.
                 if proc != to {
+                    let age = self.touch_view(to, proc);
                     self.procs[to].views.apply_mem_delta(proc, entries as i64);
+                    self.record(|| SchedEvent::StatusApply {
+                        to,
+                        from,
+                        about: proc,
+                        kind: StatusKind::Assigned,
+                        age,
+                    });
                 }
             }
-            Msg::LoadDelta { delta } => self.procs[to].views.apply_load_delta(from, delta),
-            Msg::SubtreePeak { peak } => self.procs[to].views.subtree[from] = peak,
-            Msg::Predicted { cost } => self.procs[to].views.predicted[from] = cost,
+            Msg::LoadDelta { delta } => {
+                let age = self.touch_view(to, from);
+                self.procs[to].views.apply_load_delta(from, delta);
+                self.record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::LoadDelta,
+                    age,
+                });
+            }
+            Msg::SubtreePeak { peak } => {
+                let age = self.touch_view(to, from);
+                self.procs[to].views.subtree[from] = peak;
+                self.record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::SubtreePeak,
+                    age,
+                });
+            }
+            Msg::Predicted { cost } => {
+                let age = self.touch_view(to, from);
+                self.procs[to].views.predicted[from] = cost;
+                self.record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::Predicted,
+                    age,
+                });
+            }
             Msg::ChildStarted { node } => {
                 self.started_children[node] += 1;
                 if self.started_children[node] == self.tree.nodes[node].children.len()
@@ -1214,10 +1466,114 @@ mod tests {
         let r = run(&tree, &map, &cfg).unwrap();
         let traces = r.traces.unwrap();
         assert_eq!(traces.len(), 4);
-        // Traces collapse same-instant transients to the final value, so
-        // their max bounds the reported peak from below.
+        // Traces keep within-instant transients (TraceSample::high), so
+        // their max agrees exactly with the accounting peak — per
+        // processor and globally.
+        for (t, &pk) in traces.iter().zip(&r.peaks) {
+            assert_eq!(t.max(), pk, "trace max must equal active_peak");
+        }
         let tmax = traces.iter().map(|t| t.max()).max().unwrap();
-        assert!(tmax > 0 && tmax <= r.max_peak, "tmax={tmax} peak={}", r.max_peak);
+        assert_eq!(tmax, r.max_peak, "tmax={tmax} peak={}", r.max_peak);
+    }
+
+    #[test]
+    fn recording_attribution_sums_to_peaks() {
+        // The flight recording replays to the exact accounting peaks: for
+        // every processor the attributed composition sums to active_peak.
+        let tree = tree_for(24);
+        for cfg0 in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) },
+        ] {
+            let cfg = SolverConfig { record_events: true, ..cfg0 };
+            let map = compute_mapping(&tree, &cfg);
+            let r = run(&tree, &map, &cfg).unwrap();
+            let rec = r.recording.as_ref().expect("recording enabled");
+            assert_eq!(rec.dropped(), 0, "unbounded recording must be complete");
+            assert!(!rec.is_empty());
+            let att = mf_sim::attribute_peaks(cfg.nprocs, rec);
+            assert_eq!(att.len(), cfg.nprocs);
+            for a in &att {
+                assert_eq!(a.peak, r.peaks[a.proc], "proc {}", a.proc);
+                let sum: u64 = a.composition.iter().map(|it| it.entries).sum();
+                assert_eq!(sum, a.peak, "composition must sum to the peak on proc {}", a.proc);
+            }
+        }
+    }
+
+    #[test]
+    fn recording_is_deterministic_and_absent_when_disabled() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        assert!(plain.recording.is_none());
+        let cfg = SolverConfig { record_events: true, ..cfg0 };
+        let r1 = run(&tree, &map, &cfg).unwrap();
+        let r2 = run(&tree, &map, &cfg).unwrap();
+        assert_eq!(r1.recording, r2.recording, "recordings must be bit-identical");
+        // Observability must not perturb the schedule.
+        assert_eq!(r1.peaks, plain.peaks);
+        assert_eq!(r1.makespan, plain.makespan);
+        assert_eq!(r1.messages, plain.messages);
+    }
+
+    #[test]
+    fn metrics_account_all_traffic() {
+        let tree = tree_for(20);
+        let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg);
+        let r = run(&tree, &map, &cfg).unwrap();
+        let m = &r.metrics;
+        // Every counted message is either control or status.
+        assert_eq!(m.total_msgs(), r.messages);
+        assert!(m.control_msgs > 0 && m.status_msgs > 0);
+        assert!(m.control_bytes > 0 && m.status_bytes > 0);
+        assert_eq!(m.dropped_status, 0);
+        assert_eq!(m.procs.len(), 4);
+        // Busy time: positive, and no processor is busy longer than the run.
+        for p in &m.procs {
+            assert!(p.busy_ticks > 0 && p.busy_ticks <= r.makespan);
+            assert_eq!(p.stalled_ticks, 0, "no capacity, no stalls");
+        }
+        // One activation per owner-activated node.
+        let acts: u64 = m.procs.iter().map(|p| p.activations).sum();
+        assert!(acts as usize <= r.total_nodes);
+        assert!(m.view_staleness.count > 0, "type-2 selections observed staleness");
+        assert!(m.pool_depth.count > 0);
+    }
+
+    #[test]
+    fn capped_run_reports_deferrals_in_metrics() {
+        let tree = tree_for(24);
+        let base = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &base);
+        let free = run(&tree, &map, &base).unwrap();
+        // A capacity of 1 makes every out-of-subtree activation
+        // inadmissible: each one is deferred until the stall-breaker
+        // forces it, exercising the whole degradation ladder.
+        let capped = SolverConfig { capacity: Some(1), record_events: true, ..base };
+        let r = run(&tree, &map, &capped).unwrap();
+        assert_eq!(r.nodes_done, r.total_nodes);
+        let deferrals: u64 = r.metrics.procs.iter().map(|p| p.deferrals).sum();
+        assert!(deferrals > 0, "a tight cap must defer something");
+        assert!(r.forced_activations > 0);
+        assert_eq!(
+            r.metrics.serialized_fronts + r.metrics.forced_activations,
+            r.forced_activations,
+            "metrics split the degradation counter exactly"
+        );
+        let stalled: u64 = r.metrics.procs.iter().map(|p| p.stalled_ticks).sum();
+        assert!(stalled > 0, "deferred processors accumulate stalled time");
+        assert!(r.makespan >= free.makespan);
+        // The recording saw the same story.
+        let rec = r.recording.unwrap();
+        assert!(rec
+            .events()
+            .any(|te| matches!(te.event, mf_sim::SchedEvent::Forced { .. })));
+        assert!(rec
+            .events()
+            .any(|te| matches!(te.event, mf_sim::SchedEvent::PoolDecision { picked: None, .. })));
     }
 
     #[test]

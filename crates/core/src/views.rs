@@ -8,6 +8,8 @@
 //! coherence problem of Figure 5 is real in this simulator, not modeled
 //! away.
 
+use mf_sim::Time;
+
 /// One processor's beliefs about the whole machine (its own entries are
 /// kept exact by the state machine).
 #[derive(Debug, Clone)]
@@ -24,6 +26,11 @@ pub struct Views {
     /// Believed cost of the largest master task about to activate on each
     /// processor (Section 5.1; 0 when none).
     pub predicted: Vec<u64>,
+    /// Instant each processor's entry was last refreshed by an applied
+    /// status message (0 until the first refresh). The gap between this
+    /// and *now* is the view staleness of Figure 5 — the observability
+    /// layer records it at every decision.
+    pub updated_at: Vec<Time>,
 }
 
 impl Views {
@@ -35,7 +42,21 @@ impl Views {
             load: initial_load.to_vec(),
             subtree: vec![0; nprocs],
             predicted: vec![0; nprocs],
+            updated_at: vec![0; nprocs],
         }
+    }
+
+    /// Marks processor `p`'s entry as refreshed at `now`, returning the
+    /// age of the belief it replaced.
+    pub fn touch(&mut self, p: usize, now: Time) -> Time {
+        let age = now.saturating_sub(self.updated_at[p]);
+        self.updated_at[p] = now;
+        age
+    }
+
+    /// Ticks since processor `p`'s entry was last refreshed.
+    pub fn age(&self, p: usize, now: Time) -> Time {
+        now.saturating_sub(self.updated_at[p])
     }
 
     /// Applies a (possibly negative) memory increment for processor `p`.
@@ -109,5 +130,14 @@ mod tests {
     fn initial_load_is_respected() {
         let v = Views::new(2, &[5, 7]);
         assert_eq!(v.load, vec![5, 7]);
+    }
+
+    #[test]
+    fn touch_tracks_staleness() {
+        let mut v = Views::new(2, &[0, 0]);
+        assert_eq!(v.age(1, 50), 50, "never refreshed: age since t=0");
+        assert_eq!(v.touch(1, 50), 50);
+        assert_eq!(v.age(1, 80), 30);
+        assert_eq!(v.age(0, 80), 80, "other entries untouched");
     }
 }

@@ -13,20 +13,36 @@
 //!   status-message loss, stragglers) for robustness experiments;
 //! * [`memory`] — per-processor memory accounts (factors area + CB stack +
 //!   active fronts) with running peaks and optional time-series traces,
-//!   the measurement instrument behind every table of the reproduction.
+//!   the measurement instrument behind every table of the reproduction;
+//! * [`recorder`] — an opt-in structured flight recorder of scheduling
+//!   events (decisions, memory movements, status traffic);
+//! * [`metrics`] — an always-on registry of run-wide counters and
+//!   histograms;
+//! * [`perfetto`] / [`attribution`] — exporters that turn a recording
+//!   into a Chrome/Perfetto trace and a peak-attribution report.
 //!
 //! The multifrontal-specific state machines live in `mf-core`; this crate
 //! is solver-agnostic and independently testable.
 
 #![warn(missing_docs)]
+pub mod attribution;
 pub mod engine;
 pub mod fault;
 pub mod memory;
+pub mod metrics;
 pub mod network;
+pub mod perfetto;
+pub mod recorder;
 pub mod trace;
 
+pub use attribution::{active_before, attribute_peaks, LiveItem, PeakAttribution};
 pub use engine::{Event, EventPayload, Sim, Time};
 pub use fault::{FaultInjector, FaultModel, MsgClass};
 pub use memory::ProcMemory;
+pub use metrics::{Histogram, ProcMetrics, RunMetrics};
 pub use network::NetworkModel;
+pub use perfetto::write_chrome_trace;
+pub use recorder::{
+    FrontClass, MemArea, Recording, SchedEvent, SlavePick, StatusKind, TaskRole, TimedEvent,
+};
 pub use trace::{Trace, TraceSample};

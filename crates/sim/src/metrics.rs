@@ -1,0 +1,239 @@
+//! Always-on metrics registry: counters, gauges, and histograms
+//! aggregated during a run and folded into `RunResult` /
+//! `RunDiagnostics`.
+//!
+//! Unlike the flight recorder (opt-in, per-event), metrics are cheap
+//! enough to keep on unconditionally: every observation is a couple of
+//! integer adds. They answer the aggregate questions — how much traffic
+//! did each message class generate, how stale were the views masters
+//! decided from, how deep did the task pools run, how long did each
+//! processor sit idle or stalled — while the recorder answers the
+//! per-decision ones.
+
+use crate::engine::Time;
+use std::fmt::Write as _;
+
+/// Number of power-of-two buckets in a [`Histogram`]. Bucket `i` counts
+/// observations in `[2^(i-1), 2^i)` (bucket 0 counts zeros); the last
+/// bucket absorbs everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Fixed-size log2 histogram of `u64` observations.
+///
+/// Exact count/sum/min/max plus power-of-two buckets: enough for
+/// staleness and pool-depth distributions without any allocation per
+/// observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Log2 buckets; see [`HIST_BUCKETS`]. Heap-allocated to keep the
+    /// registry (and everything embedding it, like error diagnostics)
+    /// small on the stack.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; HIST_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let b = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation, 0 when empty (presentation-friendly `min`).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        write!(
+            out,
+            "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3} }}",
+            self.count,
+            self.sum,
+            self.min_or_zero(),
+            self.max,
+            self.mean()
+        )
+        .unwrap();
+    }
+}
+
+/// Per-processor time and decision counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcMetrics {
+    /// Ticks spent computing (sum of work-unit durations).
+    pub busy_ticks: Time,
+    /// Ticks spent *stalled*: idle with ready-but-inadmissible work (the
+    /// capacity verdict deferred everything). Idle = makespan − busy −
+    /// stalled.
+    pub stalled_ticks: Time,
+    /// Fronts this processor activated as owner.
+    pub activations: u64,
+    /// Pool decisions where the admissibility verdict deferred every
+    /// ready task.
+    pub deferrals: u64,
+    /// Slave blocks computed for remote masters.
+    pub slave_tasks: u64,
+}
+
+/// Run-wide aggregates, indexed where relevant by processor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Control messages delivered (task/data traffic: never droppable).
+    pub control_msgs: u64,
+    /// Payload bytes of control messages.
+    pub control_bytes: u64,
+    /// Status messages sent (information mechanisms; point-to-point
+    /// count, i.e. a broadcast to `p−1` peers counts `p−1`).
+    pub status_msgs: u64,
+    /// Payload bytes of status messages.
+    pub status_bytes: u64,
+    /// Status messages lost to fault injection.
+    pub dropped_status: u64,
+    /// Capacity re-selection rounds across all type-2 selections.
+    pub reselect_rounds: u64,
+    /// Serialize-on-master fallbacks.
+    pub serialized_fronts: u64,
+    /// Deferred tasks force-activated by the stall-breaker.
+    pub forced_activations: u64,
+    /// View staleness (ticks since last status refresh of the chosen
+    /// candidate's entry) observed at each slave-selection decision.
+    pub view_staleness: Histogram,
+    /// Ready-pool depth observed at each pool decision.
+    pub pool_depth: Histogram,
+    /// Per-processor counters.
+    pub procs: Vec<ProcMetrics>,
+}
+
+impl RunMetrics {
+    /// Registry for an `nprocs`-processor run.
+    pub fn new(nprocs: usize) -> Self {
+        RunMetrics { procs: vec![ProcMetrics::default(); nprocs], ..Default::default() }
+    }
+
+    /// Total messages of both classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.control_msgs + self.status_msgs
+    }
+
+    /// Renders the registry as a JSON object (no trailing newline).
+    ///
+    /// `makespan` lets per-processor idle time be derived
+    /// (`makespan − busy − stalled`).
+    pub fn to_json(&self, makespan: Time) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        writeln!(
+            out,
+            "      \"control_msgs\": {}, \"control_bytes\": {},",
+            self.control_msgs, self.control_bytes
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"status_msgs\": {}, \"status_bytes\": {}, \"dropped_status\": {},",
+            self.status_msgs, self.status_bytes, self.dropped_status
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"reselect_rounds\": {}, \"serialized_fronts\": {}, \"forced_activations\": {},",
+            self.reselect_rounds, self.serialized_fronts, self.forced_activations
+        )
+        .unwrap();
+        out.push_str("      \"view_staleness\": ");
+        self.view_staleness.json_into(&mut out);
+        out.push_str(",\n      \"pool_depth\": ");
+        self.pool_depth.json_into(&mut out);
+        out.push_str(",\n      \"procs\": [\n");
+        for (i, p) in self.procs.iter().enumerate() {
+            let sep = if i + 1 == self.procs.len() { "" } else { "," };
+            let idle = makespan.saturating_sub(p.busy_ticks + p.stalled_ticks);
+            writeln!(
+                out,
+                "        {{ \"proc\": {i}, \"busy_ticks\": {}, \"stalled_ticks\": {}, \
+                 \"idle_ticks\": {idle}, \"activations\": {}, \"deferrals\": {}, \
+                 \"slave_tasks\": {} }}{sep}",
+                p.busy_ticks, p.stalled_ticks, p.activations, p.deferrals, p.slave_tasks
+            )
+            .unwrap();
+        }
+        out.push_str("      ]\n    }");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1 << 40);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1 << 40);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1); // 2^40 clamps to the top bucket
+        assert!((h.mean() - (6.0 + (1u64 << 40) as f64) / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_presents_zero_min() {
+        let h = Histogram::default();
+        assert_eq!(h.min_or_zero(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_object() {
+        let mut m = RunMetrics::new(2);
+        m.control_msgs = 3;
+        m.procs[1].busy_ticks = 40;
+        let j = m.to_json(100);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"idle_ticks\": 60"));
+        assert!(j.contains("\"control_msgs\": 3"));
+    }
+}

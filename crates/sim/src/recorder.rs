@@ -1,0 +1,376 @@
+//! Structured flight recorder for scheduling decisions.
+//!
+//! The paper's whole argument is about *explaining* per-processor stack
+//! peaks (Figures 4/6/8, Tables 2–6): a surprising peak must be traceable
+//! back to the slave-selection or task-activation decision that caused
+//! it. The [`Recording`] is a ring buffer of typed, timestamped
+//! [`SchedEvent`]s emitted by the `mf-core` event loop at every decision
+//! point — memory movements with *node attribution*, front activations,
+//! compute spans, slave selections **with the per-candidate metric vector
+//! the master saw**, pool activation/deferral verdicts, status-broadcast
+//! sends/applies with view staleness, fault perturbations, and capacity
+//! re-selections.
+//!
+//! Recording is opt-in and zero-cost when disabled: the solver holds an
+//! `Option<Recording>` and every emission site is a branch on `None`
+//! (events are built inside closures, so no allocation happens on the
+//! disabled path). A recording replays deterministically: the same
+//! configuration yields a byte-identical event stream, which makes
+//! recordings diffable across strategies and thread-pool widths.
+
+use crate::engine::Time;
+use std::collections::VecDeque;
+
+/// Which of the two active-memory areas a movement touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemArea {
+    /// Frontal-matrix area (allocated at activation, freed at completion).
+    Front,
+    /// Contribution-block stack (pushed at completion, popped at the
+    /// parent's assembly).
+    Stack,
+}
+
+impl MemArea {
+    /// Short lowercase label (`"front"` / `"stack"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemArea::Front => "front",
+            MemArea::Stack => "stack",
+        }
+    }
+}
+
+/// What a processor is computing (mirrors the solver's work units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRole {
+    /// Full-front elimination (type 1, subtree node, or a slave-less
+    /// type-2 node).
+    Elim,
+    /// Master part of a type-2 node.
+    Master,
+    /// A slave block of a type-2 node.
+    Slave,
+    /// A share of the 2-D type-3 root.
+    Root,
+}
+
+impl TaskRole {
+    /// Short lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskRole::Elim => "elim",
+            TaskRole::Master => "master",
+            TaskRole::Slave => "slave",
+            TaskRole::Root => "root",
+        }
+    }
+}
+
+/// Node classification of an activated front (mirrors the static
+/// mapping's type-1/2/3 classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontClass {
+    /// Node inside a leaf subtree.
+    Subtree,
+    /// Sequential upper-tree node.
+    Type1,
+    /// 1-D parallel node (master + dynamically chosen slaves).
+    Type2,
+    /// 2-D root scattered over every processor.
+    Type3,
+}
+
+impl FrontClass {
+    /// Short lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontClass::Subtree => "subtree",
+            FrontClass::Type1 => "type1",
+            FrontClass::Type2 => "type2",
+            FrontClass::Type3 => "type3",
+        }
+    }
+}
+
+/// Which status (information-mechanism) message a send/apply concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusKind {
+    /// Active-memory increment (Section 4).
+    MemDelta,
+    /// Workload increment (Section 3).
+    LoadDelta,
+    /// Subtree-peak announcement (Section 5.1).
+    SubtreePeak,
+    /// Ready-master prediction (Section 5.1).
+    Predicted,
+    /// Master's slave-choice announcement (Section 4).
+    Assigned,
+}
+
+impl StatusKind {
+    /// Short label matching the message name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatusKind::MemDelta => "mem_delta",
+            StatusKind::LoadDelta => "load_delta",
+            StatusKind::SubtreePeak => "subtree_peak",
+            StatusKind::Predicted => "predicted",
+            StatusKind::Assigned => "assigned",
+        }
+    }
+}
+
+/// One slave block chosen by a type-2 master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlavePick {
+    /// The chosen processor.
+    pub proc: usize,
+    /// Entries of the block it receives.
+    pub entries: u64,
+}
+
+/// One structured scheduling event. Everything the `explain` replay and
+/// the Perfetto export need is carried inline; node and processor ids
+/// refer to the assembly tree and machine of the recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    /// `entries` were allocated in `area` on `proc`, attributed to `node`.
+    MemAlloc {
+        /// Processor whose account grew.
+        proc: usize,
+        /// Node the allocation belongs to.
+        node: usize,
+        /// Which area.
+        area: MemArea,
+        /// Entries allocated.
+        entries: u64,
+    },
+    /// `entries` were released from `area` on `proc` (node attribution as
+    /// in [`SchedEvent::MemAlloc`]).
+    MemFree {
+        /// Processor whose account shrank.
+        proc: usize,
+        /// Node the release belongs to.
+        node: usize,
+        /// Which area.
+        area: MemArea,
+        /// Entries released.
+        entries: u64,
+    },
+    /// `proc` activated front `node` (the owner-side decision).
+    Activate {
+        /// Activating (owner) processor.
+        proc: usize,
+        /// Activated node.
+        node: usize,
+        /// Node classification.
+        class: FrontClass,
+    },
+    /// `proc` started computing its part of `node`.
+    ComputeStart {
+        /// Computing processor.
+        proc: usize,
+        /// Node computed.
+        node: usize,
+        /// Which part.
+        role: TaskRole,
+    },
+    /// `proc` finished computing its part of `node`.
+    ComputeEnd {
+        /// Computing processor.
+        proc: usize,
+        /// Node computed.
+        node: usize,
+        /// Which part.
+        role: TaskRole,
+    },
+    /// A type-2 master resolved its slave selection: the exact
+    /// per-candidate metric vector it decided from (Algorithm 1 /
+    /// workload baseline, indexed by processor), the *age* of its view of
+    /// each processor (ticks since the last applied status refresh — the
+    /// Figure 5 staleness), and the outcome.
+    SlaveSelection {
+        /// The master processor.
+        master: usize,
+        /// The type-2 node.
+        node: usize,
+        /// Metric per processor as the master believed it.
+        metric: Vec<u64>,
+        /// View age per processor (ticks since last status apply).
+        view_age: Vec<Time>,
+        /// Chosen blocks (empty = serialized on the master).
+        picked: Vec<SlavePick>,
+        /// Capacity re-selection rounds before the outcome (0 = first
+        /// selection stood).
+        rounds: u32,
+        /// Whether the front fell back to serialize-on-master.
+        serialized: bool,
+    },
+    /// A capacity re-selection dropped candidates whose projected memory
+    /// would breach the cap.
+    Reselect {
+        /// The master processor.
+        master: usize,
+        /// The type-2 node being re-selected.
+        node: usize,
+        /// Candidates removed this round.
+        dropped: Vec<usize>,
+    },
+    /// A pool (task-selection) decision on `proc`: Algorithm 2 / LIFO
+    /// verdict over a non-empty pool.
+    PoolDecision {
+        /// Deciding processor.
+        proc: usize,
+        /// Ready tasks in the pool at decision time.
+        depth: usize,
+        /// Activated task (`None` = every ready task was deferred by the
+        /// Algorithm-2 admissibility/capacity verdict).
+        picked: Option<usize>,
+    },
+    /// A status broadcast left `from` (recorded once per broadcast, not
+    /// per receiver).
+    StatusSend {
+        /// Broadcasting processor.
+        from: usize,
+        /// Which mechanism.
+        kind: StatusKind,
+        /// Signed payload value (delta or absolute level).
+        value: i64,
+    },
+    /// A status message was applied at `to`, refreshing its view of
+    /// `about`.
+    StatusApply {
+        /// Receiving processor.
+        to: usize,
+        /// Sender.
+        from: usize,
+        /// Processor whose view entry was refreshed.
+        about: usize,
+        /// Which mechanism.
+        kind: StatusKind,
+        /// Age of the replaced view entry (ticks since its last refresh).
+        age: Time,
+    },
+    /// The fault injector dropped a status message.
+    FaultDrop {
+        /// Sender of the lost message.
+        from: usize,
+        /// Intended receiver.
+        to: usize,
+    },
+    /// The capacity stall-breaker force-activated a deferred task.
+    Forced {
+        /// Processor forced to activate.
+        proc: usize,
+        /// Activated node.
+        node: usize,
+        /// Its activation cost (entries).
+        cost: u64,
+    },
+}
+
+/// A timestamped [`SchedEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Virtual time of the event.
+    pub at: Time,
+    /// The event.
+    pub event: SchedEvent,
+}
+
+/// Ring buffer of [`TimedEvent`]s. With `capacity: None` it grows
+/// unbounded (what `explain` needs: peak attribution replays the full
+/// memory-event history); with a capacity it keeps the most recent
+/// events and counts what it dropped, so long-running services can fly
+/// with a bounded black box.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recording {
+    events: VecDeque<TimedEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Recording {
+    /// Empty recording; `capacity: None` = unbounded.
+    pub fn new(capacity: Option<usize>) -> Self {
+        Recording { events: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn record(&mut self, at: Time, event: SchedEvent) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() >= cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(TimedEvent { at, event });
+    }
+
+    /// Recorded events, oldest first (time-ordered: the solver emits in
+    /// virtual-time order).
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring (0 means the recording is complete —
+    /// the precondition of exact peak attribution).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: usize) -> SchedEvent {
+        SchedEvent::MemAlloc { proc: 0, node, area: MemArea::Front, entries: 1 }
+    }
+
+    #[test]
+    fn unbounded_recording_keeps_everything() {
+        let mut r = Recording::new(None);
+        for k in 0..1000 {
+            r.record(k, ev(k as usize));
+        }
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.events().next().unwrap().at, 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut r = Recording::new(Some(3));
+        for k in 0..5 {
+            r.record(k, ev(k as usize));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let first = r.events().next().unwrap();
+        assert_eq!(first.at, 2, "oldest two evicted");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = Recording::new(Some(0));
+        r.record(1, ev(0));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

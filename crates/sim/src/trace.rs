@@ -9,11 +9,17 @@ pub struct TraceSample {
     pub at: Time,
     /// New value (entries).
     pub value: u64,
+    /// Largest value observed at this instant. Several changes can land
+    /// at the same virtual time (e.g. a front allocated and its children's
+    /// CBs popped in one assembly step); `value` keeps the post-instant
+    /// state while `high` preserves the transient within-instant peak so
+    /// [`Trace::max`] agrees with the accounting peak.
+    pub high: u64,
 }
 
 impl From<(Time, u64)> for TraceSample {
     fn from((at, value): (Time, u64)) -> Self {
-        TraceSample { at, value }
+        TraceSample { at, value, high: value }
     }
 }
 
@@ -31,15 +37,17 @@ impl Trace {
     }
 
     /// Appends a sample; consecutive samples at the same instant collapse
-    /// to the last value (only the post-event state is observable).
+    /// to the last value, but the within-instant maximum is retained in
+    /// [`TraceSample::high`] so transient peaks are never lost.
     pub fn push(&mut self, at: Time, value: u64) {
         if let Some(last) = self.samples.last_mut() {
             if last.at == at {
                 last.value = value;
+                last.high = last.high.max(value);
                 return;
             }
         }
-        self.samples.push(TraceSample { at, value });
+        self.samples.push(TraceSample { at, value, high: value });
     }
 
     /// All samples, time-ordered.
@@ -56,9 +64,10 @@ impl Trace {
         }
     }
 
-    /// Maximum recorded value.
+    /// Maximum recorded value, including within-instant transients (so
+    /// this matches `ProcMemory::active_peak()` exactly).
     pub fn max(&self) -> u64 {
-        self.samples.iter().map(|s| s.value).max().unwrap_or(0)
+        self.samples.iter().map(|s| s.high).max().unwrap_or(0)
     }
 
     /// Resamples the series on `steps` uniform instants over `[0, horizon]`
@@ -130,6 +139,20 @@ mod tests {
         t.push(3, 7);
         assert_eq!(t.samples().len(), 1);
         assert_eq!(t.value_at(3), 7);
+    }
+
+    #[test]
+    fn same_instant_transient_peak_is_kept() {
+        let mut t = Trace::new();
+        // A front allocates (peak 12), then two child CBs pop, all at t=3:
+        // the post-instant value is 5 but the transient maximum is 12.
+        t.push(3, 12);
+        t.push(3, 8);
+        t.push(3, 5);
+        assert_eq!(t.samples().len(), 1);
+        assert_eq!(t.value_at(3), 5, "stepwise lookup sees the post-instant state");
+        assert_eq!(t.samples()[0].high, 12);
+        assert_eq!(t.max(), 12, "max must not lose the transient peak");
     }
 
     #[test]
