@@ -92,16 +92,12 @@ fn bench_event_queue(c: &mut Criterion) {
     group.sample_size(10);
     for &events in &[10_000u64, 100_000, 1_000_000] {
         group.throughput(Throughput::Elements(events));
-        group.bench_with_input(
-            BenchmarkId::new("single_heap", events),
-            &events,
-            |b, &n| b.iter(|| run_single_heap(n)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("heap_plus_hashmap", events),
-            &events,
-            |b, &n| b.iter(|| run_two_struct(n)),
-        );
+        group.bench_with_input(BenchmarkId::new("single_heap", events), &events, |b, &n| {
+            b.iter(|| run_single_heap(n))
+        });
+        group.bench_with_input(BenchmarkId::new("heap_plus_hashmap", events), &events, |b, &n| {
+            b.iter(|| run_two_struct(n))
+        });
     }
     group.finish();
 }

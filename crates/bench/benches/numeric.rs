@@ -59,9 +59,7 @@ fn bench_factorize(c: &mut Criterion) {
     group.bench_function("factorize_sequential", |b| {
         b.iter(|| Factorization::from_symbolic(&a, &s).unwrap())
     });
-    group.bench_function("factorize_parallel", |b| {
-        b.iter(|| factorize_parallel(&a, &s).unwrap())
-    });
+    group.bench_function("factorize_parallel", |b| b.iter(|| factorize_parallel(&a, &s).unwrap()));
     let f = Factorization::from_symbolic(&a, &s).unwrap();
     let b_rhs: Vec<f64> = (0..a.nrows()).map(|i| (i % 11) as f64).collect();
     group.bench_function("solve", |b| b.iter(|| f.solve(&b_rhs)));

@@ -110,8 +110,7 @@ fn main() {
             .map(|v| {
                 let cfg = (v.cfg)(paper_scale_config(nprocs));
                 let map = compute_mapping(&tree, &cfg);
-                parsim::run(&tree, &map, &cfg)
-                    .unwrap_or_else(|e| panic!("{} failed: {e}", v.name))
+                parsim::run(&tree, &map, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", v.name))
             })
             .collect();
         let base_peak = results[0].max_peak;

@@ -163,15 +163,21 @@ fn describe(e: &SchedEvent, p: usize, truth: &[u64]) -> String {
         SchedEvent::Forced { proc, node, cost } => {
             format!("stall-breaker forces n{node} on proc {proc} (cost {cost})")
         }
-        SchedEvent::SlaveSelection { master, node, metric, view_age, picked, rounds, serialized } => {
+        SchedEvent::SlaveSelection {
+            master,
+            node,
+            metric,
+            view_age,
+            picked,
+            rounds,
+            serialized,
+        } => {
             let mut s = format!("master {master} selects slaves for type-2 n{node}: ");
             if *serialized {
                 s.push_str("serialized on master");
             } else {
-                let parts: Vec<String> = picked
-                    .iter()
-                    .map(|sl| format!("p{}\u{2190}{}", sl.proc, sl.entries))
-                    .collect();
+                let parts: Vec<String> =
+                    picked.iter().map(|sl| format!("p{}\u{2190}{}", sl.proc, sl.entries)).collect();
                 s.push_str(&parts.join(" "));
             }
             if *rounds > 0 {
@@ -227,13 +233,7 @@ fn print_report(name: &str, r: &RunResult) {
     let att = checked_attribution(r);
     let rec = r.recording.as_ref().unwrap();
     println!("\n=== {name} strategy ===");
-    println!(
-        "max peak {} entries, makespan {} ticks, {} messages, {} recorded events",
-        r.max_peak,
-        r.makespan,
-        r.messages,
-        rec.len()
-    );
+    println!("{} ({} recorded events)", r.summary_line(), rec.len());
     println!("\nper-processor peaks (composition verified to sum to active_peak):");
     println!("{:>5} {:>12} {:>10} {:>6}  top fronts at the peak", "proc", "peak", "at", "live");
     for a in &att {
@@ -281,22 +281,8 @@ fn print_report(name: &str, r: &RunResult) {
     println!("\ndecision chain into the machine peak (believed vs actual):");
     print_decision_chain(rec, r.peaks.len(), worst.proc, 10);
 
-    let m = &r.metrics;
-    println!(
-        "\ntraffic: {} control + {} status messages ({} + {} bytes), {} status dropped",
-        m.control_msgs, m.status_msgs, m.control_bytes, m.status_bytes, m.dropped_status
-    );
-    println!(
-        "decisions: staleness mean {:.0} ticks (max {}), pool depth mean {:.1}, \
-         {} deferrals, {} reselect rounds, {} serialized, {} forced",
-        m.view_staleness.mean(),
-        m.view_staleness.max,
-        m.pool_depth.mean(),
-        m.procs.iter().map(|p| p.deferrals).sum::<u64>(),
-        m.reselect_rounds,
-        m.serialized_fronts,
-        m.forced_activations
-    );
+    println!("\n{}", r.metrics.traffic_line());
+    println!("{}", r.metrics.decisions_line());
 }
 
 fn print_diff(c: &CellResult) {
@@ -320,11 +306,8 @@ fn print_diff(c: &CellResult) {
     );
     println!("{:>5} {:>12} {:>12} {:>8}", "proc", "baseline", "memory", "delta%");
     for (b, m) in base.iter().zip(&mem) {
-        let delta = if b.peak == 0 {
-            0.0
-        } else {
-            100.0 * (m.peak as f64 - b.peak as f64) / b.peak as f64
-        };
+        let delta =
+            if b.peak == 0 { 0.0 } else { 100.0 * (m.peak as f64 - b.peak as f64) / b.peak as f64 };
         println!("{:>5} {:>12} {:>12} {:>+8.1}", b.proc, b.peak, m.peak, delta);
     }
     let (bm, mm) = (&c.baseline.metrics, &c.memory.metrics);

@@ -33,8 +33,7 @@ fn main() {
     for (p, rows) in &sel {
         println!("   P{p}: {rows} rows");
     }
-    let excluded: Vec<usize> =
-        (1..8).filter(|p| !sel.iter().any(|&(q, _)| q == *p)).collect();
+    let excluded: Vec<usize> = (1..8).filter(|p| !sel.iter().any(|&(q, _)| q == *p)).collect();
     println!("  processors left alone (their load already at the peak): {excluded:?}");
 
     println!("\n== Figure 5: the coherence problem ==");

@@ -42,10 +42,9 @@ use rayon::prelude::*;
 fn subset() -> Vec<CellSpec> {
     let thr = mf_bench::sweep::split_threshold_for();
     let mut specs = Vec::new();
-    for (m, k) in [
-        (PaperMatrix::TwoTone, OrderingKind::Amd),
-        (PaperMatrix::Ship003, OrderingKind::Metis),
-    ] {
+    for (m, k) in
+        [(PaperMatrix::TwoTone, OrderingKind::Amd), (PaperMatrix::Ship003, OrderingKind::Metis)]
+    {
         for nprocs in [16usize, 32] {
             for split in [None, Some(thr)] {
                 specs.push((m, k, nprocs, split, false));
@@ -88,8 +87,12 @@ fn uncached_cell(spec: &CellSpec) -> CellResult {
         ..mf_bench::sweep::paper_scale_config(nprocs)
     };
     let map = mf_core::mapping::compute_mapping(&s.tree, &base_cfg);
-    let baseline = mf_core::parsim::run(&s.tree, &map, &base_cfg).expect("baseline run failed");
-    let memory = mf_core::parsim::run(&s.tree, &map, &mem_cfg).expect("memory run failed");
+    let run = |cfg: &SolverConfig, what: &str| {
+        mf_core::parsim::run(&s.tree, &map, cfg)
+            .unwrap_or_else(|e| panic!("{what} failed: {e} [{}]", e.diagnostics().summary_line()))
+    };
+    let baseline = run(&base_cfg, "baseline run");
+    let memory = run(&mem_cfg, "memory run");
     CellResult { matrix, ordering, split, stats: s.tree.stats(), baseline, memory }
 }
 
@@ -173,10 +176,15 @@ fn main() {
     let parallel_cached_ms = start.elapsed().as_secs_f64() * 1e3;
 
     for (s, f) in slow.iter().zip(&fast) {
-        assert_eq!(s.baseline.max_peak, f.baseline.max_peak, "peaks must not change");
-        assert_eq!(s.memory.max_peak, f.memory.max_peak, "peaks must not change");
-        assert_eq!(s.baseline.makespan, f.baseline.makespan, "makespans must not change");
-        assert_eq!(s.memory.makespan, f.memory.makespan, "makespans must not change");
+        for (a, b) in [(&s.baseline, &f.baseline), (&s.memory, &f.memory)] {
+            assert_eq!(
+                (a.max_peak, a.makespan),
+                (b.max_peak, b.makespan),
+                "cached sweep changed results: uncached [{}] vs cached [{}]",
+                a.summary_line(),
+                b.summary_line()
+            );
+        }
     }
     // A third pass through the warm cache isolates the memoization gain.
     let start = Instant::now();
@@ -189,13 +197,14 @@ fn main() {
     let eq_depth = 10_000;
     let eq_events = 2_000_000u64;
     let eq_ns = event_queue_ns(eq_depth, eq_events);
-    let kernels: Vec<(usize, usize, f64, f64)> = [(256usize, 128usize, 20u32), (512, 256, 10), (1024, 512, 3)]
-        .into_iter()
-        .map(|(f, p, reps)| {
-            let (ms, gflops) = lu_kernel(f, p, reps);
-            (f, p, ms, gflops)
-        })
-        .collect();
+    let kernels: Vec<(usize, usize, f64, f64)> =
+        [(256usize, 128usize, 20u32), (512, 256, 10), (1024, 512, 3)]
+            .into_iter()
+            .map(|(f, p, reps)| {
+                let (ms, gflops) = lu_kernel(f, p, reps);
+                (f, p, ms, gflops)
+            })
+            .collect();
 
     eprintln!("[4/4] recorder overhead, warm cache, disabled vs enabled ...");
     let start = Instant::now();
@@ -252,7 +261,8 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin perf_baseline\",").unwrap();
+    writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin perf_baseline\",")
+        .unwrap();
     writeln!(json, "  \"sweep_subset\": {{").unwrap();
     writeln!(json, "    \"cells\": {},", specs.len()).unwrap();
     writeln!(json, "    \"shape\": \"2 (matrix,ordering) x 2 nprocs x 2 split\",").unwrap();
@@ -274,9 +284,7 @@ fn main() {
     writeln!(json, "    \"overhead_percent\": {overhead_percent:.1},").unwrap();
     writeln!(json, "    \"events_recorded\": {events_recorded},").unwrap();
     match prior_warm_ms {
-        Some(prior) => {
-            writeln!(json, "    \"prior_warm_cache_ms\": {prior:.1},").unwrap()
-        }
+        Some(prior) => writeln!(json, "    \"prior_warm_cache_ms\": {prior:.1},").unwrap(),
         None => writeln!(json, "    \"prior_warm_cache_ms\": null,").unwrap(),
     }
     writeln!(json, "    \"disabled_regression_guard\": \"<=3% + 250 ms floor\",").unwrap();

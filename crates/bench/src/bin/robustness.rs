@@ -102,17 +102,16 @@ fn run_ok(
     cfg: &SolverConfig,
     what: &str,
 ) -> RunResult {
-    let r = parsim::run(tree, map, cfg).unwrap_or_else(|e| panic!("{what} failed: {e}"));
+    let r = parsim::run(tree, map, cfg)
+        .unwrap_or_else(|e| panic!("{what} failed: {e} [{}]", e.diagnostics().summary_line()));
     assert_eq!(r.nodes_done, r.total_nodes, "{what}: fronts lost");
     assert!(r.final_active.iter().all(|&a| a == 0), "{what}: stack leaked");
     r
 }
 
 fn main() {
-    let pairs = [
-        (PaperMatrix::TwoTone, OrderingKind::Amd),
-        (PaperMatrix::Ship003, OrderingKind::Metis),
-    ];
+    let pairs =
+        [(PaperMatrix::TwoTone, OrderingKind::Amd), (PaperMatrix::Ship003, OrderingKind::Metis)];
 
     let mut perturb_rows: Vec<PerturbRow> = Vec::new();
     let mut cap_rows: Vec<CapRow> = Vec::new();
@@ -123,6 +122,7 @@ fn main() {
             let cfg0 = (s.cfg)();
             let map = compute_mapping(&tree, &cfg0);
             let plain = run_ok(&tree, &map, &cfg0, "unperturbed run");
+            eprintln!("{:10} / {:20} unperturbed: {}", m.name(), s.name, plain.summary_line());
 
             for level in INTENSITIES {
                 // All seeds of a level are independent: fan them out.
@@ -159,10 +159,7 @@ fn main() {
                         .map(|r| ratio(r.max_peak, plain.max_peak))
                         .fold(0.0, f64::max),
                     dropped_total: runs.iter().map(|r| r.dropped_messages).sum(),
-                    underflow_total: runs
-                        .iter()
-                        .map(|r| r.underflows.iter().sum::<u64>())
-                        .sum(),
+                    underflow_total: runs.iter().map(|r| r.underflows.iter().sum::<u64>()).sum(),
                     forced_total: runs.iter().map(|r| r.forced_activations).sum(),
                 });
             }

@@ -4,7 +4,7 @@
 //! — 8 matrices x 4 orderings, 32 simulated processors, no splitting.
 
 use mf_bench::paper_data::PAPER_TABLE2;
-use mf_bench::sweep::{render_percent_table, sweep_cells, CellSpec};
+use mf_bench::sweep::{run_percent_table, CellSpec};
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
 
@@ -16,30 +16,24 @@ fn main() {
         .collect();
     // All 32 cells run in parallel; results come back in spec order, so
     // the rendered table is identical to the sequential loop's.
-    let cells = sweep_cells(&specs);
-    mf_bench::obs::maybe_export_cells(&cells);
-    let mut rows = Vec::new();
-    for (m, row) in ALL_PAPER_MATRICES.into_iter().zip(cells.chunks_exact(4)) {
-        let mut vals = [0.0f64; 4];
-        for (i, c) in row.iter().enumerate() {
-            vals[i] = c.gain_percent();
-            eprintln!(
+    run_percent_table(
+        "Table 2: % decrease of max stack peak (dynamic memory strategies, no splitting)",
+        Some(&PAPER_TABLE2),
+        &ALL_PAPER_MATRICES,
+        1,
+        &specs,
+        |m, entry| {
+            let c = &entry[0];
+            let val = c.gain_percent();
+            let log = format!(
                 "{:12} {:5}: baseline peak {:>9}, memory peak {:>9} -> {:+.1}%",
                 m.name(),
                 c.ordering.name(),
                 c.baseline.max_peak,
                 c.memory.max_peak,
-                vals[i]
+                val
             );
-        }
-        rows.push((m.name(), vals));
-    }
-    println!(
-        "{}",
-        render_percent_table(
-            "Table 2: % decrease of max stack peak (dynamic memory strategies, no splitting)",
-            &rows,
-            Some(&PAPER_TABLE2),
-        )
+            (val, log)
+        },
     );
 }

@@ -3,7 +3,7 @@
 //! statically split (both runs use the same split tree, as in the paper).
 
 use mf_bench::paper_data::PAPER_TABLE3;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
+use mf_bench::sweep::{run_percent_table, split_threshold_for, CellSpec};
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
 
@@ -16,33 +16,25 @@ fn main() {
         .iter()
         .flat_map(|&m| ALL_ORDERINGS.into_iter().map(move |k| (m, k, nprocs, Some(thr), false)))
         .collect();
-    let cells = sweep_cells(&specs);
-    mf_bench::obs::maybe_export_cells(&cells);
-    let mut rows = Vec::new();
-    for (m, row) in matrices.iter().zip(cells.chunks_exact(4)) {
-        let mut vals = [0.0f64; 4];
-        for (i, c) in row.iter().enumerate() {
-            vals[i] = c.gain_percent();
-            eprintln!(
+    run_percent_table(
+        &format!("Table 3: % decrease of max stack peak on split trees (threshold {thr} entries)"),
+        Some(&PAPER_TABLE3),
+        &matrices,
+        1,
+        &specs,
+        |m, entry| {
+            let c = &entry[0];
+            let val = c.gain_percent();
+            let log = format!(
                 "{:12} {:5}: split-baseline {:>9}, split-memory {:>9} -> {:+.1}% ({} fronts)",
                 m.name(),
                 c.ordering.name(),
                 c.baseline.max_peak,
                 c.memory.max_peak,
-                vals[i],
+                val,
                 c.stats.nodes,
             );
-        }
-        rows.push((m.name(), vals));
-    }
-    println!(
-        "{}",
-        render_percent_table(
-            &format!(
-                "Table 3: % decrease of max stack peak on split trees (threshold {thr} entries)"
-            ),
-            &rows,
-            Some(&PAPER_TABLE3),
-        )
+            (val, log)
+        },
     );
 }

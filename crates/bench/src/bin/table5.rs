@@ -3,7 +3,7 @@
 //! applied, compared to the original MUMPS strategy on the unsplit tree.
 
 use mf_bench::paper_data::PAPER_TABLE5;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
+use mf_bench::sweep::{run_percent_table, split_threshold_for, CellSpec};
 use mf_core::driver::percent_decrease;
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
@@ -18,36 +18,29 @@ fn main() {
     let specs: Vec<CellSpec> = matrices
         .iter()
         .flat_map(|&m| {
-            ALL_ORDERINGS.into_iter().flat_map(move |k| {
-                [(m, k, nprocs, None, false), (m, k, nprocs, Some(thr), false)]
-            })
+            ALL_ORDERINGS
+                .into_iter()
+                .flat_map(move |k| [(m, k, nprocs, None, false), (m, k, nprocs, Some(thr), false)])
         })
         .collect();
-    let cells = sweep_cells(&specs);
-    mf_bench::obs::maybe_export_cells(&cells);
-    let mut rows = Vec::new();
-    for (m, row) in matrices.iter().zip(cells.chunks_exact(8)) {
-        let mut vals = [0.0f64; 4];
-        for (i, pair) in row.chunks_exact(2).enumerate() {
-            let (original, combined) = (&pair[0], &pair[1]);
-            vals[i] = percent_decrease(original.baseline.max_peak, combined.memory.max_peak);
-            eprintln!(
+    run_percent_table(
+        "Table 5: % decrease of max stack peak, static splitting + dynamic memory vs original MUMPS",
+        Some(&PAPER_TABLE5),
+        &matrices,
+        2,
+        &specs,
+        |m, entry| {
+            let (original, combined) = (&entry[0], &entry[1]);
+            let val = percent_decrease(original.baseline.max_peak, combined.memory.max_peak);
+            let log = format!(
                 "{:12} {:5}: original {:>9} -> split+memory {:>9} = {:+.1}%",
                 m.name(),
                 original.ordering.name(),
                 original.baseline.max_peak,
                 combined.memory.max_peak,
-                vals[i]
+                val
             );
-        }
-        rows.push((m.name(), vals));
-    }
-    println!(
-        "{}",
-        render_percent_table(
-            "Table 5: % decrease of max stack peak, static splitting + dynamic memory vs original MUMPS",
-            &rows,
-            Some(&PAPER_TABLE5),
-        )
+            (val, log)
+        },
     );
 }

@@ -3,7 +3,7 @@
 //! memory-optimized strategy (splitting + dynamic memory scheduling).
 
 use mf_bench::paper_data::PAPER_TABLE6;
-use mf_bench::sweep::{render_percent_table, split_threshold_for, sweep_cells, CellSpec};
+use mf_bench::sweep::{run_percent_table, split_threshold_for, CellSpec};
 use mf_core::driver::percent_increase;
 use mf_order::ALL_ORDERINGS;
 use mf_sparse::gen::paper::PaperMatrix;
@@ -24,31 +24,24 @@ fn main() {
                 .flat_map(move |k| [(m, k, nprocs, None, false), (m, k, nprocs, split, false)])
         })
         .collect();
-    let cells = sweep_cells(&specs);
-    mf_bench::obs::maybe_export_cells(&cells);
-    let mut rows = Vec::new();
-    for (m, row) in matrices.iter().zip(cells.chunks_exact(8)) {
-        let mut vals = [0.0f64; 4];
-        for (i, pair) in row.chunks_exact(2).enumerate() {
-            let (original, optimized) = (&pair[0], &pair[1]);
-            vals[i] = percent_increase(original.baseline.makespan, optimized.memory.makespan);
-            eprintln!(
+    run_percent_table(
+        "Table 6: % loss of factorization time, memory-optimized vs original strategy",
+        Some(&PAPER_TABLE6),
+        &matrices,
+        2,
+        &specs,
+        |m, entry| {
+            let (original, optimized) = (&entry[0], &entry[1]);
+            let val = percent_increase(original.baseline.makespan, optimized.memory.makespan);
+            let log = format!(
                 "{:12} {:5}: makespan {:>9} -> {:>9} = {:+.1}%",
                 m.name(),
                 original.ordering.name(),
                 original.baseline.makespan,
                 optimized.memory.makespan,
-                vals[i]
+                val
             );
-        }
-        rows.push((m.name(), vals));
-    }
-    println!(
-        "{}",
-        render_percent_table(
-            "Table 6: % loss of factorization time, memory-optimized vs original strategy",
-            &rows,
-            Some(&PAPER_TABLE6),
-        )
+            (val, log)
+        },
     );
 }

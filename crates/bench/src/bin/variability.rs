@@ -41,10 +41,9 @@ fn main() {
         "{:22} {:>10} {:>10} {:>10} {:>8}",
         "cell / strategy", "min", "mean", "max", "spread%"
     );
-    for (m, k) in [
-        (PaperMatrix::TwoTone, OrderingKind::Amd),
-        (PaperMatrix::Ultrasound3, OrderingKind::Amf),
-    ] {
+    for (m, k) in
+        [(PaperMatrix::TwoTone, OrderingKind::Amd), (PaperMatrix::Ultrasound3, OrderingKind::Amf)]
+    {
         let tree = build_tree(m, k, None);
         let base = paper_scale_config(32);
         let mem = SolverConfig {

@@ -56,9 +56,7 @@ pub fn cached_matrix(m: PaperMatrix) -> Arc<CscMatrix> {
 /// The fill-reducing permutation of ordering `k` on matrix `m`.
 pub fn cached_permutation(m: PaperMatrix, k: OrderingKind) -> Arc<Permutation> {
     static CACHE: OnceLock<Memo<(PaperMatrix, OrderingKind), Permutation>> = OnceLock::new();
-    memo(CACHE.get_or_init(Default::default), (m, k), || {
-        k.compute(&cached_matrix(m))
-    })
+    memo(CACHE.get_or_init(Default::default), (m, k), || k.compute(&cached_matrix(m)))
 }
 
 /// The analyzed assembly tree for `(m, k, split)`: symbolic analysis with

@@ -24,6 +24,6 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use sweep::{
-    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell,
-    sweep_cell_captured, sweep_cells, CellResult, CellSpec,
+    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, sweep_cell_captured,
+    sweep_cells, CellResult, CellSpec,
 };

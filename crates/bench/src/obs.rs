@@ -113,8 +113,7 @@ pub fn maybe_export_cell(c: &CellResult) -> usize {
     let mut written = 0;
     let summary = cell_summary_json(c);
     debug_assert!(validate_json(&summary).is_ok());
-    std::fs::write(dir.join(format!("{label}.summary.json")), summary)
-        .expect("write run summary");
+    std::fs::write(dir.join(format!("{label}.summary.json")), summary).expect("write run summary");
     written += 1;
     for (strategy, run) in [("baseline", &c.baseline), ("memory", &c.memory)] {
         if let Some(rec) = &run.recording {
@@ -243,19 +242,17 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                 *pos += 1;
                 return Ok(());
             }
-            b'\\' => {
-                match b.get(*pos + 1) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
-                    Some(b'u') => {
-                        let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
-                        if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
-                        }
-                        *pos += 6;
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
                     }
-                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                    *pos += 6;
                 }
-            }
+                _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+            },
             0x00..=0x1f => return Err(format!("raw control byte in string at {pos}", pos = *pos)),
             _ => *pos += 1,
         }

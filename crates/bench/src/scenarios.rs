@@ -10,9 +10,9 @@ use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
 use mf_core::mapping::{NodeKind, StaticMapping};
 use mf_core::parsim::{self, RunResult};
 use mf_sim::NetworkModel;
+use mf_sparse::Symmetry;
 use mf_symbolic::seqstack::{subtree_peaks, AssemblyDiscipline};
 use mf_symbolic::{AssemblyTree, FrontNode};
-use mf_sparse::Symmetry;
 
 fn node(first_col: usize, npiv: usize, nfront: usize, parent: Option<usize>) -> FrontNode {
     FrontNode { first_col, npiv, nfront, parent, children: Vec::new(), chain_head: None }
@@ -40,18 +40,24 @@ fn link(nodes: &mut [FrontNode]) {
 /// * node 4 — the root absorbing `S`'s contribution block, on P3.
 fn race_tree(s_child_npiv: usize) -> (AssemblyTree, StaticMapping) {
     let mut nodes = vec![
-        node(0, 30, 150, Some(1)),                     // B-child, P2
-        node(30, 300, 300, None),                      // B, P0 (root)
+        node(0, 30, 150, Some(1)),                            // B-child, P2
+        node(30, 300, 300, None),                             // B, P0 (root)
         node(330, s_child_npiv, 200 + s_child_npiv, Some(3)), // S-child, P1
-        node(330 + s_child_npiv, 100, 200, Some(4)),   // S, type-2, P1
-        node(430 + s_child_npiv, 100, 100, None),      // R, P3 (root)
+        node(330 + s_child_npiv, 100, 200, Some(4)),          // S, type-2, P1
+        node(430 + s_child_npiv, 100, 100, None),             // R, P3 (root)
     ];
     link(&mut nodes);
     let n = 530 + s_child_npiv;
     let tree = AssemblyTree { nodes, sym: Symmetry::General, n };
     tree.validate().expect("scenario tree is well-formed");
     let map = StaticMapping {
-        kind: vec![NodeKind::Type1, NodeKind::Type1, NodeKind::Type1, NodeKind::Type2, NodeKind::Type1],
+        kind: vec![
+            NodeKind::Type1,
+            NodeKind::Type1,
+            NodeKind::Type1,
+            NodeKind::Type2,
+            NodeKind::Type1,
+        ],
         owner: vec![2, 0, 1, 1, 3],
         subtree_of: vec![None; 5],
         subtree_roots: vec![],
@@ -87,10 +93,7 @@ pub struct ScenarioOutcome {
 }
 
 fn outcome(bad: &RunResult, good: &RunResult) -> ScenarioOutcome {
-    ScenarioOutcome {
-        bad: (bad.peaks[0], bad.max_peak),
-        good: (good.peaks[0], good.max_peak),
-    }
+    ScenarioOutcome { bad: (bad.peaks[0], bad.max_peak), good: (good.peaks[0], good.max_peak) }
 }
 
 /// Figure 5: the coherence problem. `S`'s master selects its slave just
@@ -209,12 +212,7 @@ mod tests {
     #[test]
     fn figure5_latency_raises_the_peak() {
         let o = figure5();
-        assert!(
-            o.bad.0 > o.good.0,
-            "stale views must hurt P0: {} !> {}",
-            o.bad.0,
-            o.good.0
-        );
+        assert!(o.bad.0 > o.good.0, "stale views must hurt P0: {} !> {}", o.bad.0, o.good.0);
         assert!(o.bad.1 > o.good.1, "and the global peak: {:?}", o);
     }
 
@@ -241,10 +239,7 @@ mod tests {
         assert_eq!(rows, 300);
         // Rows monotone non-increasing along the memory-sorted selection.
         for w in sel.windows(2) {
-            assert!(
-                memories[w[0].0] <= memories[w[1].0],
-                "selection must be memory-sorted"
-            );
+            assert!(memories[w[0].0] <= memories[w[1].0], "selection must be memory-sorted");
             assert!(w[0].1 >= w[1].1, "leveling gives more rows to emptier procs");
         }
     }

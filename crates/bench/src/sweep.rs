@@ -1,15 +1,62 @@
-//! Shared experiment-sweep machinery.
+//! Shared experiment-sweep machinery: backend selection, cell execution,
+//! parallel sweeps, and the paper-style percent-table harness every
+//! `tableN` binary builds on.
 
 use std::sync::Arc;
 
 use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
-use mf_core::mapping::compute_mapping;
+use mf_core::mapping::{compute_mapping, StaticMapping};
 use mf_core::parsim::{self, RunResult};
 use mf_order::OrderingKind;
 use mf_sparse::gen::paper::PaperMatrix;
 use mf_symbolic::tree::TreeStats;
 use mf_symbolic::AssemblyTree;
 use rayon::prelude::*;
+
+/// Which runtime executes the scheduler cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The discrete-event simulator (`mf_core::parsim`): the default, and
+    /// the only backend supporting the noise models.
+    Sim,
+    /// Real OS threads with channels (`mf_exec`): the same cores, a
+    /// physical memory ledger, identical results under the quiet model.
+    Threads,
+}
+
+impl Backend {
+    /// Reads the backend from the `MF_BACKEND` environment variable
+    /// (`sim` | `threads`, default `sim`). Panics on an unknown value —
+    /// silently falling back would invalidate an equivalence experiment.
+    pub fn from_env() -> Backend {
+        match std::env::var("MF_BACKEND").as_deref() {
+            Ok("threads") => Backend::Threads,
+            Ok("sim") | Err(_) => Backend::Sim,
+            Ok(other) => panic!("MF_BACKEND must be `sim` or `threads`, got `{other}`"),
+        }
+    }
+
+    /// Stable name (mirrors the `MF_BACKEND` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Threads => "threads",
+        }
+    }
+
+    /// Runs one factorization on this backend, panicking on failure with
+    /// full diagnostics (table cells run unperturbed and uncapped; an
+    /// error here is a bug, not a result).
+    pub fn run(self, tree: &AssemblyTree, map: &StaticMapping, cfg: &SolverConfig) -> RunResult {
+        match self {
+            Backend::Sim => {
+                parsim::run(tree, map, cfg).unwrap_or_else(|e| panic!("simulator run failed: {e}"))
+            }
+            Backend::Threads => mf_exec::run_threads(tree, map, cfg)
+                .unwrap_or_else(|e| panic!("threaded run failed: {e}")),
+        }
+    }
+}
 
 /// Result of one experiment cell (matrix × ordering × split setting),
 /// with the baseline (workload) and the memory-based runs on the *same*
@@ -104,12 +151,9 @@ pub fn sweep_cell(
         ..paper_scale_config(nprocs)
     };
     let map = compute_mapping(&tree, &base_cfg);
-    // Table cells run unperturbed and uncapped; a SimError here is a bug,
-    // so the sweep aborts with the full diagnostics instead of limping on.
-    let baseline = parsim::run(&tree, &map, &base_cfg)
-        .unwrap_or_else(|e| panic!("baseline run failed: {e}"));
-    let memory = parsim::run(&tree, &map, &mem_cfg)
-        .unwrap_or_else(|e| panic!("memory-based run failed: {e}"));
+    let backend = Backend::from_env();
+    let baseline = backend.run(&tree, &map, &base_cfg);
+    let memory = backend.run(&tree, &map, &mem_cfg);
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
 }
 
@@ -148,10 +192,9 @@ pub fn sweep_cell_captured(
         ..observed
     };
     let map = compute_mapping(&tree, &base_cfg);
-    let baseline = parsim::run(&tree, &map, &base_cfg)
-        .unwrap_or_else(|e| panic!("baseline run failed: {e}"));
-    let memory = parsim::run(&tree, &map, &mem_cfg)
-        .unwrap_or_else(|e| panic!("memory-based run failed: {e}"));
+    let backend = Backend::from_env();
+    let baseline = backend.run(&tree, &map, &base_cfg);
+    let memory = backend.run(&tree, &map, &mem_cfg);
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
 }
 
@@ -202,6 +245,44 @@ pub fn render_percent_table(
         }
     }
     out
+}
+
+/// The full paper-style table pipeline shared by the `tableN` binaries:
+/// run `specs` in parallel ([`sweep_cells`]), export observability
+/// artifacts if requested, then fold each matrix's four ordering columns
+/// through `cell` — which receives the `group` consecutive cells of one
+/// (matrix, ordering) entry and returns the percentage plus the progress
+/// line to print on stderr — and render against the paper's numbers.
+///
+/// `specs` must hold `matrices.len() × 4 orderings × group` cells in
+/// matrix-major, ordering-minor order (the natural order the binaries
+/// already build).
+pub fn run_percent_table(
+    title: &str,
+    paper: Option<&[(&str, [f64; 4])]>,
+    matrices: &[PaperMatrix],
+    group: usize,
+    specs: &[CellSpec],
+    cell: impl Fn(PaperMatrix, &[CellResult]) -> (f64, String),
+) {
+    assert_eq!(
+        specs.len(),
+        matrices.len() * 4 * group,
+        "specs must cover every (matrix, ordering) entry exactly once"
+    );
+    let cells = sweep_cells(specs);
+    crate::obs::maybe_export_cells(&cells);
+    let mut rows = Vec::new();
+    for (&m, row) in matrices.iter().zip(cells.chunks_exact(4 * group)) {
+        let mut vals = [0.0f64; 4];
+        for (i, entry) in row.chunks_exact(group).enumerate() {
+            let (val, log) = cell(m, entry);
+            vals[i] = val;
+            eprintln!("{log}");
+        }
+        rows.push((m.name(), vals));
+    }
+    println!("{}", render_percent_table(title, &rows, paper));
 }
 
 #[cfg(test)]

@@ -14,10 +14,9 @@ use rayon::ThreadPoolBuilder;
 fn grid() -> Vec<CellSpec> {
     let thr = mf_bench::sweep::split_threshold_for();
     let mut specs = Vec::new();
-    for (m, k) in [
-        (PaperMatrix::Gupta3, OrderingKind::Amd),
-        (PaperMatrix::BmwCra1, OrderingKind::Metis),
-    ] {
+    for (m, k) in
+        [(PaperMatrix::Gupta3, OrderingKind::Amd), (PaperMatrix::BmwCra1, OrderingKind::Metis)]
+    {
         for nprocs in [8usize, 32] {
             for split in [None, Some(thr)] {
                 specs.push((m, k, nprocs, split, false));

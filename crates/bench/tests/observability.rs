@@ -10,7 +10,8 @@ use mf_sim::{write_chrome_trace, Recording};
 use mf_sparse::gen::paper::PaperMatrix;
 use rayon::prelude::*;
 
-const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/flight_recorder.trace.json");
+const GOLDEN: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/flight_recorder.trace.json");
 const GOLDEN_SMALL: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/twotone_small.trace.json");
 
@@ -143,29 +144,23 @@ fn real_trace_is_valid_monotone_and_balanced() {
 /// byte-identical recordings, not just identical peaks.
 #[test]
 fn recordings_identical_across_thread_pool_widths() {
-    let specs = [
-        (PaperMatrix::TwoTone, OrderingKind::Amd),
-        (PaperMatrix::Ship003, OrderingKind::Metis),
-    ];
+    let specs =
+        [(PaperMatrix::TwoTone, OrderingKind::Amd), (PaperMatrix::Ship003, OrderingKind::Metis)];
     let run_with = |threads: usize| -> Vec<CellResult> {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("build local pool")
             .install(|| {
-                specs
-                    .par_iter()
-                    .map(|&(m, k)| sweep_cell_captured(m, k, 4, None))
-                    .collect()
+                specs.par_iter().map(|&(m, k)| sweep_cell_captured(m, k, 4, None)).collect()
             })
     };
     let narrow = run_with(1);
     let wide = run_with(4);
     for (a, b) in narrow.iter().zip(&wide) {
-        for (strat, x, y) in [
-            ("baseline", &a.baseline, &b.baseline),
-            ("memory", &a.memory, &b.memory),
-        ] {
+        for (strat, x, y) in
+            [("baseline", &a.baseline, &b.baseline), ("memory", &a.memory, &b.memory)]
+        {
             let (rx, ry) = (x.recording.as_ref().unwrap(), y.recording.as_ref().unwrap());
             assert!(rx == ry, "{}/{strat}: recordings differ across pool widths", a.matrix.name());
             assert_eq!(x.peaks, y.peaks);

@@ -173,11 +173,8 @@ pub struct Criterion {
 fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher), throughput: Option<Throughput>) {
     let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
     f(&mut b);
-    let mut line = format!(
-        "{full_name:<50} time: {:>12}   ({} iters)",
-        fmt_time(b.ns_per_iter),
-        b.iters
-    );
+    let mut line =
+        format!("{full_name:<50} time: {:>12}   ({} iters)", fmt_time(b.ns_per_iter), b.iters);
     if let Some(tp) = throughput {
         let (count, unit) = match tp {
             Throughput::Elements(n) => (n, "elem"),
@@ -198,7 +195,11 @@ impl Criterion {
     }
 
     /// Runs a standalone benchmark.
-    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
         run_one(&id.into_id(), f, None);
         self
     }
@@ -239,7 +240,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id.into_id()), f, self.throughput);
         self
     }

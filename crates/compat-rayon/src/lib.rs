@@ -35,12 +35,8 @@ fn acquire_up_to(want: usize) -> usize {
         if take == 0 {
             return 0;
         }
-        match p.compare_exchange_weak(
-            cur,
-            cur - take as isize,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match p.compare_exchange_weak(cur, cur - take as isize, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => return take,
             Err(actual) => cur = actual,
         }
@@ -93,17 +89,11 @@ where
         let handles: Vec<_> = buckets
             .drain(1..)
             .map(|bucket| {
-                s.spawn(move || {
-                    bucket.into_iter().map(|(i, it)| (i, fref(it))).collect::<Vec<_>>()
-                })
+                s.spawn(move || bucket.into_iter().map(|(i, it)| (i, fref(it))).collect::<Vec<_>>())
             })
             .collect();
-        let local: Vec<(usize, T)> = buckets
-            .pop()
-            .unwrap()
-            .into_iter()
-            .map(|(i, it)| (i, fref(it)))
-            .collect();
+        let local: Vec<(usize, T)> =
+            buckets.pop().unwrap().into_iter().map(|(i, it)| (i, fref(it))).collect();
         produced.push(local);
         for h in handles {
             match h.join() {
@@ -326,7 +316,8 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 1);
-        let seq: Vec<usize> = pool.install(|| (0..10).collect::<Vec<_>>().into_par_iter().collect());
+        let seq: Vec<usize> =
+            pool.install(|| (0..10).collect::<Vec<_>>().into_par_iter().collect());
         assert_eq!(seq, (0..10).collect::<Vec<_>>());
     }
 
@@ -334,10 +325,8 @@ mod tests {
     fn panics_propagate() {
         let caught = std::panic::catch_unwind(|| {
             let v: Vec<usize> = (0..64).collect();
-            let _: Vec<usize> = v
-                .into_par_iter()
-                .map(|x| if x == 63 { panic!("boom") } else { x })
-                .collect();
+            let _: Vec<usize> =
+                v.into_par_iter().map(|x| if x == 63 { panic!("boom") } else { x }).collect();
         });
         assert!(caught.is_err());
     }

@@ -1,6 +1,15 @@
 //! Solver configuration: machine model, static thresholds, and the
 //! dynamic-strategy switches the paper's experiments toggle.
+//!
+//! The strategy enums are *factory names*: every variant resolves to a
+//! static [`SlaveSelector`] / [`TaskSelector`] trait object through
+//! [`SlaveSelection::selector`] / [`TaskSelection::selector`], and the
+//! `by_name` registries map the stable CLI names back to variants. The
+//! scheduler core only ever holds the trait objects, so new strategies
+//! plug in without touching the protocol state machine.
 
+use crate::pool::{LifoSelector, MemoryAwareGlobalSelector, MemoryAwareSelector, TaskSelector};
+use crate::slavesel::{HybridSelector, MemorySelector, SlaveSelector, WorkloadSelector};
 use mf_sim::{FaultModel, NetworkModel, Time};
 
 /// Dynamic slave-selection strategy for type-2 fronts.
@@ -32,6 +41,64 @@ pub enum TaskSelection {
     /// Section 6: a task's activation cost is offset by the contribution
     /// blocks (local and remote) its activation releases.
     MemoryAwareGlobal,
+}
+
+static WORKLOAD_SELECTOR: WorkloadSelector = WorkloadSelector;
+static MEMORY_SELECTOR: MemorySelector = MemorySelector;
+static HYBRID_SELECTOR: HybridSelector = HybridSelector;
+
+impl SlaveSelection {
+    /// Every registered slave-selection strategy.
+    pub const ALL: [SlaveSelection; 3] =
+        [SlaveSelection::Workload, SlaveSelection::Memory, SlaveSelection::Hybrid];
+
+    /// Resolves the factory name to its strategy implementation.
+    pub fn selector(self) -> &'static dyn SlaveSelector {
+        match self {
+            SlaveSelection::Workload => &WORKLOAD_SELECTOR,
+            SlaveSelection::Memory => &MEMORY_SELECTOR,
+            SlaveSelection::Hybrid => &HYBRID_SELECTOR,
+        }
+    }
+
+    /// Stable CLI/registry name (the implementation's own name).
+    pub fn name(self) -> &'static str {
+        self.selector().name()
+    }
+
+    /// Looks a strategy up by its registry name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+static LIFO_SELECTOR: LifoSelector = LifoSelector;
+static MEMORY_AWARE_SELECTOR: MemoryAwareSelector = MemoryAwareSelector;
+static MEMORY_AWARE_GLOBAL_SELECTOR: MemoryAwareGlobalSelector = MemoryAwareGlobalSelector;
+
+impl TaskSelection {
+    /// Every registered task-selection strategy.
+    pub const ALL: [TaskSelection; 3] =
+        [TaskSelection::Lifo, TaskSelection::MemoryAware, TaskSelection::MemoryAwareGlobal];
+
+    /// Resolves the factory name to its strategy implementation.
+    pub fn selector(self) -> &'static dyn TaskSelector {
+        match self {
+            TaskSelection::Lifo => &LIFO_SELECTOR,
+            TaskSelection::MemoryAware => &MEMORY_AWARE_SELECTOR,
+            TaskSelection::MemoryAwareGlobal => &MEMORY_AWARE_GLOBAL_SELECTOR,
+        }
+    }
+
+    /// Stable CLI/registry name (the implementation's own name).
+    pub fn name(self) -> &'static str {
+        self.selector().name()
+    }
+
+    /// Looks a strategy up by its registry name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 /// Order in which a processor's subtrees are queued in its initial pool
@@ -196,5 +263,19 @@ mod tests {
         assert_eq!(base.nprocs, mem.nprocs);
         assert_eq!(base.type2_front_min, mem.type2_front_min);
         assert!(mem.use_subtree_info && mem.use_prediction);
+    }
+
+    #[test]
+    fn strategy_registry_round_trips_names() {
+        for s in SlaveSelection::ALL {
+            assert_eq!(SlaveSelection::by_name(s.name()), Some(s));
+            assert_eq!(s.selector().name(), s.name());
+        }
+        for t in TaskSelection::ALL {
+            assert_eq!(TaskSelection::by_name(t.name()), Some(t));
+            assert_eq!(t.selector().name(), t.name());
+        }
+        assert_eq!(SlaveSelection::by_name("no-such-strategy"), None);
+        assert_eq!(TaskSelection::by_name("no-such-strategy"), None);
     }
 }

@@ -112,6 +112,26 @@ pub struct RunDiagnostics {
     pub procs: Vec<ProcDiag>,
 }
 
+impl RunDiagnostics {
+    /// One-line human summary of the snapshot, shared by every report
+    /// binary that prints a failed run.
+    pub fn summary_line(&self) -> String {
+        let busy = self.procs.iter().filter(|p| p.busy).count();
+        format!(
+            "t={}: {}/{} fronts done, {} events delivered, {} in flight, \
+             {} dropped, {}/{} procs busy",
+            self.now,
+            self.nodes_done,
+            self.total_nodes,
+            self.delivered_events,
+            self.in_flight,
+            self.dropped_messages,
+            busy,
+            self.procs.len()
+        )
+    }
+}
+
 /// One processor's state inside a [`RunDiagnostics`] snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct ProcDiag {

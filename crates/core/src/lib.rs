@@ -20,8 +20,12 @@
 //! * [`pool`] — the per-processor pool of ready tasks with LIFO baseline
 //!   and the paper's **Algorithm 2** memory-aware task selection
 //!   (Section 5.2);
-//! * [`parsim`] — the asynchronous factorization state machine executed
-//!   in virtual time;
+//! * [`proto`] — the sans-io protocol: each processor is a
+//!   [`proto::SchedulerCore`] state machine consuming typed inputs and
+//!   emitting typed effects, with no clock, queue, or RNG inside;
+//! * [`parsim`] — the discrete-event backend: the cores driven by the
+//!   `mf-sim` virtual-time simulator (the `mf-exec` crate drives the same
+//!   cores on real OS threads);
 //! * [`driver`] — one-call experiment runner (matrix × ordering ×
 //!   configuration → per-processor stack peaks and makespan), the engine
 //!   behind every table of the paper.
@@ -34,10 +38,11 @@ pub mod error;
 pub mod mapping;
 pub mod parsim;
 pub mod pool;
+pub mod proto;
 pub mod slavesel;
 pub mod views;
 
-pub use config::{SolverConfig, SlaveSelection, TaskSelection};
+pub use config::{SlaveSelection, SolverConfig, TaskSelection};
 pub use driver::{run_experiment, ExperimentInput, RunResult};
 pub use error::{ProcDiag, RunDiagnostics, SimError};
 pub use mapping::StaticMapping;

@@ -132,10 +132,7 @@ pub fn compute_mapping(tree: &AssemblyTree, cfg: &SolverConfig) -> StaticMapping
             None => {
                 let nd = &tree.nodes[v];
                 let slave_rows = nd.nfront - nd.npiv;
-                if nd.parent.is_none()
-                    && nd.nfront >= cfg.type3_front_min
-                    && cfg.nprocs > 1
-                {
+                if nd.parent.is_none() && nd.nfront >= cfg.type3_front_min && cfg.nprocs > 1 {
                     NodeKind::Type3
                 } else if nd.nfront >= cfg.type2_front_min
                     && slave_rows >= cfg.min_rows_per_slave
@@ -387,10 +384,8 @@ mod tests {
     fn memory_aware_subtrees_split_fat_peaks() {
         let tree = sample_tree(28);
         let plain = compute_mapping(&tree, &cfg(4));
-        let aware = compute_mapping(
-            &tree,
-            &SolverConfig { subtree_peak_factor: Some(0.5), ..cfg(4) },
-        );
+        let aware =
+            compute_mapping(&tree, &SolverConfig { subtree_peak_factor: Some(0.5), ..cfg(4) });
         // The memory-aware definition can only refine (more, smaller
         // subtrees) and must lower the largest subtree peak.
         assert!(aware.subtree_roots.len() >= plain.subtree_roots.len());

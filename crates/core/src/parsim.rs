@@ -1,22 +1,19 @@
-//! The asynchronous parallel factorization, executed in virtual time.
+//! The discrete-event backend: [`crate::proto::SchedulerCore`]s driven by
+//! the virtual-time simulator.
 //!
-//! Every processor runs the MUMPS-style loop: pick work (received slave
-//! tasks first, then a ready task from the local pool via the configured
-//! strategy), allocate the front, assemble the stacked contribution
-//! blocks, compute for `flops / speed` ticks, then ship the contribution
-//! block to the parent's processor and the factors to the factor area.
-//! Masters of type-2 nodes choose their slaves dynamically at activation
-//! time from their *stale views* of the other processors; all the
-//! information mechanisms of the paper (memory increments, subtree peaks,
-//! ready-master predictions) travel as messages with real latency.
+//! Every processor runs the MUMPS-style loop inside its sans-io core;
+//! this module is only the *runtime*: it owns the event queue, the
+//! network model, the duration model (flop rate, seeded jitter,
+//! stragglers), the fault injector, the flight recorder, and the
+//! traffic-side metrics. [`run`] feeds simulator events into the cores
+//! and performs the effects they emit — in emission order, which is what
+//! keeps this refactored backend bit-identical to the historical
+//! monolithic scheduler. The `mf-exec` crate drives the *same* cores on
+//! real OS threads.
 
-use crate::config::{SlaveSelection, SolverConfig, TaskSelection};
-use crate::error::{ProcDiag, RunDiagnostics, SimError};
-use crate::mapping::{NodeKind, StaticMapping};
-use crate::pool::TaskPool;
-use crate::slavesel::{select_memory, select_workload, SelectionInput, SlaveAssignment};
-use crate::views::Views;
-use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
+use crate::config::SolverConfig;
+use crate::error::{RunDiagnostics, SimError};
+use crate::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
 use mf_sim::{
     Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory, Recording, RunMetrics,
     SchedEvent, Sim, Time, Trace,
@@ -24,133 +21,6 @@ use mf_sim::{
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
-
-/// Inter-processor messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Msg {
-    /// A contribution-block piece of `child` was produced and sits on the
-    /// stack of processor `holder` until the parent activates (control
-    /// message to the parent's master; the data itself stays put).
-    PieceDone { child: usize, holder: usize, entries: u64 },
-    /// `child`'s elimination finished; `pieces` CB pieces were produced
-    /// in total (0 when the CB is empty).
-    Complete { child: usize, pieces: usize },
-    /// The parent activated: the addressed processor ships its stacked CB
-    /// piece of `child` to the parent's workers and frees it.
-    FetchCb { child: usize, entries: u64 },
-    /// A slave task of a type-2 node.
-    SlaveTask {
-        node: usize,
-        entries: u64,
-        cb_share: u64,
-        factor_share: u64,
-        flops_share: u64,
-    },
-    /// The 2-D root scatters equal shares to every processor.
-    Type3Share { node: usize, entries: u64, flops_share: u64 },
-    /// Memory increment of the sender's active memory (Section 4).
-    MemDelta { delta: i64 },
-    /// Workload increment of the sender (Section 3).
-    LoadDelta { delta: i64 },
-    /// The sender entered (peak > 0) or left (0) a subtree (Section 5.1).
-    SubtreePeak { peak: u64 },
-    /// Cost of the largest master task about to activate on the sender
-    /// (Section 5.1; absolute value, 0 when none).
-    Predicted { cost: u64 },
-    /// All children of `node` have started: its master should soon expect
-    /// it to become ready (Section 5.1 prediction trigger).
-    ChildStarted { node: usize },
-    /// A master announces that it just assigned a slave block of
-    /// `entries` to processor `proc` — the mechanism that makes masters'
-    /// choices "known as quickly as possible by the others" (Section 4),
-    /// without which concurrent masters pile work on the same processor.
-    Assigned { proc: usize, entries: u64 },
-}
-
-impl Msg {
-    /// Status classification for the flight recorder and the traffic
-    /// metrics; `None` for control messages.
-    fn status_kind(&self) -> Option<(StatusKind, i64)> {
-        match *self {
-            Msg::MemDelta { delta } => Some((StatusKind::MemDelta, delta)),
-            Msg::LoadDelta { delta } => Some((StatusKind::LoadDelta, delta)),
-            Msg::SubtreePeak { peak } => Some((StatusKind::SubtreePeak, peak as i64)),
-            Msg::Predicted { cost } => Some((StatusKind::Predicted, cost as i64)),
-            Msg::Assigned { entries, .. } => Some((StatusKind::Assigned, entries as i64)),
-            _ => None,
-        }
-    }
-
-    /// Fault-injection delivery class: view refreshes are idempotent
-    /// [`MsgClass::Status`] traffic a perturbed network may drop (the run
-    /// stays correct, the views get staler); everything that carries an
-    /// obligation — task payloads, completions, CB bookkeeping, the
-    /// prediction *trigger* `ChildStarted` (its counter must reach the
-    /// child count exactly once per child) — is [`MsgClass::Control`].
-    fn class(&self) -> MsgClass {
-        match self {
-            Msg::MemDelta { .. }
-            | Msg::LoadDelta { .. }
-            | Msg::SubtreePeak { .. }
-            | Msg::Predicted { .. }
-            | Msg::Assigned { .. } => MsgClass::Status,
-            _ => MsgClass::Control,
-        }
-    }
-}
-
-/// A fatal condition detected deep inside the event handlers; the main
-/// loop converts it into a [`SimError`] with full diagnostics after the
-/// current event unwinds.
-#[derive(Debug, Clone)]
-enum Violation {
-    Accounting { proc: usize, area: &'static str },
-    Protocol { detail: String },
-}
-
-/// Work units whose completion is signalled by a timer.
-#[derive(Debug, Clone)]
-enum Work {
-    /// Full-front elimination (type 1, subtree nodes, or a type-2 node
-    /// that found no slaves).
-    Elim { node: usize, flops: u64 },
-    /// Master part of a type-2 node (`pieces` slaves were enrolled).
-    MasterPart { node: usize, pieces: usize, flops: u64 },
-    /// A slave block of a type-2 node.
-    Slave {
-        node: usize,
-        entries: u64,
-        cb_share: u64,
-        factor_share: u64,
-        flops: u64,
-    },
-    /// This processor's share of the 2-D root (`is_master` on the
-    /// processor that owns the root and counts it done).
-    RootShare { node: usize, entries: u64, flops: u64, is_master: bool },
-}
-
-struct Proc {
-    mem: ProcMemory,
-    /// Out-of-core mode: virtual time until which this processor's disk
-    /// is busy writing factors.
-    disk_busy_until: Time,
-    views: Views,
-    pool: TaskPool,
-    busy: bool,
-    slave_queue: VecDeque<usize>, // indices into World::works
-    current_subtree: Option<usize>,
-    /// Active memory when the current subtree started (for Algorithm 2's
-    /// "current memory including peak of subtree").
-    subtree_base: u64,
-    /// Instant this processor entered its current stalled interval (idle
-    /// with every ready task deferred by the capacity verdict); `None`
-    /// when not stalled. Feeds `ProcMetrics::stalled_ticks`.
-    stalled_since: Option<Time>,
-    /// Upper tasks owned here whose children have all started (node ->
-    /// predicted activation cost), feeding the Predicted broadcasts.
-    soon: std::collections::BTreeMap<usize, u64>,
-}
 
 /// Outcome of a simulated parallel factorization.
 #[derive(Debug, Clone)]
@@ -200,220 +70,61 @@ pub struct RunResult {
     pub recording: Option<Recording>,
 }
 
-struct World<'a> {
-    tree: &'a AssemblyTree,
-    map: &'a StaticMapping,
+impl RunResult {
+    /// One-line human summary of the run's headline numbers, shared by
+    /// every report binary (with [`RunMetrics::traffic_line`] and
+    /// [`RunMetrics::decisions_line`] for the per-registry detail).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "peak {} entries, makespan {} ticks, {} messages, {}/{} fronts, \
+             {} dropped, {} forced, {} underflows",
+            self.max_peak,
+            self.makespan,
+            self.messages,
+            self.nodes_done,
+            self.total_nodes,
+            self.dropped_messages,
+            self.forced_activations,
+            self.underflows.iter().sum::<u64>()
+        )
+    }
+}
+
+/// The simulator-side runtime: transport, time, noise, and observability.
+/// Everything *between* the cores lives here; everything *inside* a
+/// processor lives in its [`SchedulerCore`].
+struct SimDriver<'a> {
     cfg: &'a SolverConfig,
     sim: Sim<Msg>,
     net: NetworkModel,
-    procs: Vec<Proc>,
-    works: Vec<(usize, Work)>, // (proc, work)
-    // Readiness bookkeeping, all indexed by node id and touched only by
-    // the owner of the relevant (parent) node.
-    pieces_expected: Vec<Option<usize>>,
-    pieces_got: Vec<usize>,
-    child_complete: Vec<bool>,
-    done_children: Vec<usize>,
-    /// CB pieces stacked for each *parent* node: (holder processor,
-    /// entries, producing child), recorded at the parent's owner,
-    /// released at activation.
-    cb_pieces: Vec<Vec<(usize, u64, usize)>>,
-    started_children: Vec<usize>,
-    activated: Vec<bool>,
-    nodes_done: usize,
     messages: u64,
     jitter: Option<(SmallRng, f64)>,
     fault: Option<FaultInjector>,
-    /// First fatal condition seen by an event handler (checked by the
-    /// main loop after every event).
-    violation: Option<Violation>,
-    /// Count of capacity-degradation events (see
-    /// [`RunResult::forced_activations`]).
-    forced: u64,
-    /// Always-on metrics registry.
+    /// Traffic-side metrics (message counts/bytes, drops, busy time);
+    /// merged with each core's decision-side registry at the end.
     metrics: RunMetrics,
-    /// Flight recorder; `None` = disabled (the zero-cost path: every
-    /// emission site is one branch).
+    /// Flight recorder; `None` = disabled (the zero-cost path: cores emit
+    /// no `Record` effects and every driver-side site is one branch).
     rec: Option<Recording>,
 }
 
-/// Runs the simulated parallel factorization.
-///
-/// Never panics and never hangs: a no-progress state, a virtual-time
-/// runaway past [`SolverConfig::time_limit`], an accounting underflow, or
-/// a protocol violation returns a typed [`SimError`] carrying a full
-/// per-processor diagnostic snapshot.
-pub fn run(
-    tree: &AssemblyTree,
-    map: &StaticMapping,
-    cfg: &SolverConfig,
-) -> Result<RunResult, SimError> {
-    let n = tree.len();
-    // Initial workloads: each processor starts with the cost of its
-    // subtrees (Section 3); everyone knows this static information.
-    let mut load0 = vec![0u64; cfg.nprocs];
-    for v in 0..n {
-        if map.subtree_of[v].is_some() {
-            load0[map.owner[v]] += tree.flops(v);
-        }
-    }
-    let procs: Vec<Proc> = (0..cfg.nprocs)
-        .map(|p| Proc {
-            mem: ProcMemory::new(cfg.record_traces),
-            disk_busy_until: 0,
-            views: Views::new(cfg.nprocs, &load0),
-            pool: TaskPool::new(map.initial_pool[p].clone()),
-            busy: false,
-            slave_queue: VecDeque::new(),
-            current_subtree: None,
-            subtree_base: 0,
-            stalled_since: None,
-            soon: Default::default(),
-        })
-        .collect();
-
-    let mut world = World {
-        tree,
-        map,
-        cfg,
-        sim: Sim::new(),
-        net: cfg.network,
-        procs,
-        works: Vec::new(),
-        pieces_expected: vec![None; n],
-        pieces_got: vec![0; n],
-        child_complete: vec![false; n],
-        done_children: vec![0; n],
-        cb_pieces: vec![Vec::new(); n],
-        started_children: vec![0; n],
-        activated: vec![false; n],
-        nodes_done: 0,
-        messages: 0,
-        jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
-        // A quiet model cannot perturb anything: keep the exact fast
-        // paths (broadcast blocks) so such runs stay bit-identical.
-        fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
-        violation: None,
-        forced: 0,
-        metrics: RunMetrics::new(cfg.nprocs),
-        rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
-    };
-
-    for p in 0..cfg.nprocs {
-        world.try_start(p);
-    }
-    loop {
-        while let Some(Event { payload, .. }) = world.sim.next() {
-            match payload {
-                EventPayload::Message { from, to, msg } => world.deliver(from, to, msg),
-                EventPayload::Timer { proc, key } => world.work_done(proc, key as usize),
-            }
-            if let Some(v) = world.violation.take() {
-                return Err(world.error_of(v));
-            }
-            if let Some(limit) = cfg.time_limit {
-                if world.sim.now() > limit {
-                    return Err(SimError::TimeLimit { limit, diag: world.diagnostics() });
-                }
-            }
-        }
-        if world.nodes_done >= n {
-            break;
-        }
-        // Drained queue with unfinished fronts. Under a hard capacity the
-        // deadlock may be self-inflicted (every idle processor deferring
-        // every task): force the globally cheapest deferred task and keep
-        // going — degrading memory, never correctness. Otherwise it is a
-        // genuine stall (e.g. a dead network): report it.
-        if !world.force_one_deferred() {
-            return Err(SimError::Stalled { diag: world.diagnostics() });
-        }
-        if let Some(v) = world.violation.take() {
-            return Err(world.error_of(v));
+impl<'a> SimDriver<'a> {
+    fn new(cfg: &'a SolverConfig) -> Self {
+        SimDriver {
+            cfg,
+            sim: Sim::new(),
+            net: cfg.network,
+            messages: 0,
+            jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
+            // A quiet model cannot perturb anything: keep the exact fast
+            // paths (broadcast blocks) so such runs stay bit-identical.
+            fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
+            metrics: RunMetrics::new(cfg.nprocs),
+            rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
         }
     }
 
-    let disk_end = world.procs.iter().map(|p| p.disk_busy_until).max().unwrap_or(0);
-    let makespan = world.sim.now().max(disk_end);
-    let peaks: Vec<u64> = world.procs.iter().map(|p| p.mem.active_peak()).collect();
-    let total_peaks: Vec<u64> = world.procs.iter().map(|p| p.mem.total_peak()).collect();
-    let factor_entries: Vec<u64> = world.procs.iter().map(|p| p.mem.factors()).collect();
-    let max_peak = peaks.iter().copied().max().unwrap_or(0);
-    let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
-    Ok(RunResult {
-        total_peaks,
-        factor_entries,
-        max_peak,
-        avg_peak,
-        makespan,
-        messages: world.messages,
-        traces: cfg
-            .record_traces
-            .then(|| world.procs.iter().map(|p| p.mem.trace().cloned().unwrap_or_default()).collect()),
-        nodes_done: world.nodes_done,
-        total_nodes: n,
-        dropped_messages: world.fault.as_ref().map_or(0, |f| f.dropped()),
-        forced_activations: world.forced,
-        final_active: world.procs.iter().map(|p| p.mem.active()).collect(),
-        underflows: world.procs.iter().map(|p| p.mem.underflows()).collect(),
-        metrics: world.metrics,
-        recording: world.rec,
-        peaks,
-    })
-}
-
-impl<'a> World<'a> {
-    // ---------- diagnostics ----------
-
-    fn diagnostics(&self) -> RunDiagnostics {
-        RunDiagnostics {
-            now: self.sim.now(),
-            delivered_events: self.sim.delivered(),
-            in_flight: self.sim.pending(),
-            nodes_done: self.nodes_done,
-            total_nodes: self.tree.len(),
-            dropped_messages: self.fault.as_ref().map_or(0, |f| f.dropped()),
-            metrics: Box::new(self.metrics.clone()),
-            procs: self
-                .procs
-                .iter()
-                .enumerate()
-                .map(|(i, p)| ProcDiag {
-                    proc: i,
-                    busy: p.busy,
-                    active: p.mem.active(),
-                    stack: p.mem.stack(),
-                    factors: p.mem.factors(),
-                    pool: p.pool.as_slice().to_vec(),
-                    queued_slave_tasks: p.slave_queue.len(),
-                    current_subtree: p.current_subtree,
-                    underflows: p.mem.underflows(),
-                })
-                .collect(),
-        }
-    }
-
-    fn error_of(&self, v: Violation) -> SimError {
-        let diag = self.diagnostics();
-        match v {
-            Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
-            Violation::Protocol { detail } => SimError::Protocol { detail, diag },
-        }
-    }
-
-    /// Records the first fatal condition; the main loop surfaces it after
-    /// the current event handler unwinds.
-    fn flag(&mut self, v: Violation) {
-        if self.violation.is_none() {
-            self.violation = Some(v);
-        }
-    }
-
-    // ---------- flight recorder ----------
-
-    /// Records an event when the recorder is enabled. The event is built
-    /// inside the closure, so the disabled path is a single branch with
-    /// no allocation — the zero-cost contract of the observability layer.
+    /// Records an event when the recorder is enabled.
     #[inline]
     fn record(&mut self, build: impl FnOnce() -> SchedEvent) {
         let now = self.sim.now();
@@ -422,20 +133,8 @@ impl<'a> World<'a> {
         }
     }
 
-    /// Refreshes `to`'s view entry of `about` and returns the age of the
-    /// belief it replaced (the Figure 5 staleness).
-    fn touch_view(&mut self, to: usize, about: usize) -> Time {
-        let now = self.sim.now();
-        self.procs[to].views.touch(about, now)
-    }
-
-    // ---------- messaging helpers ----------
-
     fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
-        if from == to {
-            self.deliver(from, to, msg);
-            return;
-        }
+        debug_assert_ne!(from, to, "self-sends are handled inside the core");
         self.messages += 1;
         match msg.class() {
             MsgClass::Control => {
@@ -489,513 +188,9 @@ impl<'a> World<'a> {
         }
     }
 
-    // ---------- memory helpers (every change refreshes the exact local
-    // self-view and broadcasts the increment, Section 4) ----------
-
-    fn mem_alloc_front(&mut self, p: usize, node: usize, entries: u64) {
-        let now = self.sim.now();
-        self.record(|| SchedEvent::MemAlloc { proc: p, node, area: MemArea::Front, entries });
-        self.procs[p].mem.alloc_front(now, entries);
-        self.after_mem_change(p, entries as i64);
-    }
-
-    fn mem_free_front(&mut self, p: usize, node: usize, entries: u64) {
-        let now = self.sim.now();
-        self.record(|| SchedEvent::MemFree { proc: p, node, area: MemArea::Front, entries });
-        if !self.procs[p].mem.free_front(now, entries) {
-            self.flag(Violation::Accounting { proc: p, area: "fronts" });
-        }
-        self.after_mem_change(p, -(entries as i64));
-    }
-
-    fn mem_push_cb(&mut self, p: usize, node: usize, entries: u64) {
-        let now = self.sim.now();
-        self.record(|| SchedEvent::MemAlloc { proc: p, node, area: MemArea::Stack, entries });
-        self.procs[p].mem.push_cb(now, entries);
-        self.after_mem_change(p, entries as i64);
-    }
-
-    fn mem_pop_cb(&mut self, p: usize, node: usize, entries: u64) {
-        let now = self.sim.now();
-        self.record(|| SchedEvent::MemFree { proc: p, node, area: MemArea::Stack, entries });
-        if !self.procs[p].mem.pop_cb(now, entries) {
-            self.flag(Violation::Accounting { proc: p, area: "stack" });
-        }
-        self.after_mem_change(p, -(entries as i64));
-    }
-
-    /// Stores factor entries: in core they join the factors area; out of
-    /// core they stream to the processor's disk (overlapped with compute,
-    /// tracked only as potential makespan).
-    fn store_factors(&mut self, p: usize, entries: u64) {
-        let now = self.sim.now();
-        match self.cfg.out_of_core {
-            None => self.procs[p].mem.store_factors(now, entries),
-            Some(bw) => {
-                let dur = (entries * 8 / bw.max(1)).max(1);
-                let start = self.procs[p].disk_busy_until.max(now);
-                self.procs[p].disk_busy_until = start + dur;
-            }
-        }
-    }
-
-    fn after_mem_change(&mut self, p: usize, delta: i64) {
-        if delta == 0 {
-            return;
-        }
-        let now = self.sim.now();
-        let active = self.procs[p].mem.active();
-        self.procs[p].views.mem[p] = active;
-        // The self-view is exact: keep its freshness stamp current so
-        // decision-time staleness reads 0 for the deciding processor.
-        self.procs[p].views.touch(p, now);
-        self.broadcast(p, Msg::MemDelta { delta }, 16);
-    }
-
-    fn load_change(&mut self, p: usize, delta: i64) {
-        if delta == 0 {
-            return;
-        }
-        self.procs[p].views.apply_load_delta(p, delta);
-        self.broadcast(p, Msg::LoadDelta { delta }, 16);
-    }
-
-    // ---------- scheduling loop ----------
-
-    /// Closes a stalled interval (idle with everything deferred) when the
-    /// processor gets going again.
-    fn close_stall(&mut self, p: usize) {
-        if let Some(since) = self.procs[p].stalled_since.take() {
-            let now = self.sim.now();
-            self.metrics.procs[p].stalled_ticks += now.saturating_sub(since);
-        }
-    }
-
-    fn try_start(&mut self, p: usize) {
-        if self.procs[p].busy {
-            return;
-        }
-        // Received slave tasks have priority (they are already consuming
-        // memory; finishing them frees it).
-        if let Some(key) = self.procs[p].slave_queue.pop_front() {
-            let (flops, node, role) = match self.works.get(key).map(|(_, w)| w) {
-                Some(Work::Slave { flops, node, .. }) => (*flops, *node, TaskRole::Slave),
-                Some(Work::RootShare { flops, node, .. }) => (*flops, *node, TaskRole::Root),
-                other => {
-                    self.flag(Violation::Protocol {
-                        detail: format!("queued work {key} on proc {p} must be slave-like, got {other:?}"),
-                    });
-                    return;
-                }
-            };
-            let duration = self.duration_of(p, flops);
-            self.close_stall(p);
-            self.procs[p].busy = true;
-            self.metrics.procs[p].busy_ticks += duration;
-            self.record(|| SchedEvent::ComputeStart { proc: p, node, role });
-            self.sim.schedule_timer(p, duration, key as u64);
-            return;
-        }
-        let tree = self.tree;
-        let map = self.map;
-        let nprocs = self.cfg.nprocs;
-        let pieces = &self.cb_pieces;
-        let cost = |v: usize| match map.kind[v] {
-            NodeKind::Type2 => tree.master_entries(v),
-            NodeKind::Type3 => tree.front_entries(v) / nprocs as u64,
-            _ => tree.front_entries(v),
-        };
-        // Hard capacity: an out-of-subtree activation is deferred unless
-        // its net memory need (activation cost minus the locally stacked
-        // CBs it releases) fits under the cap. Subtree tasks are always
-        // admissible — the static mapping sized them in, and depth-first
-        // progress inside a subtree is what frees its memory.
-        let cap = self.cfg.capacity;
-        let active = self.procs[p].mem.active();
-        let admissible = |v: usize| match cap {
-            None => true,
-            Some(c) => {
-                map.subtree_of[v].is_some() || {
-                    let local_release: u64 =
-                        pieces[v].iter().filter(|&&(h, _, _)| h == p).map(|&(_, e, _)| e).sum();
-                    active + cost(v).saturating_sub(local_release) <= c
-                }
-            }
-        };
-        let depth = self.procs[p].pool.len();
-        let picked = match self.cfg.task_selection {
-            TaskSelection::Lifo => match cap {
-                None => self.procs[p].pool.pick_lifo(),
-                Some(_) => self.procs[p].pool.pick_lifo_admissible(admissible),
-            },
-            TaskSelection::MemoryAware | TaskSelection::MemoryAwareGlobal => {
-                let current = self.effective_memory(p);
-                let observed = self.procs[p].mem.active_peak();
-                match self.cfg.task_selection {
-                    TaskSelection::MemoryAware => self.procs[p].pool.pick_memory_aware(
-                        |v| map.subtree_of[v].is_some(),
-                        cost,
-                        current,
-                        observed,
-                        admissible,
-                    ),
-                    _ => self.procs[p].pool.pick_memory_aware_global(
-                        |v| map.subtree_of[v].is_some(),
-                        cost,
-                        |v| pieces[v].iter().map(|&(_, e, _)| e).sum(),
-                        current,
-                        observed,
-                        admissible,
-                    ),
-                }
-            }
-        };
-        if depth > 0 {
-            // A real decision was taken over a non-empty pool: observe it.
-            self.metrics.pool_depth.observe(depth as u64);
-            self.record(|| SchedEvent::PoolDecision { proc: p, depth, picked });
-            if picked.is_none() {
-                // The Algorithm-2 / capacity verdict deferred everything:
-                // the processor is stalled until memory frees.
-                self.metrics.procs[p].deferrals += 1;
-                let now = self.sim.now();
-                self.procs[p].stalled_since.get_or_insert(now);
-            }
-        }
-        if let Some(v) = picked {
-            self.activate_node(p, v);
-        }
-    }
-
-    /// Memory an activation of `v` allocates on its owner (the cost used
-    /// by Algorithm 2, the capacity check, and the prediction mechanism).
-    fn activation_cost(&self, v: usize) -> u64 {
-        match self.map.kind[v] {
-            NodeKind::Type2 => self.tree.master_entries(v),
-            NodeKind::Type3 => self.tree.front_entries(v) / self.cfg.nprocs as u64,
-            _ => self.tree.front_entries(v),
-        }
-    }
-
-    /// Last-resort degradation step under a hard capacity: when the event
-    /// queue drains with unfinished fronts because every idle processor
-    /// is deferring every ready task, force the globally cheapest
-    /// deferred activation so the factorization completes (degrading
-    /// memory, never correctness). Returns `false` when there is nothing
-    /// to force (a genuine stall).
-    fn force_one_deferred(&mut self) -> bool {
-        if self.cfg.capacity.is_none() {
-            return false;
-        }
-        let mut best: Option<(u64, usize, usize)> = None; // (cost, proc, node)
-        for p in 0..self.cfg.nprocs {
-            if self.procs[p].busy || !self.procs[p].slave_queue.is_empty() {
-                continue;
-            }
-            for &v in self.procs[p].pool.as_slice() {
-                let cand = (self.activation_cost(v), p, v);
-                if best.is_none_or(|b| cand < b) {
-                    best = Some(cand);
-                }
-            }
-        }
-        let Some((cost, p, v)) = best else { return false };
-        self.procs[p].pool.remove_task(v);
-        self.forced += 1;
-        self.metrics.forced_activations += 1;
-        self.record(|| SchedEvent::Forced { proc: p, node: v, cost });
-        self.activate_node(p, v);
-        true
-    }
-
-    /// Algorithm 2's "current memory (including peak of subtree)": while a
-    /// subtree is in progress its projected peak counts.
-    fn effective_memory(&self, p: usize) -> u64 {
-        let active = self.procs[p].mem.active();
-        match self.procs[p].current_subtree {
-            Some(s) => active.max(self.procs[p].subtree_base + self.map.subtree_peak[s]),
-            None => active,
-        }
-    }
-
-    fn activate_node(&mut self, p: usize, v: usize) {
-        debug_assert_eq!(self.map.owner[v], p);
-        debug_assert!(!self.activated[v], "node {v} activated twice");
-        self.activated[v] = true;
-        self.close_stall(p);
-        self.procs[p].busy = true;
-        self.metrics.procs[p].activations += 1;
-        let class = match self.map.kind[v] {
-            NodeKind::Subtree(_) => FrontClass::Subtree,
-            NodeKind::Type1 => FrontClass::Type1,
-            NodeKind::Type2 => FrontClass::Type2,
-            NodeKind::Type3 => FrontClass::Type3,
-        };
-        self.record(|| SchedEvent::Activate { proc: p, node: v, class });
-
-        if self.cfg.use_prediction {
-            // This task is no longer "upcoming": refresh the broadcast.
-            if self.procs[p].soon.remove(&v).is_some() {
-                self.rebroadcast_prediction(p);
-            }
-            // Tell the parent's master we started (its readiness predictor).
-            if let Some(par) = self.tree.nodes[v].parent {
-                let owner = self.map.owner[par];
-                self.send(p, owner, Msg::ChildStarted { node: par }, 16);
-            }
-        }
-
-        // Entering a subtree broadcasts its peak (Section 5.1).
-        if let Some(s) = self.map.subtree_of[v] {
-            if self.procs[p].current_subtree != Some(s) {
-                self.procs[p].current_subtree = Some(s);
-                self.procs[p].subtree_base = self.procs[p].mem.active();
-                if self.cfg.use_subtree_info {
-                    // Broadcast the absolute level this stack is heading
-                    // to (base + subtree peak), Section 5.1.
-                    let peak = self.procs[p].subtree_base + self.map.subtree_peak[s];
-                    self.procs[p].views.subtree[p] = peak;
-                    self.broadcast(p, Msg::SubtreePeak { peak }, 16);
-                }
-            }
-        }
-
-        match self.map.kind[v] {
-            NodeKind::Subtree(_) | NodeKind::Type1 => self.start_full_front(p, v),
-            NodeKind::Type2 => self.start_type2(p, v),
-            NodeKind::Type3 => self.start_type3(p, v),
-        }
-    }
-
-    fn start_full_front(&mut self, p: usize, v: usize) {
-        self.mem_alloc_front(p, v, self.tree.front_entries(v));
-        self.consume_stacked(p, v);
-        let flops = self.tree.flops(v);
-        self.schedule_work(p, Work::Elim { node: v, flops });
-    }
-
-    /// One slave-selection decision for the type-2 node `v` on master `p`
-    /// restricted to `candidates` (the capacity filter shrinks the set
-    /// and re-selects). Also returns the per-processor metric vector the
-    /// decision was made from — the flight recorder captures exactly what
-    /// the master *believed*, not what was true.
-    fn select_slaves(
-        &self,
-        p: usize,
-        v: usize,
-        candidates: &[usize],
-    ) -> (Vec<SlaveAssignment>, Vec<u64>) {
-        let nd = &self.tree.nodes[v];
-        let (nfront, npiv) = (nd.nfront, nd.npiv);
-        let metric: Vec<u64> = (0..self.cfg.nprocs)
-            .map(|q| {
-                let views = &self.procs[p].views;
-                match self.cfg.slave_selection {
-                    SlaveSelection::Workload => views.load[q],
-                    SlaveSelection::Memory | SlaveSelection::Hybrid => views.memory_metric(
-                        q,
-                        self.cfg.use_subtree_info,
-                        self.cfg.use_prediction,
-                    ),
-                }
-            })
-            .collect();
-        let raw_mem: Vec<u64> = (0..self.cfg.nprocs).map(|q| self.procs[p].views.mem[q]).collect();
-        let input = SelectionInput {
-            candidates,
-            metric: &metric,
-            fill_metric: matches!(
-                self.cfg.slave_selection,
-                SlaveSelection::Memory | SlaveSelection::Hybrid
-            )
-            .then_some(raw_mem.as_slice()),
-            master_metric: metric[p],
-            nfront,
-            npiv,
-            sym: self.tree.sym,
-            min_rows_per_slave: self.cfg.min_rows_per_slave,
-        };
-        let assignment = match self.cfg.slave_selection {
-            SlaveSelection::Workload => select_workload(&input),
-            SlaveSelection::Memory => select_memory(&input),
-            SlaveSelection::Hybrid => {
-                let load: Vec<u64> =
-                    (0..self.cfg.nprocs).map(|q| self.procs[p].views.load[q]).collect();
-                crate::slavesel::select_hybrid(&input, &load, load[p])
-            }
-        };
-        (assignment, metric)
-    }
-
-    fn start_type2(&mut self, p: usize, v: usize) {
-        let nd = &self.tree.nodes[v];
-        let (nfront, npiv) = (nd.nfront, nd.npiv);
-        let mut candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != p).collect();
-        let mut rounds = 0u32;
-        let mut serialized = false;
-        let (assignment, metric) = loop {
-            let picked = self.select_slaves(p, v, &candidates);
-            let Some(cap) = self.cfg.capacity else { break picked };
-            let (assignment, metric) = picked;
-            if assignment.is_empty() {
-                break (assignment, metric);
-            }
-            // Hard capacity: drop every candidate whose projected memory
-            // (the master's view plus the block it would receive) would
-            // breach the cap, and re-select over the survivors — fewer,
-            // larger shares on the processors that still have room.
-            let violators: Vec<usize> = assignment
-                .iter()
-                .filter(|a| {
-                    let entries = crate::blocking::slave_block_entries(
-                        self.tree.sym,
-                        nfront,
-                        npiv,
-                        a.offset,
-                        a.nrows,
-                    );
-                    self.procs[p].views.mem[a.proc] + entries > cap
-                })
-                .map(|a| a.proc)
-                .collect();
-            if violators.is_empty() {
-                break (assignment, metric);
-            }
-            rounds += 1;
-            self.metrics.reselect_rounds += 1;
-            if self.rec.is_some() {
-                let dropped = violators.clone();
-                self.record(|| SchedEvent::Reselect { master: p, node: v, dropped });
-            }
-            candidates.retain(|q| !violators.contains(q));
-            if candidates.is_empty() {
-                // Last resort: serialize the whole front on the master.
-                self.forced += 1;
-                self.metrics.serialized_fronts += 1;
-                serialized = true;
-                break (Vec::new(), metric);
-            }
-        };
-
-        // Observe decision-time view staleness (always-on) and record the
-        // full decision — the believed metric vector, per-processor view
-        // ages, the chosen blocks, and how the capacity loop resolved.
-        let now = self.sim.now();
-        for a in &assignment {
-            let age = self.procs[p].views.age(a.proc, now);
-            self.metrics.view_staleness.observe(age);
-        }
-        if self.rec.is_some() {
-            let view_age: Vec<Time> =
-                (0..self.cfg.nprocs).map(|q| self.procs[p].views.age(q, now)).collect();
-            let picked: Vec<SlavePick> = assignment
-                .iter()
-                .map(|a| SlavePick {
-                    proc: a.proc,
-                    entries: crate::blocking::slave_block_entries(
-                        self.tree.sym,
-                        nfront,
-                        npiv,
-                        a.offset,
-                        a.nrows,
-                    ),
-                })
-                .collect();
-            let serialized = serialized || assignment.is_empty();
-            self.record(|| SchedEvent::SlaveSelection {
-                master: p,
-                node: v,
-                metric,
-                view_age,
-                picked,
-                rounds,
-                serialized,
-            });
-        }
-
-        if assignment.is_empty() {
-            // No usable slave: the master handles the whole front.
-            self.start_full_front(p, v);
-            return;
-        }
-
-        self.mem_alloc_front(p, v, self.tree.master_entries(v));
-        self.consume_stacked(p, v);
-
-        let total_flops = self.tree.flops(v);
-        let front_entries = self.tree.front_entries(v);
-        let master_entries = self.tree.master_entries(v);
-        let master_flops = total_flops * master_entries / front_entries.max(1);
-        let mut delegated = 0u64;
-        let pieces = assignment.len();
-        for a in &assignment {
-            let entries = crate::blocking::slave_block_entries(
-                self.tree.sym,
-                nfront,
-                npiv,
-                a.offset,
-                a.nrows,
-            );
-            let cb_share = cb_share_of_block(self.tree.sym, nfront, npiv, a.offset, a.nrows);
-            let factor_share = entries - cb_share;
-            let flops_share = total_flops * entries / front_entries.max(1);
-            delegated += flops_share;
-            self.send(
-                p,
-                a.proc,
-                Msg::SlaveTask { node: v, entries, cb_share, factor_share, flops_share },
-                entries * 8,
-            );
-            // Announce the choice so other masters account for it before
-            // the slave's own memory reports catch up (Section 4).
-            self.procs[p].views.apply_mem_delta(a.proc, entries as i64);
-            self.procs[p].views.touch(a.proc, now);
-            self.broadcast(p, Msg::Assigned { proc: a.proc, entries }, 16);
-        }
-        // Work handed to the slaves leaves the master's workload.
-        self.load_change(p, -(delegated as i64));
-        self.schedule_work(p, Work::MasterPart { node: v, pieces, flops: master_flops });
-    }
-
-    fn start_type3(&mut self, p: usize, v: usize) {
-        self.consume_stacked(p, v);
-        let share_entries = (self.tree.front_entries(v) / self.cfg.nprocs as u64).max(1);
-        let share_flops = self.tree.flops(v) / self.cfg.nprocs as u64;
-        for q in 0..self.cfg.nprocs {
-            if q != p {
-                self.send(
-                    p,
-                    q,
-                    Msg::Type3Share { node: v, entries: share_entries, flops_share: share_flops },
-                    share_entries * 8,
-                );
-            }
-        }
-        // Work scattered to the other processors leaves this workload.
-        let total_flops = self.tree.flops(v);
-        self.load_change(p, -((total_flops - share_flops) as i64));
-        self.mem_alloc_front(p, v, share_entries);
-        self.schedule_work(
-            p,
-            Work::RootShare { node: v, entries: share_entries, flops: share_flops, is_master: true },
-        );
-    }
-
-    fn schedule_work(&mut self, p: usize, work: Work) {
-        let (flops, node, role) = match &work {
-            Work::Elim { flops, node } => (*flops, *node, TaskRole::Elim),
-            Work::MasterPart { flops, node, .. } => (*flops, *node, TaskRole::Master),
-            Work::Slave { flops, node, .. } => (*flops, *node, TaskRole::Slave),
-            Work::RootShare { flops, node, .. } => (*flops, *node, TaskRole::Root),
-        };
-        let duration = self.duration_of(p, flops);
-        self.metrics.procs[p].busy_ticks += duration;
-        self.record(|| SchedEvent::ComputeStart { proc: p, node, role });
-        let key = self.works.len();
-        self.works.push((p, work));
-        self.sim.schedule_timer(p, duration, key as u64);
-    }
-
+    /// Duration of a `flops`-sized work unit on processor `p`: the exact
+    /// flop-rate time, perturbed by seeded multiplicative jitter and the
+    /// fault model's straggler factor.
     fn duration_of(&mut self, p: usize, flops: u64) -> Time {
         let exact = (flops / self.cfg.flops_per_tick.max(1)).max(1);
         let base = match &mut self.jitter {
@@ -1020,327 +215,190 @@ impl<'a> World<'a> {
         }
     }
 
-    /// Releases the contribution blocks stacked for node `v` (the
-    /// assembly): local pieces pop immediately; remote holders are told to
-    /// ship-and-free theirs (one control-message latency away, like the
-    /// real redistribution).
-    fn consume_stacked(&mut self, p: usize, v: usize) {
-        let pieces = std::mem::take(&mut self.cb_pieces[v]);
-        for (holder, entries, child) in pieces {
-            if holder == p {
-                self.mem_pop_cb(p, child, entries);
-            } else {
-                self.send(p, holder, Msg::FetchCb { child, entries }, 16);
-            }
-        }
-    }
-
-    // ---------- completions ----------
-
-    fn work_done(&mut self, p: usize, key: usize) {
-        let Some((wp, work)) = self.works.get(key).cloned() else {
-            self.flag(Violation::Protocol { detail: format!("timer fired for unknown work key {key}") });
-            return;
-        };
-        debug_assert_eq!(wp, p);
-        match work {
-            Work::Elim { node, flops } => {
-                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Elim });
-                self.store_factors(p, self.tree.factor_entries(node));
-                self.mem_free_front(p, node, self.tree.front_entries(node));
-                let cb = self.tree.cb_entries(node);
-                let pieces = if cb > 0 && self.tree.nodes[node].parent.is_some() { 1 } else { 0 };
-                if pieces == 1 {
-                    self.produce_cb_piece(p, node, cb);
+    /// Feeds one input into a core and performs the effects it drains, in
+    /// emission order — the contract that keeps the refactored backend
+    /// bit-identical to the historical monolithic scheduler.
+    fn step(&mut self, core: &mut SchedulerCore<'_>, now: Time, input: Input) {
+        let p = core.id();
+        for e in core.handle(now, input) {
+            match e {
+                Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
+                Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
+                Effect::StartCompute { key, flops, .. } => {
+                    let duration = self.duration_of(p, flops);
+                    self.metrics.procs[p].busy_ticks += duration;
+                    self.sim.schedule_timer(p, duration, key);
                 }
-                self.finish_node(p, node, pieces, flops);
-            }
-            Work::MasterPart { node, pieces, flops } => {
-                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Master });
-                self.store_factors(p, self.tree.master_entries(node));
-                self.mem_free_front(p, node, self.tree.master_entries(node));
-                self.finish_node(p, node, pieces, flops);
-            }
-            Work::Slave { node, entries, cb_share, factor_share, flops } => {
-                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Slave });
-                self.store_factors(p, factor_share);
-                self.mem_free_front(p, node, entries);
-                if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
-                    self.produce_cb_piece(p, node, cb_share);
+                Effect::Alloc { node, area, entries } => {
+                    self.record(|| SchedEvent::MemAlloc { proc: p, node, area, entries });
                 }
-                self.load_change(p, -(flops as i64));
-                self.procs[p].busy = false;
-                self.try_start(p);
-            }
-            Work::RootShare { node, entries, flops, is_master } => {
-                self.record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Root });
-                self.store_factors(p, entries);
-                self.mem_free_front(p, node, entries);
-                self.load_change(p, -(flops as i64));
-                if is_master {
-                    // The 2-D root has no parent: completing the master
-                    // share completes the node.
-                    debug_assert!(self.tree.nodes[node].parent.is_none());
-                    self.nodes_done += 1;
+                Effect::Free { node, area, entries } => {
+                    self.record(|| SchedEvent::MemFree { proc: p, node, area, entries });
                 }
-                self.procs[p].busy = false;
-                self.try_start(p);
-            }
-        }
-    }
-
-    /// Common tail of a node's (master) elimination: announce completion,
-    /// leave any finished subtree, account the work, count the node.
-    fn finish_node(&mut self, p: usize, node: usize, pieces: usize, flops: u64) {
-        if let Some(par) = self.tree.nodes[node].parent {
-            let owner = self.map.owner[par];
-            self.send(p, owner, Msg::Complete { child: node, pieces }, 16);
-        }
-        self.load_change(p, -(flops as i64));
-        if let Some(s) = self.procs[p].current_subtree {
-            if self.map.subtree_roots[s] == node {
-                self.procs[p].current_subtree = None;
-                if self.cfg.use_subtree_info {
-                    self.procs[p].views.subtree[p] = 0;
-                    self.broadcast(p, Msg::SubtreePeak { peak: 0 }, 16);
-                }
-            }
-        }
-        self.nodes_done += 1;
-        self.procs[p].busy = false;
-        self.try_start(p);
-    }
-
-    /// A CB piece of `child` was produced on `p`: it stays on `p`'s stack
-    /// until the parent activates; the parent's master is informed.
-    fn produce_cb_piece(&mut self, p: usize, child: usize, entries: u64) {
-        self.mem_push_cb(p, child, entries);
-        let Some(parent) = self.tree.nodes[child].parent else {
-            self.flag(Violation::Protocol {
-                detail: format!("CB piece produced for parentless node {child}"),
-            });
-            return;
-        };
-        let dest = self.map.owner[parent];
-        self.send(p, dest, Msg::PieceDone { child, holder: p, entries }, 16);
-    }
-
-    // ---------- message handling ----------
-
-    fn deliver(&mut self, from: usize, to: usize, msg: Msg) {
-        match msg {
-            Msg::PieceDone { child, holder, entries } => {
-                let Some(parent) = self.tree.nodes[child].parent else {
-                    self.flag(Violation::Protocol {
-                        detail: format!("PieceDone for parentless node {child}"),
-                    });
-                    return;
-                };
-                // If the parent already activated, release immediately.
-                if self.activated[parent] {
-                    if holder == to {
-                        self.mem_pop_cb(to, child, entries);
-                        // Freed memory may admit a deferred task.
-                        if self.cfg.capacity.is_some() {
-                            self.try_start(to);
-                        }
-                    } else {
-                        self.send(to, holder, Msg::FetchCb { child, entries }, 16);
+                Effect::Record(ev) => {
+                    let now = self.sim.now();
+                    if let Some(rec) = self.rec.as_mut() {
+                        rec.record(now, ev);
                     }
-                } else {
-                    self.cb_pieces[parent].push((holder, entries, child));
-                }
-                self.pieces_got[child] += 1;
-                self.check_child_done(to, child);
-            }
-            Msg::FetchCb { child, entries } => {
-                self.mem_pop_cb(to, child, entries);
-                // Freed memory may admit a deferred task (only meaningful
-                // under a hard capacity; without one, nothing was ever
-                // deferred and this keeps the happy path untouched).
-                if self.cfg.capacity.is_some() {
-                    self.try_start(to);
                 }
             }
-            Msg::Complete { child, pieces } => {
-                self.pieces_expected[child] = Some(pieces);
-                self.child_complete[child] = true;
-                self.check_child_done(to, child);
-            }
-            Msg::SlaveTask { node, entries, cb_share, factor_share, flops_share } => {
-                // "Slave tasks are activated as soon as they are received":
-                // the memory is allocated now, the CPU when free. No
-                // increment is broadcast — the master's Assigned message
-                // already announced this allocation to everyone.
-                let now = self.sim.now();
-                self.record(|| SchedEvent::MemAlloc {
-                    proc: to,
-                    node,
-                    area: MemArea::Front,
-                    entries,
-                });
-                self.procs[to].mem.alloc_front(now, entries);
-                let active = self.procs[to].mem.active();
-                self.procs[to].views.mem[to] = active;
-                self.procs[to].views.touch(to, now);
-                self.metrics.procs[to].slave_tasks += 1;
-                self.load_change(to, flops_share as i64);
-                let key = self.works.len();
-                self.works.push((
-                    to,
-                    Work::Slave { node, entries, cb_share, factor_share, flops: flops_share },
-                ));
-                self.procs[to].slave_queue.push_back(key);
-                self.try_start(to);
-            }
-            Msg::Type3Share { node, entries, flops_share } => {
-                self.mem_alloc_front(to, node, entries);
-                self.load_change(to, flops_share as i64);
-                let key = self.works.len();
-                self.works.push((
-                    to,
-                    Work::RootShare { node, entries, flops: flops_share, is_master: false },
-                ));
-                self.procs[to].slave_queue.push_back(key);
-                self.try_start(to);
-            }
-            Msg::MemDelta { delta } => {
-                let age = self.touch_view(to, from);
-                self.procs[to].views.apply_mem_delta(from, delta);
-                self.record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::MemDelta,
-                    age,
-                });
-            }
-            Msg::Assigned { proc, entries } => {
-                // Skip the slave itself: its self-view is exact.
-                if proc != to {
-                    let age = self.touch_view(to, proc);
-                    self.procs[to].views.apply_mem_delta(proc, entries as i64);
-                    self.record(|| SchedEvent::StatusApply {
-                        to,
-                        from,
-                        about: proc,
-                        kind: StatusKind::Assigned,
-                        age,
-                    });
-                }
-            }
-            Msg::LoadDelta { delta } => {
-                let age = self.touch_view(to, from);
-                self.procs[to].views.apply_load_delta(from, delta);
-                self.record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::LoadDelta,
-                    age,
-                });
-            }
-            Msg::SubtreePeak { peak } => {
-                let age = self.touch_view(to, from);
-                self.procs[to].views.subtree[from] = peak;
-                self.record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::SubtreePeak,
-                    age,
-                });
-            }
-            Msg::Predicted { cost } => {
-                let age = self.touch_view(to, from);
-                self.procs[to].views.predicted[from] = cost;
-                self.record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::Predicted,
-                    age,
-                });
-            }
-            Msg::ChildStarted { node } => {
-                self.started_children[node] += 1;
-                if self.started_children[node] == self.tree.nodes[node].children.len()
-                    && self.map.owner[node] == to
-                    && self.map.subtree_of[node].is_none()
-                    && !self.activated[node]
-                {
-                    let cost = self.activation_cost(node);
-                    self.procs[to].soon.insert(node, cost);
-                    self.rebroadcast_prediction(to);
-                }
-            }
-        }
-    }
-
-    fn check_child_done(&mut self, q: usize, child: usize) {
-        if !self.child_complete[child] || Some(self.pieces_got[child]) != self.pieces_expected[child]
-        {
-            return;
-        }
-        self.child_complete[child] = false; // fire once
-        let Some(parent) = self.tree.nodes[child].parent else {
-            self.flag(Violation::Protocol {
-                detail: format!("completion tracked for parentless node {child}"),
-            });
-            return;
-        };
-        self.done_children[parent] += 1;
-        if self.done_children[parent] == self.tree.nodes[parent].children.len() {
-            self.node_ready(q, parent);
-        }
-    }
-
-    fn node_ready(&mut self, q: usize, v: usize) {
-        debug_assert_eq!(self.map.owner[v], q);
-        self.procs[q].pool.push(v);
-        // Upper tasks enter the workload when they become ready; subtree
-        // work was counted in the initial loads (Section 3).
-        if self.map.subtree_of[v].is_none() {
-            self.load_change(q, self.tree.flops(v) as i64);
-        }
-        self.try_start(q);
-    }
-
-    fn rebroadcast_prediction(&mut self, p: usize) {
-        let max = self.procs[p].soon.values().copied().max().unwrap_or(0);
-        if self.procs[p].views.predicted[p] != max {
-            self.procs[p].views.predicted[p] = max;
-            self.broadcast(p, Msg::Predicted { cost: max }, 16);
         }
     }
 }
 
-/// CB entries inside a slave block: the columns right of the pivot block,
-/// restricted to the block's rows (full width for LU, ragged for LDLᵀ).
-fn cb_share_of_block(
-    sym: mf_sparse::Symmetry,
-    nfront: usize,
-    npiv: usize,
-    offset: usize,
-    nrows: usize,
-) -> u64 {
-    match sym {
-        mf_sparse::Symmetry::General => (nrows as u64) * (nfront - npiv) as u64,
-        mf_sparse::Symmetry::Symmetric => {
-            // Row at offset o holds o+1 CB entries (its tail past the
-            // pivot columns).
-            let a = offset as u64;
-            let b = a + nrows as u64;
-            (b * (b + 1) / 2) - (a * (a + 1) / 2)
+/// Last-resort degradation step under a hard capacity: when the event
+/// queue drains with unfinished fronts because every idle processor is
+/// deferring every ready task, force the globally cheapest deferred
+/// activation so the factorization completes (degrading memory, never
+/// correctness). Returns the forced processor, or `None` when there is
+/// nothing to force (a genuine stall).
+fn force_one_deferred(drv: &mut SimDriver<'_>, cores: &mut [SchedulerCore<'_>]) -> Option<usize> {
+    drv.cfg.capacity?;
+    let mut best: Option<(u64, usize, usize)> = None; // (cost, proc, node)
+    for core in cores.iter() {
+        if let Some((cost, v)) = core.cheapest_deferred() {
+            let cand = (cost, core.id(), v);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
         }
     }
+    let (_, p, v) = best?;
+    let now = drv.sim.now();
+    drv.step(&mut cores[p], now, Input::Force { node: v });
+    Some(p)
+}
+
+fn diagnostics(
+    drv: &SimDriver<'_>,
+    cores: &[SchedulerCore<'_>],
+    total_nodes: usize,
+) -> RunDiagnostics {
+    let mut metrics = drv.metrics.clone();
+    for core in cores {
+        metrics.merge(core.metrics());
+    }
+    RunDiagnostics {
+        now: drv.sim.now(),
+        delivered_events: drv.sim.delivered(),
+        in_flight: drv.sim.pending(),
+        nodes_done: cores.iter().map(|c| c.nodes_done()).sum(),
+        total_nodes,
+        dropped_messages: drv.fault.as_ref().map_or(0, |f| f.dropped()),
+        metrics: Box::new(metrics),
+        procs: cores.iter().map(|c| c.proc_diag()).collect(),
+    }
+}
+
+fn error_of(
+    drv: &SimDriver<'_>,
+    cores: &[SchedulerCore<'_>],
+    total_nodes: usize,
+    v: Violation,
+) -> SimError {
+    let diag = diagnostics(drv, cores, total_nodes);
+    match v {
+        Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
+        Violation::Protocol { detail } => SimError::Protocol { detail, diag },
+    }
+}
+
+/// Runs the simulated parallel factorization.
+///
+/// Never panics and never hangs: a no-progress state, a virtual-time
+/// runaway past [`SolverConfig::time_limit`], an accounting underflow, or
+/// a protocol violation returns a typed [`SimError`] carrying a full
+/// per-processor diagnostic snapshot.
+pub fn run(
+    tree: &AssemblyTree,
+    map: &crate::mapping::StaticMapping,
+    cfg: &SolverConfig,
+) -> Result<RunResult, SimError> {
+    let n = tree.len();
+    let load0 = initial_loads(tree, map, cfg.nprocs);
+    let mut cores: Vec<SchedulerCore<'_>> =
+        (0..cfg.nprocs).map(|p| SchedulerCore::new(p, tree, map, cfg, &load0)).collect();
+    let mut drv = SimDriver::new(cfg);
+
+    for p in 0..cfg.nprocs {
+        drv.step(&mut cores[p], 0, Input::Tick);
+        if let Some(v) = cores[p].take_violation() {
+            return Err(error_of(&drv, &cores, n, v));
+        }
+    }
+    loop {
+        while let Some(Event { at, payload }) = drv.sim.next() {
+            let (p, input) = match payload {
+                EventPayload::Message { from, to, msg } => (to, Input::Deliver { from, msg }),
+                EventPayload::Timer { proc, key } => (proc, Input::TimerFired { key }),
+            };
+            drv.step(&mut cores[p], at, input);
+            if let Some(v) = cores[p].take_violation() {
+                return Err(error_of(&drv, &cores, n, v));
+            }
+            if let Some(limit) = cfg.time_limit {
+                if drv.sim.now() > limit {
+                    let diag = diagnostics(&drv, &cores, n);
+                    return Err(SimError::TimeLimit { limit, diag });
+                }
+            }
+        }
+        let nodes_done: usize = cores.iter().map(|c| c.nodes_done()).sum();
+        if nodes_done >= n {
+            break;
+        }
+        // Drained queue with unfinished fronts. Under a hard capacity the
+        // deadlock may be self-inflicted (every idle processor deferring
+        // every task): force the globally cheapest deferred task and keep
+        // going — degrading memory, never correctness. Otherwise it is a
+        // genuine stall (e.g. a dead network): report it.
+        let Some(p) = force_one_deferred(&mut drv, &mut cores) else {
+            return Err(SimError::Stalled { diag: diagnostics(&drv, &cores, n) });
+        };
+        if let Some(v) = cores[p].take_violation() {
+            return Err(error_of(&drv, &cores, n, v));
+        }
+    }
+
+    let disk_end = cores.iter().map(|c| c.disk_busy_until()).max().unwrap_or(0);
+    let makespan = drv.sim.now().max(disk_end);
+    let mems: Vec<&ProcMemory> = cores.iter().map(|c| c.memory()).collect();
+    let peaks: Vec<u64> = mems.iter().map(|m| m.active_peak()).collect();
+    let total_peaks: Vec<u64> = mems.iter().map(|m| m.total_peak()).collect();
+    let factor_entries: Vec<u64> = mems.iter().map(|m| m.factors()).collect();
+    let max_peak = peaks.iter().copied().max().unwrap_or(0);
+    let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
+    let mut metrics = drv.metrics;
+    for core in &cores {
+        metrics.merge(core.metrics());
+    }
+    Ok(RunResult {
+        total_peaks,
+        factor_entries,
+        max_peak,
+        avg_peak,
+        makespan,
+        messages: drv.messages,
+        traces: cfg
+            .record_traces
+            .then(|| mems.iter().map(|m| m.trace().cloned().unwrap_or_default()).collect()),
+        nodes_done: cores.iter().map(|c| c.nodes_done()).sum(),
+        total_nodes: n,
+        dropped_messages: drv.fault.as_ref().map_or(0, |f| f.dropped()),
+        forced_activations: cores.iter().map(|c| c.forced()).sum(),
+        final_active: mems.iter().map(|m| m.active()).collect(),
+        underflows: mems.iter().map(|m| m.underflows()).collect(),
+        metrics,
+        recording: drv.rec,
+        peaks,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SolverConfig;
-    use crate::mapping::compute_mapping;
+    use crate::mapping::{compute_mapping, NodeKind};
     use mf_order::OrderingKind;
     use mf_sparse::gen::grid::{grid2d, Stencil};
     use mf_symbolic::seqstack::{sequential_peak, AssemblyDiscipline};
@@ -1350,10 +408,7 @@ mod tests {
         let a = grid2d(nx, nx, Stencil::Star);
         let p = OrderingKind::Metis.compute(&a);
         let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
-        mf_symbolic::seqstack::apply_liu_order(
-            &mut s.tree,
-            AssemblyDiscipline::FrontThenFree,
-        );
+        mf_symbolic::seqstack::apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
         s.tree
     }
 
@@ -1361,10 +416,7 @@ mod tests {
     fn all_nodes_complete() {
         let tree = tree_for(24);
         for nprocs in [1, 2, 4, 8] {
-            let cfg = SolverConfig {
-                type2_front_min: 24,
-                ..SolverConfig::mumps_baseline(nprocs)
-            };
+            let cfg = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(nprocs) };
             let map = compute_mapping(&tree, &cfg);
             let r = run(&tree, &map, &cfg).unwrap();
             assert_eq!(r.nodes_done, r.total_nodes, "nprocs={nprocs}");
@@ -1568,9 +620,7 @@ mod tests {
         assert!(r.makespan >= free.makespan);
         // The recording saw the same story.
         let rec = r.recording.unwrap();
-        assert!(rec
-            .events()
-            .any(|te| matches!(te.event, mf_sim::SchedEvent::Forced { .. })));
+        assert!(rec.events().any(|te| matches!(te.event, mf_sim::SchedEvent::Forced { .. })));
         assert!(rec
             .events()
             .any(|te| matches!(te.event, mf_sim::SchedEvent::PoolDecision { picked: None, .. })));
@@ -1612,10 +662,7 @@ mod tests {
         let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
         let map = compute_mapping(&tree, &cfg0);
         let plain = run(&tree, &map, &cfg0).unwrap();
-        let cfg = SolverConfig {
-            fault: Some(mf_sim::FaultModel::intensity(13, 3.0)),
-            ..cfg0
-        };
+        let cfg = SolverConfig { fault: Some(mf_sim::FaultModel::intensity(13, 3.0)), ..cfg0 };
         let r1 = run(&tree, &map, &cfg).unwrap();
         let r2 = run(&tree, &map, &cfg).unwrap();
         // Same seed: bit-identical.
@@ -1628,10 +675,7 @@ mod tests {
         assert_eq!(r1.nodes_done, r1.total_nodes);
         assert!(r1.final_active.iter().all(|&a| a == 0), "{:?}", r1.final_active);
         assert!(r1.dropped_messages > 0, "intensity 3 should drop something");
-        assert_eq!(
-            r1.factor_entries.iter().sum::<u64>(),
-            plain.factor_entries.iter().sum::<u64>(),
-        );
+        assert_eq!(r1.factor_entries.iter().sum::<u64>(), plain.factor_entries.iter().sum::<u64>(),);
     }
 
     #[test]

@@ -140,6 +140,109 @@ impl TaskPool {
     }
 }
 
+/// Everything a task-selection strategy may consult when picking the next
+/// ready task from a pool. The closures close over the deciding
+/// processor's state (tree geometry, stacked contribution blocks, the
+/// capacity verdict), so strategies stay independent of the scheduler's
+/// internals.
+pub struct TaskCtx<'a> {
+    /// Whether a node belongs to a leaf subtree (depth-first priority).
+    pub in_subtree: &'a dyn Fn(usize) -> bool,
+    /// Activation cost of a node on its owner, in entries.
+    pub cost: &'a dyn Fn(usize) -> u64,
+    /// Contribution-block entries (local and remote) an activation frees.
+    pub released: &'a dyn Fn(usize) -> u64,
+    /// Hard-capacity admissibility verdict (always true without a cap).
+    pub admissible: &'a dyn Fn(usize) -> bool,
+    /// Whether a hard capacity is configured.
+    pub capped: bool,
+    /// Algorithm 2's "current memory (including peak of subtree)".
+    pub current_memory: u64,
+    /// Peak observed since the beginning of the factorization.
+    pub observed_peak: u64,
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx")
+            .field("capped", &self.capped)
+            .field("current_memory", &self.current_memory)
+            .field("observed_peak", &self.observed_peak)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pluggable task-selection strategy (which ready task to activate).
+///
+/// Implementations are stateless: each decision maps a pool plus a
+/// [`TaskCtx`] to a choice. `None` over a non-empty pool means every
+/// ready task was deferred (the capacity verdict) and the processor
+/// stalls until memory frees. Register new strategies by adding a static
+/// instance and a [`crate::config::TaskSelection`] factory name.
+pub trait TaskSelector: Send + Sync {
+    /// Stable CLI/registry name of the strategy.
+    fn name(&self) -> &'static str;
+
+    /// Picks (and removes) the next task from `pool`.
+    fn pick(&self, pool: &mut TaskPool, ctx: &TaskCtx<'_>) -> Option<usize>;
+}
+
+/// Baseline LIFO (depth-first) selection as a [`TaskSelector`].
+pub struct LifoSelector;
+
+impl TaskSelector for LifoSelector {
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+
+    fn pick(&self, pool: &mut TaskPool, ctx: &TaskCtx<'_>) -> Option<usize> {
+        if ctx.capped {
+            pool.pick_lifo_admissible(|v| (ctx.admissible)(v))
+        } else {
+            pool.pick_lifo()
+        }
+    }
+}
+
+/// Algorithm 2 memory-aware selection as a [`TaskSelector`].
+pub struct MemoryAwareSelector;
+
+impl TaskSelector for MemoryAwareSelector {
+    fn name(&self) -> &'static str {
+        "memory_aware"
+    }
+
+    fn pick(&self, pool: &mut TaskPool, ctx: &TaskCtx<'_>) -> Option<usize> {
+        pool.pick_memory_aware(
+            |v| (ctx.in_subtree)(v),
+            |v| (ctx.cost)(v),
+            ctx.current_memory,
+            ctx.observed_peak,
+            |v| (ctx.admissible)(v),
+        )
+    }
+}
+
+/// Algorithm 2 with the Section 6 global refinement as a [`TaskSelector`].
+pub struct MemoryAwareGlobalSelector;
+
+impl TaskSelector for MemoryAwareGlobalSelector {
+    fn name(&self) -> &'static str {
+        "memory_aware_global"
+    }
+
+    fn pick(&self, pool: &mut TaskPool, ctx: &TaskCtx<'_>) -> Option<usize> {
+        pool.pick_memory_aware_global(
+            |v| (ctx.in_subtree)(v),
+            |v| (ctx.cost)(v),
+            |v| (ctx.released)(v),
+            ctx.current_memory,
+            ctx.observed_peak,
+            |v| (ctx.admissible)(v),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

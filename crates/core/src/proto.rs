@@ -1,0 +1,1316 @@
+//! The sans-io scheduling protocol: one [`SchedulerCore`] per processor.
+//!
+//! This module is the paper's contribution distilled to a pure state
+//! machine. A core consumes typed [`Input`]s — a delivered [`Msg`], a
+//! fired compute timer, a tick — and emits typed [`Effect`]s: messages to
+//! send, compute to start, memory movements, recorder events. It owns
+//! **no clock** (every `handle` call carries the current time), **no
+//! queue** (transport is the driver's problem), and **no RNG** (duration
+//! noise and fault injection are runtime concerns). The same cores run
+//! bit-identically under the discrete-event simulator
+//! ([`crate::parsim::run`]) and on real OS threads (the `mf-exec` crate),
+//! which is the proof that the protocol is runtime-agnostic.
+//!
+//! Strategy decisions go through the [`SlaveSelector`] /
+//! [`TaskSelector`] traits, so new policies from the literature plug in
+//! without touching this state machine.
+//!
+//! Two conventions keep the protocol deterministic across backends:
+//!
+//! - **Self-sends never leave the core.** A message a processor addresses
+//!   to itself is delivered synchronously inside `handle` (the MUMPS loop
+//!   does the local work inline); a core therefore *never* emits
+//!   [`Effect::Send`] to its own id — an invariant the proptests pin.
+//! - **Effects are ordered.** The driver must process the drained effects
+//!   in emission order; that order is exactly the order the monolithic
+//!   scheduler used to perform the corresponding side effects, which is
+//!   what keeps simulator runs bit-identical across the refactor.
+
+use crate::config::SolverConfig;
+use crate::error::ProcDiag;
+use crate::mapping::{NodeKind, StaticMapping};
+use crate::pool::{TaskCtx, TaskPool, TaskSelector};
+use crate::slavesel::{SlaveAssignment, SlaveCtx, SlaveSelector};
+use crate::views::Views;
+use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
+use mf_sim::{MsgClass, ProcMemory, RunMetrics, SchedEvent, Time};
+use mf_symbolic::AssemblyTree;
+use std::collections::VecDeque;
+
+/// Inter-processor messages of the scheduling protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// A contribution-block piece of `child` was produced and sits on the
+    /// stack of processor `holder` until the parent activates (control
+    /// message to the parent's master; the data itself stays put).
+    PieceDone {
+        /// Producing child node.
+        child: usize,
+        /// Processor whose stack holds the piece.
+        holder: usize,
+        /// Piece size in entries.
+        entries: u64,
+    },
+    /// `child`'s elimination finished; `pieces` CB pieces were produced
+    /// in total (0 when the CB is empty).
+    Complete {
+        /// Completed child node.
+        child: usize,
+        /// CB pieces produced in total.
+        pieces: usize,
+    },
+    /// The parent activated: the addressed processor ships its stacked CB
+    /// piece of `child` to the parent's workers and frees it.
+    FetchCb {
+        /// Child whose piece is fetched.
+        child: usize,
+        /// Piece size in entries.
+        entries: u64,
+    },
+    /// A slave task of a type-2 node.
+    SlaveTask {
+        /// The type-2 node.
+        node: usize,
+        /// Block size in entries.
+        entries: u64,
+        /// CB entries inside the block.
+        cb_share: u64,
+        /// Factor entries inside the block.
+        factor_share: u64,
+        /// Flops delegated with the block.
+        flops_share: u64,
+    },
+    /// The 2-D root scatters equal shares to every processor.
+    Type3Share {
+        /// The type-3 root node.
+        node: usize,
+        /// Share size in entries.
+        entries: u64,
+        /// Flops of the share.
+        flops_share: u64,
+    },
+    /// Memory increment of the sender's active memory (Section 4).
+    MemDelta {
+        /// Signed change in active entries.
+        delta: i64,
+    },
+    /// Workload increment of the sender (Section 3).
+    LoadDelta {
+        /// Signed change in flops still to do.
+        delta: i64,
+    },
+    /// The sender entered (peak > 0) or left (0) a subtree (Section 5.1).
+    SubtreePeak {
+        /// Absolute stack level the sender is heading to.
+        peak: u64,
+    },
+    /// Cost of the largest master task about to activate on the sender
+    /// (Section 5.1; absolute value, 0 when none).
+    Predicted {
+        /// Predicted activation cost in entries.
+        cost: u64,
+    },
+    /// All children of `node` have started: its master should soon expect
+    /// it to become ready (Section 5.1 prediction trigger).
+    ChildStarted {
+        /// The parent node whose child just started.
+        node: usize,
+    },
+    /// A master announces that it just assigned a slave block of
+    /// `entries` to processor `proc` — the mechanism that makes masters'
+    /// choices "known as quickly as possible by the others" (Section 4),
+    /// without which concurrent masters pile work on the same processor.
+    Assigned {
+        /// The enrolled slave processor.
+        proc: usize,
+        /// Assigned block size in entries.
+        entries: u64,
+    },
+}
+
+impl Msg {
+    /// Status classification for the flight recorder and the traffic
+    /// metrics; `None` for control messages.
+    pub fn status_kind(&self) -> Option<(StatusKind, i64)> {
+        match *self {
+            Msg::MemDelta { delta } => Some((StatusKind::MemDelta, delta)),
+            Msg::LoadDelta { delta } => Some((StatusKind::LoadDelta, delta)),
+            Msg::SubtreePeak { peak } => Some((StatusKind::SubtreePeak, peak as i64)),
+            Msg::Predicted { cost } => Some((StatusKind::Predicted, cost as i64)),
+            Msg::Assigned { entries, .. } => Some((StatusKind::Assigned, entries as i64)),
+            _ => None,
+        }
+    }
+
+    /// Fault-injection delivery class: view refreshes are idempotent
+    /// [`MsgClass::Status`] traffic a perturbed network may drop (the run
+    /// stays correct, the views get staler); everything that carries an
+    /// obligation — task payloads, completions, CB bookkeeping, the
+    /// prediction *trigger* `ChildStarted` (its counter must reach the
+    /// child count exactly once per child) — is [`MsgClass::Control`].
+    pub fn class(&self) -> MsgClass {
+        match self {
+            Msg::MemDelta { .. }
+            | Msg::LoadDelta { .. }
+            | Msg::SubtreePeak { .. }
+            | Msg::Predicted { .. }
+            | Msg::Assigned { .. } => MsgClass::Status,
+            _ => MsgClass::Control,
+        }
+    }
+}
+
+/// A fatal condition detected inside a handler; the driver converts it
+/// into a [`crate::error::SimError`] with full diagnostics after the
+/// current input unwinds.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// A memory area would have gone negative.
+    Accounting {
+        /// Offending processor.
+        proc: usize,
+        /// Offending area ("fronts" or "stack").
+        area: &'static str,
+    },
+    /// A protocol invariant was broken (unknown work key, completion for
+    /// a parentless node, ...).
+    Protocol {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+/// What a driver feeds into a [`SchedulerCore`].
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// Poll for work (used once per processor to start the run; all later
+    /// polling happens inside the core on completions and deliveries).
+    Tick,
+    /// A message arrived from another processor.
+    Deliver {
+        /// Sending processor.
+        from: usize,
+        /// The message.
+        msg: Msg,
+    },
+    /// The compute unit started by [`Effect::StartCompute`] with this key
+    /// finished.
+    TimerFired {
+        /// The key the core handed out.
+        key: u64,
+    },
+    /// Stall-breaker: force-activate the deferred ready task `node` (the
+    /// driver picked it via [`SchedulerCore::cheapest_deferred`]).
+    Force {
+        /// The node to activate.
+        node: usize,
+    },
+}
+
+/// What a [`SchedulerCore`] asks its runtime to do. Effects must be
+/// processed in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Send `msg` to another processor (never the core's own id).
+    Send {
+        /// Destination processor.
+        to: usize,
+        /// The message.
+        msg: Msg,
+        /// Payload size for the network model.
+        bytes: u64,
+    },
+    /// Send `msg` to every other processor (status traffic only).
+    Broadcast {
+        /// The message.
+        msg: Msg,
+        /// Per-target payload size for the network model.
+        bytes: u64,
+    },
+    /// Run `flops` worth of compute; deliver [`Input::TimerFired`] with
+    /// `key` when it completes. The runtime owns the duration model
+    /// (flop rate, jitter, stragglers).
+    StartCompute {
+        /// Completion key (an index into the core's work ledger).
+        key: u64,
+        /// The node being computed (for labelling; the key is what the
+        /// core dispatches on).
+        node: usize,
+        /// Role of the work unit.
+        role: TaskRole,
+        /// Work size in flops.
+        flops: u64,
+    },
+    /// `entries` were allocated in `area` for `node` (already applied to
+    /// the core's own accounting; emitted so real backends can mirror it
+    /// in a physical ledger and so the driver can feed the recorder).
+    Alloc {
+        /// The node the allocation belongs to.
+        node: usize,
+        /// Front or stack area.
+        area: MemArea,
+        /// Allocation size in entries.
+        entries: u64,
+    },
+    /// `entries` were freed from `area` for `node` (counterpart of
+    /// [`Effect::Alloc`]).
+    Free {
+        /// The node the release belongs to.
+        node: usize,
+        /// Front or stack area.
+        area: MemArea,
+        /// Release size in entries.
+        entries: u64,
+    },
+    /// A flight-recorder event (only emitted when the core was built with
+    /// recording enabled, preserving the recorder's zero-cost-off
+    /// contract).
+    Record(SchedEvent),
+}
+
+/// Work units whose completion is signalled by [`Input::TimerFired`].
+#[derive(Debug, Clone)]
+enum Work {
+    /// Full-front elimination (type 1, subtree nodes, or a type-2 node
+    /// that found no slaves).
+    Elim { node: usize, flops: u64 },
+    /// Master part of a type-2 node (`pieces` slaves were enrolled).
+    MasterPart { node: usize, pieces: usize, flops: u64 },
+    /// A slave block of a type-2 node.
+    Slave { node: usize, entries: u64, cb_share: u64, factor_share: u64, flops: u64 },
+    /// This processor's share of the 2-D root (`is_master` on the
+    /// processor that owns the root and counts it done).
+    RootShare { node: usize, entries: u64, flops: u64, is_master: bool },
+}
+
+/// Initial workloads: each processor starts with the cost of its subtrees
+/// (Section 3); everyone knows this static information. Shared by every
+/// backend so all cores start from the same view of the machine.
+pub fn initial_loads(tree: &AssemblyTree, map: &StaticMapping, nprocs: usize) -> Vec<u64> {
+    let mut load0 = vec![0u64; nprocs];
+    for v in 0..tree.len() {
+        if map.subtree_of[v].is_some() {
+            load0[map.owner[v]] += tree.flops(v);
+        }
+    }
+    load0
+}
+
+/// One processor of the MUMPS-style scheduler as a sans-io state machine.
+///
+/// Owns everything a processor decides *with* — its memory accounting,
+/// its stale [`Views`] of the others, its ready pool and slave queue, the
+/// readiness bookkeeping of the nodes it masters — and nothing about
+/// *how* the run executes (no clock, queue, or RNG). Drivers call
+/// [`SchedulerCore::handle`] with each input and perform the drained
+/// [`Effect`]s in order.
+pub struct SchedulerCore<'a> {
+    id: usize,
+    tree: &'a AssemblyTree,
+    map: &'a StaticMapping,
+    cfg: &'a SolverConfig,
+    slave_sel: &'static dyn SlaveSelector,
+    task_sel: &'static dyn TaskSelector,
+    /// Whether to build (expensive) recorder events; mirrors
+    /// `cfg.record_events`.
+    record: bool,
+    /// Scratch: the time of the input being handled.
+    now: Time,
+    /// Effect buffer drained by `handle` (reused across calls).
+    out: Vec<Effect>,
+    mem: ProcMemory,
+    /// Out-of-core mode: virtual time until which this processor's disk
+    /// is busy writing factors.
+    disk_busy_until: Time,
+    views: Views,
+    pool: TaskPool,
+    busy: bool,
+    slave_queue: VecDeque<usize>, // indices into self.works
+    current_subtree: Option<usize>,
+    /// Active memory when the current subtree started (for Algorithm 2's
+    /// "current memory including peak of subtree").
+    subtree_base: u64,
+    /// Instant this processor entered its current stalled interval (idle
+    /// with every ready task deferred by the capacity verdict); `None`
+    /// when not stalled. Feeds `ProcMetrics::stalled_ticks`.
+    stalled_since: Option<Time>,
+    /// Upper tasks owned here whose children have all started (node ->
+    /// predicted activation cost), feeding the Predicted broadcasts.
+    soon: std::collections::BTreeMap<usize, u64>,
+    /// Work ledger; [`Effect::StartCompute`] keys index into it.
+    works: Vec<Work>,
+    // Readiness bookkeeping, indexed by node id. Every entry is touched
+    // only by the owner of the relevant (parent) node, so per-core
+    // full-length vectors partition the original global state exactly.
+    pieces_expected: Vec<Option<usize>>,
+    pieces_got: Vec<usize>,
+    child_complete: Vec<bool>,
+    done_children: Vec<usize>,
+    /// CB pieces stacked for each *parent* node: (holder processor,
+    /// entries, producing child), recorded at the parent's owner,
+    /// released at activation.
+    cb_pieces: Vec<Vec<(usize, u64, usize)>>,
+    started_children: Vec<usize>,
+    activated: Vec<bool>,
+    nodes_done: usize,
+    /// Count of capacity-degradation events (serialize-on-master
+    /// fallbacks plus force-activated deferred tasks).
+    forced: u64,
+    /// First fatal condition seen by a handler (drivers poll it after
+    /// every input).
+    violation: Option<Violation>,
+    /// Decision-side metrics (staleness, pool depth, stalls, activations,
+    /// deferrals, slave tasks, degradation counters). Traffic and busy
+    /// time are runtime concerns the driver accounts; the two registries
+    /// merge at the end of a run.
+    metrics: RunMetrics,
+}
+
+impl<'a> SchedulerCore<'a> {
+    /// A fresh core for processor `id`. `initial_load` is the machine-wide
+    /// static workload vector from [`initial_loads`].
+    pub fn new(
+        id: usize,
+        tree: &'a AssemblyTree,
+        map: &'a StaticMapping,
+        cfg: &'a SolverConfig,
+        initial_load: &[u64],
+    ) -> Self {
+        let n = tree.len();
+        SchedulerCore {
+            id,
+            tree,
+            map,
+            cfg,
+            slave_sel: cfg.slave_selection.selector(),
+            task_sel: cfg.task_selection.selector(),
+            record: cfg.record_events,
+            now: 0,
+            out: Vec::new(),
+            mem: ProcMemory::new(cfg.record_traces),
+            disk_busy_until: 0,
+            views: Views::new(cfg.nprocs, initial_load),
+            pool: TaskPool::new(map.initial_pool[id].clone()),
+            busy: false,
+            slave_queue: VecDeque::new(),
+            current_subtree: None,
+            subtree_base: 0,
+            stalled_since: None,
+            soon: Default::default(),
+            works: Vec::new(),
+            pieces_expected: vec![None; n],
+            pieces_got: vec![0; n],
+            child_complete: vec![false; n],
+            done_children: vec![0; n],
+            cb_pieces: vec![Vec::new(); n],
+            started_children: vec![0; n],
+            activated: vec![false; n],
+            nodes_done: 0,
+            forced: 0,
+            violation: None,
+            metrics: RunMetrics::new(cfg.nprocs),
+        }
+    }
+
+    /// Handles one input at time `now` and drains the effects it caused,
+    /// in emission order. The drain borrows the core, so a driver
+    /// processes the effects before feeding the next input — exactly the
+    /// sequential semantics the protocol assumes.
+    pub fn handle(&mut self, now: Time, input: Input) -> std::vec::Drain<'_, Effect> {
+        debug_assert!(self.out.is_empty(), "effects of the previous input were not drained");
+        self.now = now;
+        match input {
+            Input::Tick => self.try_start(),
+            Input::Deliver { from, msg } => self.deliver(from, msg),
+            Input::TimerFired { key } => self.work_done(key as usize),
+            Input::Force { node } => self.force_activate(node),
+        }
+        self.out.drain(..)
+    }
+
+    // ---------- driver-facing accessors ----------
+
+    /// This core's processor id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Fronts this core completed as owner (plus the 2-D root it
+    /// mastered).
+    pub fn nodes_done(&self) -> usize {
+        self.nodes_done
+    }
+
+    /// Capacity-degradation events so far.
+    pub fn forced(&self) -> u64 {
+        self.forced
+    }
+
+    /// Takes the first fatal condition flagged by a handler, if any.
+    pub fn take_violation(&mut self) -> Option<Violation> {
+        self.violation.take()
+    }
+
+    /// The core's decision-side metrics registry (merge with the driver's
+    /// traffic-side registry at the end of a run).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The core's exact memory accounting.
+    pub fn memory(&self) -> &ProcMemory {
+        &self.mem
+    }
+
+    /// Out-of-core mode: virtual time until which this processor's disk
+    /// is busy writing factors (0 in-core).
+    pub fn disk_busy_until(&self) -> Time {
+        self.disk_busy_until
+    }
+
+    /// Stall-breaker support: the cheapest deferred ready task
+    /// `(activation cost, node)` on an idle processor, `None` when this
+    /// core is busy, has queued slave work, or has an empty pool. The
+    /// driver takes the global minimum across cores and feeds
+    /// [`Input::Force`] to the winner.
+    pub fn cheapest_deferred(&self) -> Option<(u64, usize)> {
+        if self.busy || !self.slave_queue.is_empty() {
+            return None;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for &v in self.pool.as_slice() {
+            let cand = (self.activation_cost(v), v);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Diagnostic snapshot of this processor for error reports.
+    pub fn proc_diag(&self) -> ProcDiag {
+        ProcDiag {
+            proc: self.id,
+            busy: self.busy,
+            active: self.mem.active(),
+            stack: self.mem.stack(),
+            factors: self.mem.factors(),
+            pool: self.pool.as_slice().to_vec(),
+            queued_slave_tasks: self.slave_queue.len(),
+            current_subtree: self.current_subtree,
+            underflows: self.mem.underflows(),
+        }
+    }
+
+    // ---------- internals ----------
+
+    /// Records the first fatal condition; the driver surfaces it after
+    /// the current input unwinds.
+    fn flag(&mut self, v: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(v);
+        }
+    }
+
+    /// Emits a recorder event when recording is enabled. The event is
+    /// built inside the closure, so the disabled path is a single branch
+    /// with no allocation — the zero-cost contract of the observability
+    /// layer.
+    #[inline]
+    fn emit_record(&mut self, build: impl FnOnce() -> SchedEvent) {
+        if self.record {
+            let ev = build();
+            self.out.push(Effect::Record(ev));
+        }
+    }
+
+    /// Refreshes this core's view entry of `about` and returns the age of
+    /// the belief it replaced (the Figure 5 staleness).
+    fn touch_view(&mut self, about: usize) -> Time {
+        self.views.touch(about, self.now)
+    }
+
+    // ---------- messaging ----------
+
+    fn send(&mut self, to: usize, msg: Msg, bytes: u64) {
+        if to == self.id {
+            // Local work is done inline: a self-addressed message never
+            // crosses the transport (and is not counted as traffic).
+            self.deliver(self.id, msg);
+            return;
+        }
+        self.out.push(Effect::Send { to, msg, bytes });
+    }
+
+    fn broadcast(&mut self, msg: Msg, bytes: u64) {
+        debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
+        self.out.push(Effect::Broadcast { msg, bytes });
+    }
+
+    // ---------- memory (every change refreshes the exact local
+    // self-view and broadcasts the increment, Section 4) ----------
+
+    fn mem_alloc_front(&mut self, node: usize, entries: u64) {
+        self.out.push(Effect::Alloc { node, area: MemArea::Front, entries });
+        self.mem.alloc_front(self.now, entries);
+        self.after_mem_change(entries as i64);
+    }
+
+    fn mem_free_front(&mut self, node: usize, entries: u64) {
+        self.out.push(Effect::Free { node, area: MemArea::Front, entries });
+        if !self.mem.free_front(self.now, entries) {
+            self.flag(Violation::Accounting { proc: self.id, area: "fronts" });
+        }
+        self.after_mem_change(-(entries as i64));
+    }
+
+    fn mem_push_cb(&mut self, node: usize, entries: u64) {
+        self.out.push(Effect::Alloc { node, area: MemArea::Stack, entries });
+        self.mem.push_cb(self.now, entries);
+        self.after_mem_change(entries as i64);
+    }
+
+    fn mem_pop_cb(&mut self, node: usize, entries: u64) {
+        self.out.push(Effect::Free { node, area: MemArea::Stack, entries });
+        if !self.mem.pop_cb(self.now, entries) {
+            self.flag(Violation::Accounting { proc: self.id, area: "stack" });
+        }
+        self.after_mem_change(-(entries as i64));
+    }
+
+    /// Stores factor entries: in core they join the factors area; out of
+    /// core they stream to the processor's disk (overlapped with compute,
+    /// tracked only as potential makespan).
+    fn store_factors(&mut self, entries: u64) {
+        match self.cfg.out_of_core {
+            None => self.mem.store_factors(self.now, entries),
+            Some(bw) => {
+                let dur = (entries * 8 / bw.max(1)).max(1);
+                let start = self.disk_busy_until.max(self.now);
+                self.disk_busy_until = start + dur;
+            }
+        }
+    }
+
+    fn after_mem_change(&mut self, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let active = self.mem.active();
+        self.views.mem[self.id] = active;
+        // The self-view is exact: keep its freshness stamp current so
+        // decision-time staleness reads 0 for the deciding processor.
+        self.views.touch(self.id, self.now);
+        self.broadcast(Msg::MemDelta { delta }, 16);
+    }
+
+    fn load_change(&mut self, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.views.apply_load_delta(self.id, delta);
+        self.broadcast(Msg::LoadDelta { delta }, 16);
+    }
+
+    // ---------- scheduling ----------
+
+    /// Closes a stalled interval (idle with everything deferred) when the
+    /// processor gets going again.
+    fn close_stall(&mut self) {
+        if let Some(since) = self.stalled_since.take() {
+            self.metrics.procs[self.id].stalled_ticks += self.now.saturating_sub(since);
+        }
+    }
+
+    fn try_start(&mut self) {
+        if self.busy {
+            return;
+        }
+        // Received slave tasks have priority (they are already consuming
+        // memory; finishing them frees it).
+        if let Some(key) = self.slave_queue.pop_front() {
+            let (flops, node, role) = match self.works.get(key) {
+                Some(Work::Slave { flops, node, .. }) => (*flops, *node, TaskRole::Slave),
+                Some(Work::RootShare { flops, node, .. }) => (*flops, *node, TaskRole::Root),
+                other => {
+                    let p = self.id;
+                    self.flag(Violation::Protocol {
+                        detail: format!(
+                            "queued work {key} on proc {p} must be slave-like, got {other:?}"
+                        ),
+                    });
+                    return;
+                }
+            };
+            self.close_stall();
+            self.busy = true;
+            let p = self.id;
+            self.emit_record(|| SchedEvent::ComputeStart { proc: p, node, role });
+            self.out.push(Effect::StartCompute { key: key as u64, node, role, flops });
+            return;
+        }
+        let tree = self.tree;
+        let map = self.map;
+        let nprocs = self.cfg.nprocs;
+        let pieces = &self.cb_pieces;
+        let cost = |v: usize| match map.kind[v] {
+            NodeKind::Type2 => tree.master_entries(v),
+            NodeKind::Type3 => tree.front_entries(v) / nprocs as u64,
+            _ => tree.front_entries(v),
+        };
+        // Hard capacity: an out-of-subtree activation is deferred unless
+        // its net memory need (activation cost minus the locally stacked
+        // CBs it releases) fits under the cap. Subtree tasks are always
+        // admissible — the static mapping sized them in, and depth-first
+        // progress inside a subtree is what frees its memory.
+        let cap = self.cfg.capacity;
+        let active = self.mem.active();
+        let id = self.id;
+        let admissible = |v: usize| match cap {
+            None => true,
+            Some(c) => {
+                map.subtree_of[v].is_some() || {
+                    let local_release: u64 =
+                        pieces[v].iter().filter(|&&(h, _, _)| h == id).map(|&(_, e, _)| e).sum();
+                    active + cost(v).saturating_sub(local_release) <= c
+                }
+            }
+        };
+        let in_subtree = |v: usize| map.subtree_of[v].is_some();
+        let released = |v: usize| pieces[v].iter().map(|&(_, e, _)| e).sum::<u64>();
+        let ctx = TaskCtx {
+            in_subtree: &in_subtree,
+            cost: &cost,
+            released: &released,
+            admissible: &admissible,
+            capped: cap.is_some(),
+            current_memory: self.effective_memory(),
+            observed_peak: self.mem.active_peak(),
+        };
+        let depth = self.pool.len();
+        let picked = self.task_sel.pick(&mut self.pool, &ctx);
+        if depth > 0 {
+            // A real decision was taken over a non-empty pool: observe it.
+            self.metrics.pool_depth.observe(depth as u64);
+            self.emit_record(|| SchedEvent::PoolDecision { proc: id, depth, picked });
+            if picked.is_none() {
+                // The Algorithm-2 / capacity verdict deferred everything:
+                // the processor is stalled until memory frees.
+                self.metrics.procs[id].deferrals += 1;
+                let now = self.now;
+                self.stalled_since.get_or_insert(now);
+            }
+        }
+        if let Some(v) = picked {
+            self.activate_node(v);
+        }
+    }
+
+    /// Memory an activation of `v` allocates on its owner (the cost used
+    /// by Algorithm 2, the capacity check, and the prediction mechanism).
+    fn activation_cost(&self, v: usize) -> u64 {
+        match self.map.kind[v] {
+            NodeKind::Type2 => self.tree.master_entries(v),
+            NodeKind::Type3 => self.tree.front_entries(v) / self.cfg.nprocs as u64,
+            _ => self.tree.front_entries(v),
+        }
+    }
+
+    /// [`Input::Force`]: activate a deferred ready task past the capacity
+    /// verdict (last-resort degradation, picked by the driver from
+    /// [`SchedulerCore::cheapest_deferred`]).
+    fn force_activate(&mut self, v: usize) {
+        let cost = self.activation_cost(v);
+        self.pool.remove_task(v);
+        self.forced += 1;
+        self.metrics.forced_activations += 1;
+        let p = self.id;
+        self.emit_record(|| SchedEvent::Forced { proc: p, node: v, cost });
+        self.activate_node(v);
+    }
+
+    /// Algorithm 2's "current memory (including peak of subtree)": while a
+    /// subtree is in progress its projected peak counts.
+    fn effective_memory(&self) -> u64 {
+        let active = self.mem.active();
+        match self.current_subtree {
+            Some(s) => active.max(self.subtree_base + self.map.subtree_peak[s]),
+            None => active,
+        }
+    }
+
+    fn activate_node(&mut self, v: usize) {
+        debug_assert_eq!(self.map.owner[v], self.id);
+        debug_assert!(!self.activated[v], "node {v} activated twice");
+        self.activated[v] = true;
+        self.close_stall();
+        self.busy = true;
+        self.metrics.procs[self.id].activations += 1;
+        let class = match self.map.kind[v] {
+            NodeKind::Subtree(_) => FrontClass::Subtree,
+            NodeKind::Type1 => FrontClass::Type1,
+            NodeKind::Type2 => FrontClass::Type2,
+            NodeKind::Type3 => FrontClass::Type3,
+        };
+        let p = self.id;
+        self.emit_record(|| SchedEvent::Activate { proc: p, node: v, class });
+
+        if self.cfg.use_prediction {
+            // This task is no longer "upcoming": refresh the broadcast.
+            if self.soon.remove(&v).is_some() {
+                self.rebroadcast_prediction();
+            }
+            // Tell the parent's master we started (its readiness predictor).
+            if let Some(par) = self.tree.nodes[v].parent {
+                let owner = self.map.owner[par];
+                self.send(owner, Msg::ChildStarted { node: par }, 16);
+            }
+        }
+
+        // Entering a subtree broadcasts its peak (Section 5.1).
+        if let Some(s) = self.map.subtree_of[v] {
+            if self.current_subtree != Some(s) {
+                self.current_subtree = Some(s);
+                self.subtree_base = self.mem.active();
+                if self.cfg.use_subtree_info {
+                    // Broadcast the absolute level this stack is heading
+                    // to (base + subtree peak), Section 5.1.
+                    let peak = self.subtree_base + self.map.subtree_peak[s];
+                    self.views.subtree[self.id] = peak;
+                    self.broadcast(Msg::SubtreePeak { peak }, 16);
+                }
+            }
+        }
+
+        match self.map.kind[v] {
+            NodeKind::Subtree(_) | NodeKind::Type1 => self.start_full_front(v),
+            NodeKind::Type2 => self.start_type2(v),
+            NodeKind::Type3 => self.start_type3(v),
+        }
+    }
+
+    fn start_full_front(&mut self, v: usize) {
+        self.mem_alloc_front(v, self.tree.front_entries(v));
+        self.consume_stacked(v);
+        let flops = self.tree.flops(v);
+        self.schedule_work(Work::Elim { node: v, flops });
+    }
+
+    /// One slave-selection decision for the type-2 node `v` restricted to
+    /// `candidates` (the capacity filter shrinks the set and re-selects).
+    /// Also returns the per-processor metric vector the decision was made
+    /// from — the flight recorder captures exactly what the master
+    /// *believed*, not what was true.
+    fn select_slaves(&self, v: usize, candidates: &[usize]) -> (Vec<SlaveAssignment>, Vec<u64>) {
+        let nd = &self.tree.nodes[v];
+        let ctx = SlaveCtx {
+            views: &self.views,
+            master: self.id,
+            nprocs: self.cfg.nprocs,
+            use_subtree_info: self.cfg.use_subtree_info,
+            use_prediction: self.cfg.use_prediction,
+            candidates,
+            nfront: nd.nfront,
+            npiv: nd.npiv,
+            sym: self.tree.sym,
+            min_rows_per_slave: self.cfg.min_rows_per_slave,
+        };
+        self.slave_sel.select(&ctx)
+    }
+
+    fn start_type2(&mut self, v: usize) {
+        let nd = &self.tree.nodes[v];
+        let (nfront, npiv) = (nd.nfront, nd.npiv);
+        let mut candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != self.id).collect();
+        let mut rounds = 0u32;
+        let mut serialized = false;
+        let (assignment, metric) = loop {
+            let picked = self.select_slaves(v, &candidates);
+            let Some(cap) = self.cfg.capacity else { break picked };
+            let (assignment, metric) = picked;
+            if assignment.is_empty() {
+                break (assignment, metric);
+            }
+            // Hard capacity: drop every candidate whose projected memory
+            // (the master's view plus the block it would receive) would
+            // breach the cap, and re-select over the survivors — fewer,
+            // larger shares on the processors that still have room.
+            let violators: Vec<usize> = assignment
+                .iter()
+                .filter(|a| {
+                    let entries = crate::blocking::slave_block_entries(
+                        self.tree.sym,
+                        nfront,
+                        npiv,
+                        a.offset,
+                        a.nrows,
+                    );
+                    self.views.mem[a.proc] + entries > cap
+                })
+                .map(|a| a.proc)
+                .collect();
+            if violators.is_empty() {
+                break (assignment, metric);
+            }
+            rounds += 1;
+            self.metrics.reselect_rounds += 1;
+            if self.record {
+                let dropped = violators.clone();
+                let master = self.id;
+                self.emit_record(|| SchedEvent::Reselect { master, node: v, dropped });
+            }
+            candidates.retain(|q| !violators.contains(q));
+            if candidates.is_empty() {
+                // Last resort: serialize the whole front on the master.
+                self.forced += 1;
+                self.metrics.serialized_fronts += 1;
+                serialized = true;
+                break (Vec::new(), metric);
+            }
+        };
+
+        // Observe decision-time view staleness (always-on) and record the
+        // full decision — the believed metric vector, per-processor view
+        // ages, the chosen blocks, and how the capacity loop resolved.
+        let now = self.now;
+        for a in &assignment {
+            let age = self.views.age(a.proc, now);
+            self.metrics.view_staleness.observe(age);
+        }
+        if self.record {
+            let view_age: Vec<Time> =
+                (0..self.cfg.nprocs).map(|q| self.views.age(q, now)).collect();
+            let picked: Vec<SlavePick> = assignment
+                .iter()
+                .map(|a| SlavePick {
+                    proc: a.proc,
+                    entries: crate::blocking::slave_block_entries(
+                        self.tree.sym,
+                        nfront,
+                        npiv,
+                        a.offset,
+                        a.nrows,
+                    ),
+                })
+                .collect();
+            let serialized = serialized || assignment.is_empty();
+            let master = self.id;
+            self.emit_record(|| SchedEvent::SlaveSelection {
+                master,
+                node: v,
+                metric,
+                view_age,
+                picked,
+                rounds,
+                serialized,
+            });
+        }
+
+        if assignment.is_empty() {
+            // No usable slave: the master handles the whole front.
+            self.start_full_front(v);
+            return;
+        }
+
+        self.mem_alloc_front(v, self.tree.master_entries(v));
+        self.consume_stacked(v);
+
+        let total_flops = self.tree.flops(v);
+        let front_entries = self.tree.front_entries(v);
+        let master_entries = self.tree.master_entries(v);
+        let master_flops = total_flops * master_entries / front_entries.max(1);
+        let mut delegated = 0u64;
+        let pieces = assignment.len();
+        for a in &assignment {
+            let entries = crate::blocking::slave_block_entries(
+                self.tree.sym,
+                nfront,
+                npiv,
+                a.offset,
+                a.nrows,
+            );
+            let cb_share = cb_share_of_block(self.tree.sym, nfront, npiv, a.offset, a.nrows);
+            let factor_share = entries - cb_share;
+            let flops_share = total_flops * entries / front_entries.max(1);
+            delegated += flops_share;
+            self.send(
+                a.proc,
+                Msg::SlaveTask { node: v, entries, cb_share, factor_share, flops_share },
+                entries * 8,
+            );
+            // Announce the choice so other masters account for it before
+            // the slave's own memory reports catch up (Section 4).
+            self.views.apply_mem_delta(a.proc, entries as i64);
+            self.views.touch(a.proc, now);
+            self.broadcast(Msg::Assigned { proc: a.proc, entries }, 16);
+        }
+        // Work handed to the slaves leaves the master's workload.
+        self.load_change(-(delegated as i64));
+        self.schedule_work(Work::MasterPart { node: v, pieces, flops: master_flops });
+    }
+
+    fn start_type3(&mut self, v: usize) {
+        self.consume_stacked(v);
+        let share_entries = (self.tree.front_entries(v) / self.cfg.nprocs as u64).max(1);
+        let share_flops = self.tree.flops(v) / self.cfg.nprocs as u64;
+        for q in 0..self.cfg.nprocs {
+            if q != self.id {
+                self.send(
+                    q,
+                    Msg::Type3Share { node: v, entries: share_entries, flops_share: share_flops },
+                    share_entries * 8,
+                );
+            }
+        }
+        // Work scattered to the other processors leaves this workload.
+        let total_flops = self.tree.flops(v);
+        self.load_change(-((total_flops - share_flops) as i64));
+        self.mem_alloc_front(v, share_entries);
+        self.schedule_work(Work::RootShare {
+            node: v,
+            entries: share_entries,
+            flops: share_flops,
+            is_master: true,
+        });
+    }
+
+    fn schedule_work(&mut self, work: Work) {
+        let (flops, node, role) = match &work {
+            Work::Elim { flops, node } => (*flops, *node, TaskRole::Elim),
+            Work::MasterPart { flops, node, .. } => (*flops, *node, TaskRole::Master),
+            Work::Slave { flops, node, .. } => (*flops, *node, TaskRole::Slave),
+            Work::RootShare { flops, node, .. } => (*flops, *node, TaskRole::Root),
+        };
+        let p = self.id;
+        self.emit_record(|| SchedEvent::ComputeStart { proc: p, node, role });
+        let key = self.works.len() as u64;
+        self.works.push(work);
+        self.out.push(Effect::StartCompute { key, node, role, flops });
+    }
+
+    /// Releases the contribution blocks stacked for node `v` (the
+    /// assembly): local pieces pop immediately; remote holders are told to
+    /// ship-and-free theirs (one control-message latency away, like the
+    /// real redistribution).
+    fn consume_stacked(&mut self, v: usize) {
+        let pieces = std::mem::take(&mut self.cb_pieces[v]);
+        for (holder, entries, child) in pieces {
+            if holder == self.id {
+                self.mem_pop_cb(child, entries);
+            } else {
+                self.send(holder, Msg::FetchCb { child, entries }, 16);
+            }
+        }
+    }
+
+    // ---------- completions ----------
+
+    fn work_done(&mut self, key: usize) {
+        let Some(work) = self.works.get(key).cloned() else {
+            self.flag(Violation::Protocol {
+                detail: format!("timer fired for unknown work key {key}"),
+            });
+            return;
+        };
+        let p = self.id;
+        match work {
+            Work::Elim { node, flops } => {
+                self.emit_record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Elim });
+                self.store_factors(self.tree.factor_entries(node));
+                self.mem_free_front(node, self.tree.front_entries(node));
+                let cb = self.tree.cb_entries(node);
+                let pieces = if cb > 0 && self.tree.nodes[node].parent.is_some() { 1 } else { 0 };
+                if pieces == 1 {
+                    self.produce_cb_piece(node, cb);
+                }
+                self.finish_node(node, pieces, flops);
+            }
+            Work::MasterPart { node, pieces, flops } => {
+                self.emit_record(|| SchedEvent::ComputeEnd {
+                    proc: p,
+                    node,
+                    role: TaskRole::Master,
+                });
+                self.store_factors(self.tree.master_entries(node));
+                self.mem_free_front(node, self.tree.master_entries(node));
+                self.finish_node(node, pieces, flops);
+            }
+            Work::Slave { node, entries, cb_share, factor_share, flops } => {
+                self.emit_record(|| SchedEvent::ComputeEnd {
+                    proc: p,
+                    node,
+                    role: TaskRole::Slave,
+                });
+                self.store_factors(factor_share);
+                self.mem_free_front(node, entries);
+                if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
+                    self.produce_cb_piece(node, cb_share);
+                }
+                self.load_change(-(flops as i64));
+                self.busy = false;
+                self.try_start();
+            }
+            Work::RootShare { node, entries, flops, is_master } => {
+                self.emit_record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Root });
+                self.store_factors(entries);
+                self.mem_free_front(node, entries);
+                self.load_change(-(flops as i64));
+                if is_master {
+                    // The 2-D root has no parent: completing the master
+                    // share completes the node.
+                    debug_assert!(self.tree.nodes[node].parent.is_none());
+                    self.nodes_done += 1;
+                }
+                self.busy = false;
+                self.try_start();
+            }
+        }
+    }
+
+    /// Common tail of a node's (master) elimination: announce completion,
+    /// leave any finished subtree, account the work, count the node.
+    fn finish_node(&mut self, node: usize, pieces: usize, flops: u64) {
+        if let Some(par) = self.tree.nodes[node].parent {
+            let owner = self.map.owner[par];
+            self.send(owner, Msg::Complete { child: node, pieces }, 16);
+        }
+        self.load_change(-(flops as i64));
+        if let Some(s) = self.current_subtree {
+            if self.map.subtree_roots[s] == node {
+                self.current_subtree = None;
+                if self.cfg.use_subtree_info {
+                    self.views.subtree[self.id] = 0;
+                    self.broadcast(Msg::SubtreePeak { peak: 0 }, 16);
+                }
+            }
+        }
+        self.nodes_done += 1;
+        self.busy = false;
+        self.try_start();
+    }
+
+    /// A CB piece of `child` was produced here: it stays on this stack
+    /// until the parent activates; the parent's master is informed.
+    fn produce_cb_piece(&mut self, child: usize, entries: u64) {
+        self.mem_push_cb(child, entries);
+        let Some(parent) = self.tree.nodes[child].parent else {
+            self.flag(Violation::Protocol {
+                detail: format!("CB piece produced for parentless node {child}"),
+            });
+            return;
+        };
+        let dest = self.map.owner[parent];
+        self.send(dest, Msg::PieceDone { child, holder: self.id, entries }, 16);
+    }
+
+    // ---------- message handling ----------
+
+    fn deliver(&mut self, from: usize, msg: Msg) {
+        let to = self.id;
+        match msg {
+            Msg::PieceDone { child, holder, entries } => {
+                let Some(parent) = self.tree.nodes[child].parent else {
+                    self.flag(Violation::Protocol {
+                        detail: format!("PieceDone for parentless node {child}"),
+                    });
+                    return;
+                };
+                // If the parent already activated, release immediately.
+                if self.activated[parent] {
+                    if holder == to {
+                        self.mem_pop_cb(child, entries);
+                        // Freed memory may admit a deferred task.
+                        if self.cfg.capacity.is_some() {
+                            self.try_start();
+                        }
+                    } else {
+                        self.send(holder, Msg::FetchCb { child, entries }, 16);
+                    }
+                } else {
+                    self.cb_pieces[parent].push((holder, entries, child));
+                }
+                self.pieces_got[child] += 1;
+                self.check_child_done(child);
+            }
+            Msg::FetchCb { child, entries } => {
+                self.mem_pop_cb(child, entries);
+                // Freed memory may admit a deferred task (only meaningful
+                // under a hard capacity; without one, nothing was ever
+                // deferred and this keeps the happy path untouched).
+                if self.cfg.capacity.is_some() {
+                    self.try_start();
+                }
+            }
+            Msg::Complete { child, pieces } => {
+                self.pieces_expected[child] = Some(pieces);
+                self.child_complete[child] = true;
+                self.check_child_done(child);
+            }
+            Msg::SlaveTask { node, entries, cb_share, factor_share, flops_share } => {
+                // "Slave tasks are activated as soon as they are received":
+                // the memory is allocated now, the CPU when free. No
+                // increment is broadcast — the master's Assigned message
+                // already announced this allocation to everyone.
+                self.out.push(Effect::Alloc { node, area: MemArea::Front, entries });
+                self.mem.alloc_front(self.now, entries);
+                let active = self.mem.active();
+                self.views.mem[to] = active;
+                self.views.touch(to, self.now);
+                self.metrics.procs[to].slave_tasks += 1;
+                self.load_change(flops_share as i64);
+                let key = self.works.len();
+                self.works.push(Work::Slave {
+                    node,
+                    entries,
+                    cb_share,
+                    factor_share,
+                    flops: flops_share,
+                });
+                self.slave_queue.push_back(key);
+                self.try_start();
+            }
+            Msg::Type3Share { node, entries, flops_share } => {
+                self.mem_alloc_front(node, entries);
+                self.load_change(flops_share as i64);
+                let key = self.works.len();
+                self.works.push(Work::RootShare {
+                    node,
+                    entries,
+                    flops: flops_share,
+                    is_master: false,
+                });
+                self.slave_queue.push_back(key);
+                self.try_start();
+            }
+            Msg::MemDelta { delta } => {
+                let age = self.touch_view(from);
+                self.views.apply_mem_delta(from, delta);
+                self.emit_record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::MemDelta,
+                    age,
+                });
+            }
+            Msg::Assigned { proc, entries } => {
+                // Skip the slave itself: its self-view is exact.
+                if proc != to {
+                    let age = self.touch_view(proc);
+                    self.views.apply_mem_delta(proc, entries as i64);
+                    self.emit_record(|| SchedEvent::StatusApply {
+                        to,
+                        from,
+                        about: proc,
+                        kind: StatusKind::Assigned,
+                        age,
+                    });
+                }
+            }
+            Msg::LoadDelta { delta } => {
+                let age = self.touch_view(from);
+                self.views.apply_load_delta(from, delta);
+                self.emit_record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::LoadDelta,
+                    age,
+                });
+            }
+            Msg::SubtreePeak { peak } => {
+                let age = self.touch_view(from);
+                self.views.subtree[from] = peak;
+                self.emit_record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::SubtreePeak,
+                    age,
+                });
+            }
+            Msg::Predicted { cost } => {
+                let age = self.touch_view(from);
+                self.views.predicted[from] = cost;
+                self.emit_record(|| SchedEvent::StatusApply {
+                    to,
+                    from,
+                    about: from,
+                    kind: StatusKind::Predicted,
+                    age,
+                });
+            }
+            Msg::ChildStarted { node } => {
+                self.started_children[node] += 1;
+                if self.started_children[node] == self.tree.nodes[node].children.len()
+                    && self.map.owner[node] == to
+                    && self.map.subtree_of[node].is_none()
+                    && !self.activated[node]
+                {
+                    let cost = self.activation_cost(node);
+                    self.soon.insert(node, cost);
+                    self.rebroadcast_prediction();
+                }
+            }
+        }
+    }
+
+    fn check_child_done(&mut self, child: usize) {
+        if !self.child_complete[child]
+            || Some(self.pieces_got[child]) != self.pieces_expected[child]
+        {
+            return;
+        }
+        self.child_complete[child] = false; // fire once
+        let Some(parent) = self.tree.nodes[child].parent else {
+            self.flag(Violation::Protocol {
+                detail: format!("completion tracked for parentless node {child}"),
+            });
+            return;
+        };
+        self.done_children[parent] += 1;
+        if self.done_children[parent] == self.tree.nodes[parent].children.len() {
+            self.node_ready(parent);
+        }
+    }
+
+    fn node_ready(&mut self, v: usize) {
+        debug_assert_eq!(self.map.owner[v], self.id);
+        self.pool.push(v);
+        // Upper tasks enter the workload when they become ready; subtree
+        // work was counted in the initial loads (Section 3).
+        if self.map.subtree_of[v].is_none() {
+            self.load_change(self.tree.flops(v) as i64);
+        }
+        self.try_start();
+    }
+
+    fn rebroadcast_prediction(&mut self) {
+        let max = self.soon.values().copied().max().unwrap_or(0);
+        if self.views.predicted[self.id] != max {
+            self.views.predicted[self.id] = max;
+            self.broadcast(Msg::Predicted { cost: max }, 16);
+        }
+    }
+}
+
+/// CB entries inside a slave block: the columns right of the pivot block,
+/// restricted to the block's rows (full width for LU, ragged for LDLᵀ).
+fn cb_share_of_block(
+    sym: mf_sparse::Symmetry,
+    nfront: usize,
+    npiv: usize,
+    offset: usize,
+    nrows: usize,
+) -> u64 {
+    match sym {
+        mf_sparse::Symmetry::General => (nrows as u64) * (nfront - npiv) as u64,
+        mf_sparse::Symmetry::Symmetric => {
+            // Row at offset o holds o+1 CB entries (its tail past the
+            // pivot columns).
+            let a = offset as u64;
+            let b = a + nrows as u64;
+            (b * (b + 1) / 2) - (a * (a + 1) / 2)
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //!   preserved whenever possible (Figure 4).
 
 use crate::blocking::{blocks_from_entry_budgets, equal_entry_blocks, slave_surface};
+use crate::views::Views;
 use mf_sparse::Symmetry;
 
 /// A slave assignment: processor plus its contiguous row block
@@ -169,6 +170,117 @@ pub fn select_hybrid(
     select_memory(&narrowed)
 }
 
+/// Everything a slave-selection strategy may consult: the master's (stale)
+/// [`Views`] of the machine plus the geometry of the front being split.
+/// Strategies derive their own metric vectors from the views, so the
+/// protocol state machine never pattern-matches on a strategy name.
+#[derive(Debug)]
+pub struct SlaveCtx<'a> {
+    /// The master's stale views of every processor.
+    pub views: &'a Views,
+    /// The deciding (master) processor.
+    pub master: usize,
+    /// Processors in the machine.
+    pub nprocs: usize,
+    /// Whether subtree-peak announcements enrich the memory metric.
+    pub use_subtree_info: bool,
+    /// Whether ready-master predictions enrich the memory metric.
+    pub use_prediction: bool,
+    /// Candidate processors (the capacity re-selection loop shrinks this).
+    pub candidates: &'a [usize],
+    /// Front order.
+    pub nfront: usize,
+    /// Pivot count.
+    pub npiv: usize,
+    /// Symmetry (selects the Figure 3 blocking shape).
+    pub sym: Symmetry,
+    /// Granularity: minimum rows per slave.
+    pub min_rows_per_slave: usize,
+}
+
+/// A pluggable slave-selection strategy for type-2 fronts.
+///
+/// Implementations are stateless: one decision maps the context to an
+/// assignment plus the per-processor metric vector the decision was made
+/// from (the flight recorder captures what the master *believed*, not
+/// what was true). Register new strategies by adding a static instance
+/// and a [`crate::config::SlaveSelection`] factory name.
+pub trait SlaveSelector: Send + Sync {
+    /// Stable CLI/registry name of the strategy.
+    fn name(&self) -> &'static str;
+
+    /// One selection decision over `ctx.candidates`.
+    fn select(&self, ctx: &SlaveCtx<'_>) -> (Vec<SlaveAssignment>, Vec<u64>);
+}
+
+fn input_of<'a>(
+    ctx: &'a SlaveCtx<'_>,
+    metric: &'a [u64],
+    fill: Option<&'a [u64]>,
+) -> SelectionInput<'a> {
+    SelectionInput {
+        candidates: ctx.candidates,
+        metric,
+        fill_metric: fill,
+        master_metric: metric[ctx.master],
+        nfront: ctx.nfront,
+        npiv: ctx.npiv,
+        sym: ctx.sym,
+        min_rows_per_slave: ctx.min_rows_per_slave,
+    }
+}
+
+/// Workload baseline (Section 3) as a [`SlaveSelector`].
+pub struct WorkloadSelector;
+
+impl SlaveSelector for WorkloadSelector {
+    fn name(&self) -> &'static str {
+        "workload"
+    }
+
+    fn select(&self, ctx: &SlaveCtx<'_>) -> (Vec<SlaveAssignment>, Vec<u64>) {
+        let metric: Vec<u64> = (0..ctx.nprocs).map(|q| ctx.views.load[q]).collect();
+        let assignment = select_workload(&input_of(ctx, &metric, None));
+        (assignment, metric)
+    }
+}
+
+/// Algorithm 1 memory waterfill (Section 4) as a [`SlaveSelector`].
+pub struct MemorySelector;
+
+impl SlaveSelector for MemorySelector {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn select(&self, ctx: &SlaveCtx<'_>) -> (Vec<SlaveAssignment>, Vec<u64>) {
+        let metric: Vec<u64> = (0..ctx.nprocs)
+            .map(|q| ctx.views.memory_metric(q, ctx.use_subtree_info, ctx.use_prediction))
+            .collect();
+        let assignment = select_memory(&input_of(ctx, &metric, Some(&ctx.views.mem)));
+        (assignment, metric)
+    }
+}
+
+/// Conclusion-sketch hybrid (workload filter, memory waterfill) as a
+/// [`SlaveSelector`].
+pub struct HybridSelector;
+
+impl SlaveSelector for HybridSelector {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn select(&self, ctx: &SlaveCtx<'_>) -> (Vec<SlaveAssignment>, Vec<u64>) {
+        let metric: Vec<u64> = (0..ctx.nprocs)
+            .map(|q| ctx.views.memory_metric(q, ctx.use_subtree_info, ctx.use_prediction))
+            .collect();
+        let input = input_of(ctx, &metric, Some(&ctx.views.mem));
+        let assignment = select_hybrid(&input, &ctx.views.load, ctx.views.load[ctx.master]);
+        (assignment, metric)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,10 +385,7 @@ mod tests {
         let metric = vec![0; 10];
         let cands: Vec<usize> = (1..10).collect();
         // 20 slave rows, min 8 rows/slave -> at most 2 slaves.
-        let inp = SelectionInput {
-            min_rows_per_slave: 8,
-            ..input(&cands, &metric, 0, 30, 10)
-        };
+        let inp = SelectionInput { min_rows_per_slave: 8, ..input(&cands, &metric, 0, 30, 10) };
         assert!(select_memory(&inp).len() <= 2);
         assert!(select_workload(&inp).len() <= 2);
     }

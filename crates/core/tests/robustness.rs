@@ -23,10 +23,7 @@ fn tree_for(nx: usize) -> AssemblyTree {
 }
 
 fn strategy_cfg(which: usize, nprocs: usize) -> SolverConfig {
-    let base = SolverConfig {
-        type2_front_min: 24,
-        ..SolverConfig::mumps_baseline(nprocs)
-    };
+    let base = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(nprocs) };
     match which {
         0 => base,
         1 => SolverConfig {

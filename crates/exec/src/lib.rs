@@ -1,0 +1,687 @@
+//! Threaded execution backend: the same sans-io [`SchedulerCore`]s the
+//! simulator drives, running on real OS threads with channels.
+//!
+//! One worker thread per processor owns its core and a *physical* memory
+//! ledger it maintains from the core's `Alloc`/`Free` effects — an
+//! independent re-derivation of the memory accounting that is checked
+//! against the core's own `active_peak` at the end of the run. A
+//! coordinator thread owns the virtual clock and a conservative
+//! timestamp-ordered event queue; it dispatches exactly one command at a
+//! time and performs the transport-side effects, so the execution is a
+//! sequentially consistent interleaving with the *same* timestamps the
+//! discrete-event backend produces. Under the quiet model (no jitter, no
+//! fault perturbations) the per-processor peaks, makespan, and message
+//! counts are identical to [`mf_core::parsim::run`] — the backend
+//! equivalence the `backend_equiv` binary asserts over the paper's full
+//! matrix set.
+//!
+//! Noise models are runtime features of the simulator, not of the
+//! protocol; this backend rejects them ([`ExecError::Unsupported`])
+//! rather than approximating.
+
+#![warn(missing_docs)]
+
+use mf_core::config::SolverConfig;
+use mf_core::error::{RunDiagnostics, SimError};
+use mf_core::mapping::StaticMapping;
+use mf_core::parsim::RunResult;
+use mf_core::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
+use mf_core::ProcDiag;
+use mf_sim::recorder::MemArea;
+use mf_sim::{MsgClass, NetworkModel, Recording, RunMetrics, SchedEvent, Time, Trace};
+use mf_symbolic::AssemblyTree;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc;
+
+/// Why a threaded run could not be performed or failed.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The configuration asks for a simulator-only feature (duration
+    /// jitter, fault perturbations).
+    Unsupported(String),
+    /// The run failed the same way a simulated run can fail.
+    Sim(SimError),
+    /// A worker's physical ledger disagreed with its core's accounting —
+    /// the cross-check this backend exists to perform.
+    Ledger {
+        /// Offending processor.
+        proc: usize,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Unsupported(what) => {
+                write!(f, "threaded backend does not support {what}")
+            }
+            ExecError::Sim(e) => write!(f, "{e}"),
+            ExecError::Ledger { proc, detail } => {
+                write!(f, "physical ledger mismatch on proc {proc}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A queued delivery, ordered by `(at, seq)` — identical tie-breaking to
+/// the discrete-event simulator (FIFO among simultaneous events).
+struct QEntry {
+    at: Time,
+    seq: u64,
+    item: Item,
+}
+
+enum Item {
+    Msg { from: usize, to: usize, msg: Msg },
+    Timer { proc: usize, key: u64 },
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Commands the coordinator sends to a worker.
+enum Cmd {
+    /// Feed one input into the core at virtual time `now`.
+    Input { now: Time, input: Input },
+    /// Report the cheapest deferred ready task (stall-breaker support).
+    CheapestDeferred,
+    /// Report the final per-processor state and exit.
+    Finish,
+}
+
+/// A worker's answer (the protocol is strictly one reply per command).
+enum Reply {
+    Effects { effects: Vec<Effect>, nodes_done: usize, violation: Option<Violation> },
+    Deferred(Option<(u64, usize)>),
+    Final(Box<WorkerFinal>),
+}
+
+/// Everything a worker knows at the end of the run.
+struct WorkerFinal {
+    diag: ProcDiag,
+    metrics: RunMetrics,
+    active_peak: u64,
+    total_peak: u64,
+    factors: u64,
+    active: u64,
+    underflows: u64,
+    disk_busy_until: Time,
+    nodes_done: usize,
+    forced: u64,
+    trace: Option<Trace>,
+    /// Outstanding entries in the physical ledger (0 in a correct run).
+    ledger_active: u64,
+    /// Peak of the physical ledger (must equal `active_peak`).
+    ledger_peak: u64,
+    /// First Free that exceeded its outstanding allocation, if any.
+    ledger_fault: Option<String>,
+}
+
+/// The per-worker physical memory ledger, re-derived purely from the
+/// core's `Alloc`/`Free` effects: outstanding entries per (node, area)
+/// plus the running total and peak. In a correct run it reproduces the
+/// core's accounting exactly — an end-to-end check that every allocation
+/// the protocol reports is matched and sized consistently.
+#[derive(Default)]
+struct Ledger {
+    outstanding: HashMap<(usize, u8), u64>,
+    active: u64,
+    peak: u64,
+    fault: Option<String>,
+}
+
+impl Ledger {
+    fn area_key(area: MemArea) -> u8 {
+        match area {
+            MemArea::Front => 0,
+            MemArea::Stack => 1,
+        }
+    }
+
+    fn alloc(&mut self, node: usize, area: MemArea, entries: u64) {
+        *self.outstanding.entry((node, Self::area_key(area))).or_insert(0) += entries;
+        self.active += entries;
+        self.peak = self.peak.max(self.active);
+    }
+
+    fn free(&mut self, node: usize, area: MemArea, entries: u64) {
+        let slot = self.outstanding.entry((node, Self::area_key(area))).or_insert(0);
+        if *slot < entries || self.active < entries {
+            if self.fault.is_none() {
+                self.fault = Some(format!(
+                    "free of {entries} entries for node {node} ({area:?}) exceeds the {} outstanding",
+                    *slot
+                ));
+            }
+            return;
+        }
+        *slot -= entries;
+        self.active -= entries;
+    }
+}
+
+/// One worker thread: owns its scheduler core and physical ledger,
+/// executes commands until told to finish.
+fn worker(
+    p: usize,
+    tree: &AssemblyTree,
+    map: &StaticMapping,
+    cfg: &SolverConfig,
+    load0: &[u64],
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<(usize, Reply)>,
+) {
+    let mut core = SchedulerCore::new(p, tree, map, cfg, load0);
+    let mut ledger = Ledger::default();
+    for cmd in rx {
+        match cmd {
+            Cmd::Input { now, input } => {
+                let mut effects = Vec::new();
+                for e in core.handle(now, input) {
+                    match &e {
+                        Effect::Alloc { node, area, entries } => {
+                            ledger.alloc(*node, *area, *entries)
+                        }
+                        Effect::Free { node, area, entries } => ledger.free(*node, *area, *entries),
+                        _ => {}
+                    }
+                    effects.push(e);
+                }
+                let reply = Reply::Effects {
+                    effects,
+                    nodes_done: core.nodes_done(),
+                    violation: core.take_violation(),
+                };
+                if tx.send((p, reply)).is_err() {
+                    return;
+                }
+            }
+            Cmd::CheapestDeferred => {
+                if tx.send((p, Reply::Deferred(core.cheapest_deferred()))).is_err() {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let mem = core.memory();
+                let fin = WorkerFinal {
+                    diag: core.proc_diag(),
+                    metrics: core.metrics().clone(),
+                    active_peak: mem.active_peak(),
+                    total_peak: mem.total_peak(),
+                    factors: mem.factors(),
+                    active: mem.active(),
+                    underflows: mem.underflows(),
+                    disk_busy_until: core.disk_busy_until(),
+                    nodes_done: core.nodes_done(),
+                    forced: core.forced(),
+                    trace: mem.trace().cloned(),
+                    ledger_active: ledger.active,
+                    ledger_peak: ledger.peak,
+                    ledger_fault: ledger.fault.take(),
+                };
+                let _ = tx.send((p, Reply::Final(Box::new(fin))));
+                return;
+            }
+        }
+    }
+}
+
+/// The coordinator: virtual clock, conservative event queue, and the
+/// transport-side effect execution (network timing, traffic metrics,
+/// flight recorder).
+struct Coordinator {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<QEntry>>,
+    delivered: u64,
+    messages: u64,
+    net: NetworkModel,
+    nprocs: usize,
+    metrics: RunMetrics,
+    rec: Option<Recording>,
+    flops_per_tick: u64,
+    nodes_done: Vec<usize>,
+}
+
+impl Coordinator {
+    fn record(&mut self, build: impl FnOnce() -> SchedEvent) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record(self.now, build());
+        }
+    }
+
+    fn push(&mut self, at: Time, item: Item) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(QEntry { at, seq, item }));
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
+        debug_assert_ne!(from, to, "self-sends are handled inside the core");
+        self.messages += 1;
+        match msg.class() {
+            MsgClass::Control => {
+                self.metrics.control_msgs += 1;
+                self.metrics.control_bytes += bytes;
+            }
+            MsgClass::Status => {
+                self.metrics.status_msgs += 1;
+                self.metrics.status_bytes += bytes;
+            }
+        }
+        let at = self.now + self.net.transfer_time(bytes);
+        self.push(at, Item::Msg { from, to, msg });
+    }
+
+    fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
+        if self.rec.is_some() {
+            if let Some((kind, value)) = msg.status_kind() {
+                self.record(|| SchedEvent::StatusSend { from, kind, value });
+            }
+        }
+        debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
+        let n = self.nprocs.saturating_sub(1) as u64;
+        self.messages += n;
+        self.metrics.status_msgs += n;
+        self.metrics.status_bytes += n * bytes;
+        // Targets in ascending order with consecutive sequence numbers:
+        // exactly the delivery order of the simulator's broadcast entry.
+        let at = self.now + self.net.transfer_time(bytes);
+        for to in 0..self.nprocs {
+            if to != from {
+                self.push(at, Item::Msg { from, to, msg: msg.clone() });
+            }
+        }
+    }
+
+    /// Performs the transport-side effects a worker's reply carried.
+    fn apply_effects(&mut self, p: usize, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
+                Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
+                Effect::StartCompute { key, flops, .. } => {
+                    let duration = (flops / self.flops_per_tick.max(1)).max(1);
+                    self.metrics.procs[p].busy_ticks += duration;
+                    let at = self.now + duration;
+                    self.push(at, Item::Timer { proc: p, key });
+                }
+                Effect::Alloc { node, area, entries } => {
+                    self.record(|| SchedEvent::MemAlloc { proc: p, node, area, entries });
+                }
+                Effect::Free { node, area, entries } => {
+                    self.record(|| SchedEvent::MemFree { proc: p, node, area, entries });
+                }
+                Effect::Record(ev) => {
+                    if let Some(rec) = self.rec.as_mut() {
+                        rec.record(self.now, ev);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sends one input to worker `p` and applies the transport effects of its
+/// reply. Returns the violation the core flagged, if any.
+fn dispatch(
+    co: &mut Coordinator,
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    p: usize,
+    input: Input,
+) -> Result<Option<Violation>, ExecError> {
+    let now = co.now;
+    cmds[p].send(Cmd::Input { now, input }).map_err(|_| worker_died(p))?;
+    match replies.recv() {
+        Ok((q, Reply::Effects { effects, nodes_done, violation })) => {
+            debug_assert_eq!(q, p);
+            co.nodes_done[p] = nodes_done;
+            co.apply_effects(p, effects);
+            Ok(violation)
+        }
+        _ => Err(worker_died(p)),
+    }
+}
+
+fn worker_died(p: usize) -> ExecError {
+    ExecError::Ledger { proc: p, detail: "worker thread terminated unexpectedly".into() }
+}
+
+/// Collects every worker's final state (ends the worker threads).
+fn collect_finals(
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    nprocs: usize,
+) -> Result<Vec<WorkerFinal>, ExecError> {
+    for tx in cmds {
+        let _ = tx.send(Cmd::Finish);
+    }
+    let mut finals: Vec<Option<WorkerFinal>> = (0..nprocs).map(|_| None).collect();
+    for _ in 0..nprocs {
+        match replies.recv() {
+            Ok((p, Reply::Final(f))) => finals[p] = Some(*f),
+            Ok((p, _)) => return Err(worker_died(p)),
+            Err(_) => return Err(worker_died(0)),
+        }
+    }
+    Ok(finals.into_iter().map(|f| f.expect("every worker reported")).collect())
+}
+
+fn diagnostics(co: &Coordinator, finals: &[WorkerFinal], total_nodes: usize) -> RunDiagnostics {
+    let mut metrics = co.metrics.clone();
+    for f in finals {
+        metrics.merge(&f.metrics);
+    }
+    RunDiagnostics {
+        now: co.now,
+        delivered_events: co.delivered,
+        in_flight: co.heap.len(),
+        nodes_done: finals.iter().map(|f| f.nodes_done).sum(),
+        total_nodes,
+        dropped_messages: 0,
+        metrics: Box::new(metrics),
+        procs: finals.iter().map(|f| f.diag.clone()).collect(),
+    }
+}
+
+/// Runs the parallel factorization on real OS threads: one worker per
+/// processor plus a coordinating event loop on the calling thread.
+///
+/// Produces the same [`RunResult`] as [`mf_core::parsim::run`] — under
+/// the quiet model, with identical per-processor peaks, makespan, and
+/// message counts. Returns [`ExecError::Unsupported`] when the
+/// configuration asks for simulator-only noise models, and
+/// [`ExecError::Ledger`] when a worker's physically re-derived memory
+/// ledger disagrees with its core's accounting.
+pub fn run_threads(
+    tree: &AssemblyTree,
+    map: &StaticMapping,
+    cfg: &SolverConfig,
+) -> Result<RunResult, ExecError> {
+    if cfg.jitter.is_some() {
+        return Err(ExecError::Unsupported("duration jitter (simulator-only noise)".into()));
+    }
+    if cfg.fault.as_ref().is_some_and(|m| !m.is_quiet()) {
+        return Err(ExecError::Unsupported("fault perturbations (simulator-only noise)".into()));
+    }
+    let n = tree.len();
+    let load0 = initial_loads(tree, map, cfg.nprocs);
+
+    std::thread::scope(|scope| {
+        let (reply_tx, replies) = mpsc::channel::<(usize, Reply)>();
+        let mut cmds = Vec::with_capacity(cfg.nprocs);
+        for p in 0..cfg.nprocs {
+            let (tx, rx) = mpsc::channel::<Cmd>();
+            cmds.push(tx);
+            let reply_tx = reply_tx.clone();
+            let load0 = &load0;
+            scope.spawn(move || worker(p, tree, map, cfg, load0, rx, reply_tx));
+        }
+        drop(reply_tx);
+
+        let mut co = Coordinator {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            delivered: 0,
+            messages: 0,
+            net: cfg.network,
+            nprocs: cfg.nprocs,
+            metrics: RunMetrics::new(cfg.nprocs),
+            rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
+            flops_per_tick: cfg.flops_per_tick,
+            nodes_done: vec![0; cfg.nprocs],
+        };
+
+        for p in 0..cfg.nprocs {
+            if let Some(v) = dispatch(&mut co, &cmds, &replies, p, Input::Tick)? {
+                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                return Err(ExecError::Sim(violation_error(v, diagnostics(&co, &finals, n))));
+            }
+        }
+        loop {
+            while let Some(Reverse(QEntry { at, item, .. })) = co.heap.pop() {
+                debug_assert!(at >= co.now, "event queue must be causal");
+                co.now = at;
+                co.delivered += 1;
+                let (p, input) = match item {
+                    Item::Msg { from, to, msg } => (to, Input::Deliver { from, msg }),
+                    Item::Timer { proc, key } => (proc, Input::TimerFired { key }),
+                };
+                if let Some(v) = dispatch(&mut co, &cmds, &replies, p, input)? {
+                    let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                    return Err(ExecError::Sim(violation_error(v, diagnostics(&co, &finals, n))));
+                }
+                if let Some(limit) = cfg.time_limit {
+                    if co.now > limit {
+                        let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                        let diag = diagnostics(&co, &finals, n);
+                        return Err(ExecError::Sim(SimError::TimeLimit { limit, diag }));
+                    }
+                }
+            }
+            if co.nodes_done.iter().sum::<usize>() >= n {
+                break;
+            }
+            // Same degradation ladder as the simulator backend: force the
+            // globally cheapest deferred task, or report a genuine stall.
+            if cfg.capacity.is_none() {
+                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                let diag = diagnostics(&co, &finals, n);
+                return Err(ExecError::Sim(SimError::Stalled { diag }));
+            }
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (p, tx) in cmds.iter().enumerate() {
+                tx.send(Cmd::CheapestDeferred).map_err(|_| worker_died(p))?;
+                match replies.recv() {
+                    Ok((q, Reply::Deferred(d))) => {
+                        debug_assert_eq!(q, p);
+                        if let Some((cost, v)) = d {
+                            let cand = (cost, p, v);
+                            if best.is_none_or(|b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    _ => return Err(worker_died(p)),
+                }
+            }
+            let Some((_, p, v)) = best else {
+                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                let diag = diagnostics(&co, &finals, n);
+                return Err(ExecError::Sim(SimError::Stalled { diag }));
+            };
+            if let Some(viol) = dispatch(&mut co, &cmds, &replies, p, Input::Force { node: v })? {
+                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                return Err(ExecError::Sim(violation_error(viol, diagnostics(&co, &finals, n))));
+            }
+        }
+
+        let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+        for (p, f) in finals.iter().enumerate() {
+            if let Some(detail) = &f.ledger_fault {
+                return Err(ExecError::Ledger { proc: p, detail: detail.clone() });
+            }
+            if f.ledger_peak != f.active_peak {
+                return Err(ExecError::Ledger {
+                    proc: p,
+                    detail: format!(
+                        "ledger peak {} != accounting peak {}",
+                        f.ledger_peak, f.active_peak
+                    ),
+                });
+            }
+            if f.ledger_active != f.active {
+                return Err(ExecError::Ledger {
+                    proc: p,
+                    detail: format!(
+                        "ledger residual {} != accounting residual {}",
+                        f.ledger_active, f.active
+                    ),
+                });
+            }
+        }
+
+        let disk_end = finals.iter().map(|f| f.disk_busy_until).max().unwrap_or(0);
+        let makespan = co.now.max(disk_end);
+        let peaks: Vec<u64> = finals.iter().map(|f| f.active_peak).collect();
+        let max_peak = peaks.iter().copied().max().unwrap_or(0);
+        let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
+        let mut metrics = co.metrics;
+        for f in &finals {
+            metrics.merge(&f.metrics);
+        }
+        Ok(RunResult {
+            total_peaks: finals.iter().map(|f| f.total_peak).collect(),
+            factor_entries: finals.iter().map(|f| f.factors).collect(),
+            max_peak,
+            avg_peak,
+            makespan,
+            messages: co.messages,
+            traces: cfg
+                .record_traces
+                .then(|| finals.iter().map(|f| f.trace.clone().unwrap_or_default()).collect()),
+            nodes_done: finals.iter().map(|f| f.nodes_done).sum(),
+            total_nodes: n,
+            dropped_messages: 0,
+            forced_activations: finals.iter().map(|f| f.forced).sum(),
+            final_active: finals.iter().map(|f| f.active).collect(),
+            underflows: finals.iter().map(|f| f.underflows).collect(),
+            metrics,
+            recording: co.rec,
+            peaks,
+        })
+    })
+}
+
+fn violation_error(v: Violation, diag: RunDiagnostics) -> SimError {
+    match v {
+        Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
+        Violation::Protocol { detail } => SimError::Protocol { detail, diag },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_core::config::SolverConfig;
+    use mf_core::mapping::compute_mapping;
+    use mf_order::OrderingKind;
+    use mf_sparse::gen::grid::{grid2d, Stencil};
+    use mf_symbolic::seqstack::AssemblyDiscipline;
+    use mf_symbolic::AmalgamationOptions;
+
+    fn tree_for(nx: usize) -> AssemblyTree {
+        let a = grid2d(nx, nx, Stencil::Star);
+        let p = OrderingKind::Metis.compute(&a);
+        let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+        mf_symbolic::seqstack::apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+        s.tree
+    }
+
+    #[test]
+    fn threads_match_simulator_exactly() {
+        let tree = tree_for(24);
+        for cfg in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) },
+            SolverConfig {
+                type2_front_min: 24,
+                capacity: Some(1),
+                ..SolverConfig::mumps_baseline(4)
+            },
+        ] {
+            let map = compute_mapping(&tree, &cfg);
+            let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
+            let thr = run_threads(&tree, &map, &cfg).unwrap();
+            assert_eq!(thr.peaks, sim.peaks);
+            assert_eq!(thr.total_peaks, sim.total_peaks);
+            assert_eq!(thr.makespan, sim.makespan);
+            assert_eq!(thr.messages, sim.messages);
+            assert_eq!(thr.nodes_done, sim.nodes_done);
+            assert_eq!(thr.forced_activations, sim.forced_activations);
+            assert_eq!(thr.metrics, sim.metrics);
+        }
+    }
+
+    #[test]
+    fn recording_matches_simulator() {
+        let tree = tree_for(20);
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            record_events: true,
+            record_traces: true,
+            ..SolverConfig::memory_based(4)
+        };
+        let map = compute_mapping(&tree, &cfg);
+        let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
+        let thr = run_threads(&tree, &map, &cfg).unwrap();
+        assert_eq!(thr.recording, sim.recording, "recordings must be bit-identical");
+        let (st, tt) = (sim.traces.unwrap(), thr.traces.unwrap());
+        for (a, b) in st.iter().zip(&tt) {
+            assert_eq!(a.max(), b.max());
+        }
+    }
+
+    #[test]
+    fn noise_models_are_rejected() {
+        let tree = tree_for(16);
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            jitter: Some((7, 0.1)),
+            ..SolverConfig::mumps_baseline(2)
+        };
+        let map = compute_mapping(&tree, &cfg);
+        assert!(matches!(run_threads(&tree, &map, &cfg), Err(ExecError::Unsupported(_))));
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            fault: Some(mf_sim::FaultModel::intensity(13, 3.0)),
+            ..SolverConfig::mumps_baseline(2)
+        };
+        assert!(matches!(run_threads(&tree, &map, &cfg), Err(ExecError::Unsupported(_))));
+        // The *quiet* fault model perturbs nothing and is accepted.
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            fault: Some(mf_sim::FaultModel::quiet(9)),
+            ..SolverConfig::mumps_baseline(2)
+        };
+        let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
+        let thr = run_threads(&tree, &map, &cfg).unwrap();
+        assert_eq!(thr.peaks, sim.peaks);
+    }
+
+    #[test]
+    fn time_limit_still_guards() {
+        let tree = tree_for(16);
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            time_limit: Some(1),
+            ..SolverConfig::mumps_baseline(2)
+        };
+        let map = compute_mapping(&tree, &cfg);
+        match run_threads(&tree, &map, &cfg) {
+            Err(ExecError::Sim(SimError::TimeLimit { .. })) => {}
+            other => panic!("expected TimeLimit, got {other:?}"),
+        }
+    }
+}

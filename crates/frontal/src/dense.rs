@@ -155,7 +155,11 @@ fn axpy_sub4(dst: &mut [f64], l0: &[f64], l1: &[f64], l2: &[f64], l3: &[f64], u:
 /// diagonally dominant problems generated in this reproduction and is the
 /// discipline MUMPS follows before resorting to delayed pivots (which we
 /// do not model; a tiny pivot is an error instead).
-pub fn partial_lu(w: &mut DenseMat, npiv: usize, row_perm: &mut Vec<usize>) -> Result<(), KernelError> {
+pub fn partial_lu(
+    w: &mut DenseMat,
+    npiv: usize,
+    row_perm: &mut Vec<usize>,
+) -> Result<(), KernelError> {
     let f = w.nrows();
     assert_eq!(f, w.ncols(), "frontal matrices are square");
     assert!(npiv <= f);
@@ -522,10 +526,7 @@ mod tests {
         partial_ldlt(&mut ws, 2).unwrap();
         for i in 2..4 {
             for j in 2..=i {
-                assert!(
-                    (wl.get(i, j) - ws.get(i, j)).abs() < 1e-12,
-                    "Schur mismatch at ({i},{j})"
-                );
+                assert!((wl.get(i, j) - ws.get(i, j)).abs() < 1e-12, "Schur mismatch at ({i},{j})");
             }
         }
     }

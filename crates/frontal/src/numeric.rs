@@ -504,7 +504,8 @@ mod tests {
         // analysis under the same (FrontThenFree) discipline and the same
         // child order.
         let a = grid2d(10, 10, Stencil::Star);
-        let s = mf_symbolic::analyze(&a, &Permutation::identity(100), &AmalgamationOptions::default());
+        let s =
+            mf_symbolic::analyze(&a, &Permutation::identity(100), &AmalgamationOptions::default());
         let f = Factorization::from_symbolic(&a, &s).unwrap();
         let model = mf_symbolic::seqstack::sequential_peak(
             &s.tree,
@@ -516,7 +517,8 @@ mod tests {
     #[test]
     fn factor_entries_match_symbolic_total() {
         let a = grid2d(7, 9, Stencil::Box);
-        let s = mf_symbolic::analyze(&a, &Permutation::identity(63), &AmalgamationOptions::default());
+        let s =
+            mf_symbolic::analyze(&a, &Permutation::identity(63), &AmalgamationOptions::default());
         let f = Factorization::from_symbolic(&a, &s).unwrap();
         assert_eq!(f.stats.factor_entries, s.tree.total_factor_entries());
     }
@@ -524,8 +526,9 @@ mod tests {
     #[test]
     fn refinement_improves_or_keeps_the_residual() {
         let a = grid2d(12, 12, Stencil::Box);
-        let f = Factorization::new(&a, &Permutation::identity(144), &AmalgamationOptions::default())
-            .unwrap();
+        let f =
+            Factorization::new(&a, &Permutation::identity(144), &AmalgamationOptions::default())
+                .unwrap();
         let b = rhs(144);
         let x0 = f.solve(&b);
         let r0 = Factorization::residual_inf(&a, &x0, &b);

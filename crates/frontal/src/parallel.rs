@@ -29,7 +29,10 @@ struct Ctx<'a> {
 /// parallelism with rayon. Numerically equivalent to the sequential
 /// driver (same kernels, same assembly), up to floating-point summation
 /// order in the extend-add, which is fixed per child and thus identical.
-pub fn factorize_parallel(a: &CscMatrix, s: &SymbolicAnalysis) -> Result<Factorization, FactorError> {
+pub fn factorize_parallel(
+    a: &CscMatrix,
+    s: &SymbolicAnalysis,
+) -> Result<Factorization, FactorError> {
     if a.nrows() != a.ncols() {
         return Err(FactorError::NotSquare);
     }
@@ -48,8 +51,7 @@ pub fn factorize_parallel(a: &CscMatrix, s: &SymbolicAnalysis) -> Result<Factori
     let results: Result<Vec<_>, FactorError> =
         roots.par_iter().map(|&r| process(&ctx, r)).collect();
     results?;
-    let fronts: Vec<Option<FrontFactor>> =
-        ctx.slots.into_iter().map(|m| m.into_inner()).collect();
+    let fronts: Vec<Option<FrontFactor>> = ctx.slots.into_iter().map(|m| m.into_inner()).collect();
     Ok(Factorization {
         sym: s.tree.sym,
         n: s.tree.n,
@@ -71,15 +73,9 @@ fn process(ctx: &Ctx<'_>, v: usize) -> Result<Vec<f64>, FactorError> {
     let nd = &ctx.tree.nodes[v];
     // Children first — in parallel when there are several.
     let child_cbs: Vec<Vec<f64>> = if nd.children.len() > 1 {
-        nd.children
-            .par_iter()
-            .map(|&c| process(ctx, c))
-            .collect::<Result<Vec<_>, _>>()?
+        nd.children.par_iter().map(|&c| process(ctx, c)).collect::<Result<Vec<_>, _>>()?
     } else {
-        nd.children
-            .iter()
-            .map(|&c| process(ctx, c))
-            .collect::<Result<Vec<_>, _>>()?
+        nd.children.iter().map(|&c| process(ctx, c)).collect::<Result<Vec<_>, _>>()?
     };
 
     let vars = &ctx.fs.rows[v];
@@ -217,7 +213,8 @@ mod tests {
     fn parallel_matches_sequential_symmetric() {
         let a = grid2d(12, 11, Stencil::Box);
         let n = a.nrows();
-        let s = mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
+        let s =
+            mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
         let fseq = Factorization::from_symbolic(&a, &s).unwrap();
         let fpar = factorize_parallel(&a, &s).unwrap();
         let b = rhs(n);
@@ -232,7 +229,8 @@ mod tests {
     fn parallel_matches_sequential_unsymmetric() {
         let a = grid3d(5, 4, 4, Stencil::Star, Symmetry::General, 9);
         let n = a.nrows();
-        let s = mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
+        let s =
+            mf_symbolic::analyze(&a, &Permutation::identity(n), &AmalgamationOptions::default());
         let fpar = factorize_parallel(&a, &s).unwrap();
         let b = rhs(n);
         let x = fpar.solve(&b);

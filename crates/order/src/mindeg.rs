@@ -226,11 +226,8 @@ impl Engine {
             let mut elem_weight_sum = 0usize;
             for &e in &ea {
                 // wlen[e] was set to |Le \ Lp| in pass 1 for touched elements.
-                elem_weight_sum += if self.wstamp[e] == wmark {
-                    self.wlen[e]
-                } else {
-                    self.element_weight(e)
-                };
+                elem_weight_sum +=
+                    if self.wstamp[e] == wmark { self.wlen[e] } else { self.element_weight(e) };
             }
             ea.push(p);
             self.elem_adj[i] = ea;
@@ -283,9 +280,7 @@ impl Engine {
                 continue;
             }
             // Absorptions shrink external degree; recompute the cheap part.
-            let d = self
-                .degree[i]
-                .min(self.alive_weight.saturating_sub(self.nv[i]));
+            let d = self.degree[i].min(self.alive_weight.saturating_sub(self.nv[i]));
             self.degree[i] = d;
             self.score[i] = self.metric_score(i);
             self.heap.push(Reverse((self.score[i], i)));
@@ -333,13 +328,7 @@ mod tests {
         for metric in [Metric::ApproxDegree, Metric::ApproxFill] {
             let p = min_degree(&g, metric);
             let fill_md = exact_fill(&g, p.elimination_order());
-            assert!(
-                fill_md < fill_nat,
-                "{:?}: fill {} !< natural {}",
-                metric,
-                fill_md,
-                fill_nat
-            );
+            assert!(fill_md < fill_nat, "{:?}: fill {} !< natural {}", metric, fill_md, fill_nat);
         }
     }
 

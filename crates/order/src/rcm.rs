@@ -62,8 +62,7 @@ mod tests {
         // Scramble a grid, then check RCM shrinks the envelope back.
         let a = grid2d(12, 12, Stencil::Star);
         let n = a.nrows();
-        let scramble =
-            Permutation::from_new_order((0..n).map(|i| (i * 89) % n).collect()).unwrap();
+        let scramble = Permutation::from_new_order((0..n).map(|i| (i * 89) % n).collect()).unwrap();
         let b = a.permute_symmetric(&scramble);
         let g = Graph::from_matrix(&b);
         let before = envelope(&g, &Permutation::identity(n));

@@ -51,9 +51,7 @@ impl Replay {
 
     fn alloc(&mut self, node: usize, area: MemArea, entries: u64) {
         self.active += entries;
-        if let Some(it) =
-            self.live.iter_mut().find(|it| it.node == node && it.area == area)
-        {
+        if let Some(it) = self.live.iter_mut().find(|it| it.node == node && it.area == area) {
             it.entries += entries;
         } else {
             self.live.push(LiveItem { node, area, entries });
@@ -63,9 +61,7 @@ impl Replay {
     fn free(&mut self, node: usize, area: MemArea, entries: u64) {
         // Saturating, mirroring ProcMemory's underflow tolerance.
         self.active = self.active.saturating_sub(entries);
-        if let Some(pos) =
-            self.live.iter().position(|it| it.node == node && it.area == area)
-        {
+        if let Some(pos) = self.live.iter().position(|it| it.node == node && it.area == area) {
             let it = &mut self.live[pos];
             it.entries = it.entries.saturating_sub(entries);
             if it.entries == 0 {
@@ -191,7 +187,10 @@ mod tests {
         let att = attribute_peaks(1, &rec);
         assert_eq!(att[0].peak, 10);
         assert_eq!(att[0].at, 1, "strict-> keeps the first instant");
-        assert_eq!(att[0].composition, vec![LiveItem { node: 1, area: MemArea::Front, entries: 10 }]);
+        assert_eq!(
+            att[0].composition,
+            vec![LiveItem { node: 1, area: MemArea::Front, entries: 10 }]
+        );
     }
 
     #[test]

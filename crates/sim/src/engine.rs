@@ -141,10 +141,8 @@ impl<M> Sim<M> {
                 Queued::Broadcast { from, nprocs, .. } => broadcast_targets(*from, *nprocs, 0),
             })
             .sum();
-        let draining = self
-            .bcast
-            .as_ref()
-            .map_or(0, |b| broadcast_targets(b.from, b.nprocs, b.next));
+        let draining =
+            self.bcast.as_ref().map_or(0, |b| broadcast_targets(b.from, b.nprocs, b.next));
         queued + draining
     }
 
@@ -183,10 +181,13 @@ fn broadcast_targets(from: usize, nprocs: usize, next: usize) -> usize {
     (nprocs.saturating_sub(next)) - usize::from(from >= next && from < nprocs)
 }
 
-impl<M: Clone> Sim<M> {
-    /// Pops the next event, advancing the clock to its firing time.
-    #[allow(clippy::should_implement_trait)] // deliberate: reads naturally at call sites
-    pub fn next(&mut self) -> Option<Event<M>> {
+/// Draining iteration: each `next()` pops the earliest pending event,
+/// advancing the clock to its firing time. Yields `None` when the queue
+/// is empty — schedule more events and iteration resumes.
+impl<M: Clone> Iterator for Sim<M> {
+    type Item = Event<M>;
+
+    fn next(&mut self) -> Option<Event<M>> {
         loop {
             if let Some(e) = self.next_broadcast_delivery() {
                 return Some(e);
@@ -207,7 +208,9 @@ impl<M: Clone> Sim<M> {
             }
         }
     }
+}
 
+impl<M: Clone> Sim<M> {
     /// Delivers the next message of the active broadcast block, if any.
     fn next_broadcast_delivery(&mut self) -> Option<Event<M>> {
         let mut b = self.bcast.take()?;
@@ -347,9 +350,6 @@ mod tests {
         let mut sim: Sim<String> = Sim::new();
         sim.schedule(1, EventPayload::Message { from: 2, to: 3, msg: "hello".into() });
         let e = sim.next().unwrap();
-        assert_eq!(
-            e.payload,
-            EventPayload::Message { from: 2, to: 3, msg: "hello".into() }
-        );
+        assert_eq!(e.payload, EventPayload::Message { from: 2, to: 3, msg: "hello".into() });
     }
 }

@@ -103,10 +103,7 @@ impl FaultModel {
 
     /// Compute slowdown of processor `proc` (`1.0` when not a straggler).
     pub fn speed_factor(&self, proc: usize) -> f64 {
-        self.stragglers
-            .iter()
-            .find(|&&(p, _)| p == proc)
-            .map_or(1.0, |&(_, f)| f.max(1.0))
+        self.stragglers.iter().find(|&&(p, _)| p == proc).map_or(1.0, |&(_, f)| f.max(1.0))
     }
 }
 
@@ -220,11 +217,8 @@ mod tests {
 
     #[test]
     fn delays_are_bounded() {
-        let model = FaultModel {
-            latency_jitter: 0.5,
-            max_extra_delay: 100,
-            ..FaultModel::quiet(11)
-        };
+        let model =
+            FaultModel { latency_jitter: 0.5, max_extra_delay: 100, ..FaultModel::quiet(11) };
         let mut inj = FaultInjector::new(model);
         for _ in 0..1000 {
             let t = inj.route(40, MsgClass::Control).unwrap();

@@ -52,11 +52,7 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        let b = if v == 0 {
-            0
-        } else {
-            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
-        };
+        let b = if v == 0 { 0 } else { ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1) };
         self.buckets[b] += 1;
     }
 
@@ -75,6 +71,18 @@ impl Histogram {
             0
         } else {
             self.min
+        }
+    }
+
+    /// Folds another histogram into this one (exact: counts, sums, and
+    /// buckets add; min/max combine).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
         }
     }
 
@@ -148,6 +156,60 @@ impl RunMetrics {
     /// Total messages of both classes.
     pub fn total_msgs(&self) -> u64 {
         self.control_msgs + self.status_msgs
+    }
+
+    /// One-line traffic summary, shared by every human-facing report.
+    pub fn traffic_line(&self) -> String {
+        format!(
+            "traffic: {} control + {} status messages ({} + {} bytes), {} status dropped",
+            self.control_msgs,
+            self.status_msgs,
+            self.control_bytes,
+            self.status_bytes,
+            self.dropped_status
+        )
+    }
+
+    /// One-line scheduling-decision summary, shared by every human-facing
+    /// report.
+    pub fn decisions_line(&self) -> String {
+        format!(
+            "decisions: staleness mean {:.0} ticks (max {}), pool depth mean {:.1}, \
+             {} deferrals, {} reselect rounds, {} serialized, {} forced",
+            self.view_staleness.mean(),
+            self.view_staleness.max,
+            self.pool_depth.mean(),
+            self.procs.iter().map(|p| p.deferrals).sum::<u64>(),
+            self.reselect_rounds,
+            self.serialized_fronts,
+            self.forced_activations
+        )
+    }
+
+    /// Folds another registry into this one. Counters add, histograms
+    /// merge exactly, and per-processor counters add elementwise (the
+    /// registries must cover the same processor count). Used to combine
+    /// the decision-side metrics each scheduler core keeps with the
+    /// traffic-side metrics its driver keeps.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        assert_eq!(self.procs.len(), other.procs.len(), "metrics registries must match in nprocs");
+        self.control_msgs += other.control_msgs;
+        self.control_bytes += other.control_bytes;
+        self.status_msgs += other.status_msgs;
+        self.status_bytes += other.status_bytes;
+        self.dropped_status += other.dropped_status;
+        self.reselect_rounds += other.reselect_rounds;
+        self.serialized_fronts += other.serialized_fronts;
+        self.forced_activations += other.forced_activations;
+        self.view_staleness.merge(&other.view_staleness);
+        self.pool_depth.merge(&other.pool_depth);
+        for (p, o) in self.procs.iter_mut().zip(&other.procs) {
+            p.busy_ticks += o.busy_ticks;
+            p.stalled_ticks += o.stalled_ticks;
+            p.activations += o.activations;
+            p.deferrals += o.deferrals;
+            p.slave_tasks += o.slave_tasks;
+        }
     }
 
     /// Renders the registry as a JSON object (no trailing newline).

@@ -98,7 +98,7 @@ mod tests {
         let mut sim: Sim<u8> = Sim::new();
         net.broadcast(&mut sim, 1, 4, 42, 8);
         let mut tos = Vec::new();
-        while let Some(e) = sim.next() {
+        for e in sim {
             if let EventPayload::Message { from, to, msg } = e.payload {
                 assert_eq!(from, 1);
                 assert_eq!(msg, 42);

@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn slices_and_counters_render() {
         let mut rec = Recording::new(None);
-        rec.record(
-            0,
-            SchedEvent::MemAlloc { proc: 0, node: 1, area: MemArea::Front, entries: 10 },
-        );
+        rec.record(0, SchedEvent::MemAlloc { proc: 0, node: 1, area: MemArea::Front, entries: 10 });
         rec.record(0, SchedEvent::ComputeStart { proc: 0, node: 1, role: TaskRole::Elim });
         rec.record(5, SchedEvent::ComputeEnd { proc: 0, node: 1, role: TaskRole::Elim });
         rec.record(5, SchedEvent::MemFree { proc: 0, node: 1, area: MemArea::Front, entries: 10 });

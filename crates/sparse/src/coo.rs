@@ -149,7 +149,14 @@ impl CooMatrix {
             out_ptr.push(out_rows.len());
         }
 
-        CscMatrix::from_raw_parts(self.nrows, self.ncols, out_ptr, out_rows, out_vals, self.symmetry)
+        CscMatrix::from_raw_parts(
+            self.nrows,
+            self.ncols,
+            out_ptr,
+            out_rows,
+            out_vals,
+            self.symmetry,
+        )
     }
 }
 

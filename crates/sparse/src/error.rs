@@ -44,10 +44,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix")
+            }
             SparseError::InvalidPermutation { n, offending } => write!(
                 f,
                 "invalid permutation of length {n}: index {offending} repeated or out of range"

@@ -63,14 +63,18 @@ pub fn grid2d(nx: usize, ny: usize, stencil: Stencil) -> CscMatrix {
 /// perturbed asymmetrically (convection-like), producing an unsymmetric
 /// matrix with a structurally symmetric pattern, as in the ULTRASOUND3 and
 /// XENON2 problems.
-pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil, sym: Symmetry, seed: u64) -> CscMatrix {
+pub fn grid3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    stencil: Stencil,
+    sym: Symmetry,
+    seed: u64,
+) -> CscMatrix {
     let n = nx * ny * nz;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut coo = if sym == Symmetry::Symmetric {
-        CooMatrix::new_symmetric(n)
-    } else {
-        CooMatrix::new(n, n)
-    };
+    let mut coo =
+        if sym == Symmetry::Symmetric { CooMatrix::new_symmetric(n) } else { CooMatrix::new(n, n) };
     coo.reserve(n * if stencil == Stencil::Box { 27 } else { 7 });
     for z in 0..nz {
         for y in 0..ny {
@@ -170,8 +174,13 @@ mod tests {
     fn grid_is_diagonally_dominant() {
         let a = grid2d(5, 5, Stencil::Box);
         for j in 0..a.ncols() {
-            let off: f64 =
-                a.rows_in_col(j).iter().zip(a.vals_in_col(j)).filter(|(&i, _)| i != j).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .rows_in_col(j)
+                .iter()
+                .zip(a.vals_in_col(j))
+                .filter(|(&i, _)| i != j)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(a.get(j, j) > off, "column {j} not dominant");
         }
     }

@@ -31,11 +31,8 @@ pub fn lp_normal_equations(
     // Columns of B as row-index lists.
     let mut cols: Vec<Vec<usize>> = Vec::with_capacity(ncols);
     for c in 0..ncols {
-        let k = if c < dense_cols {
-            ((m as f64 * dense_frac) as usize).max(2)
-        } else {
-            col_nnz.max(2)
-        };
+        let k =
+            if c < dense_cols { ((m as f64 * dense_frac) as usize).max(2) } else { col_nnz.max(2) };
         let mut rows: Vec<usize> = (0..k).map(|_| rng.gen_range(0..m)).collect();
         // Bias sparse columns towards locality so BBᵀ has banded structure
         // in addition to the dense blocks (LP staircase structure).

@@ -174,8 +174,7 @@ mod tests {
     #[test]
     fn catalogue_metadata_is_consistent() {
         assert_eq!(ALL_PAPER_MATRICES.len(), 8);
-        let unsym: Vec<_> =
-            ALL_PAPER_MATRICES.iter().filter(|m| m.is_unsymmetric()).collect();
+        let unsym: Vec<_> = ALL_PAPER_MATRICES.iter().filter(|m| m.is_unsymmetric()).collect();
         assert_eq!(unsym.len(), 4);
     }
 }

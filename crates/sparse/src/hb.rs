@@ -138,7 +138,8 @@ pub fn read_harwell_boeing<R: BufRead>(reader: R) -> Result<CscMatrix, SparseErr
     };
 
     // Assemble (HB is 1-based).
-    let mut coo = if symmetric { CooMatrix::new_symmetric(nrow) } else { CooMatrix::new(nrow, ncol) };
+    let mut coo =
+        if symmetric { CooMatrix::new_symmetric(nrow) } else { CooMatrix::new(nrow, ncol) };
     coo.reserve(nnz);
     for j in 0..ncol {
         let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);

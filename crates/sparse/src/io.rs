@@ -73,7 +73,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CscMatrix, SparseErro
         .collect::<Result<_, _>>()
         .map_err(|e| SparseError::Parse { line: sz_line_no, msg: e.to_string() })?;
     if dims.len() != 3 {
-        return Err(SparseError::Parse { line: sz_line_no, msg: "size line needs 3 fields".into() });
+        return Err(SparseError::Parse {
+            line: sz_line_no,
+            msg: "size line needs 3 fields".into(),
+        });
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
     let mut coo =
@@ -185,7 +188,8 @@ mod tests {
 
     #[test]
     fn pattern_files_get_unit_values() {
-        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n2 2 3\n1 1\n2 2\n2 1\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n2 2 3\n1 1\n2 2\n2 1\n";
         let a = read_matrix_market(std::io::BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(a.nnz(), 4); // mirrored off-diagonal
         assert_eq!(a.get(0, 1), 1.0);

@@ -60,7 +60,8 @@ pub fn build_assembly_tree(
     // single child, and the counts drop by exactly one.
     let mut sn_first: Vec<usize> = Vec::new();
     for j in 0..n {
-        let extends = j > 0 && parent[j - 1] == j && nchild[j] == 1 && counts[j] + 1 == counts[j - 1];
+        let extends =
+            j > 0 && parent[j - 1] == j && nchild[j] == 1 && counts[j] + 1 == counts[j - 1];
         if !extends {
             sn_first.push(j);
         }
@@ -209,7 +210,11 @@ mod tests {
         let a = tridiag(16);
         let t = analyze_raw(
             &a,
-            &AmalgamationOptions { always_merge_npiv: 4, max_fill_ratio: 0.0, max_front: usize::MAX },
+            &AmalgamationOptions {
+                always_merge_npiv: 4,
+                max_fill_ratio: 0.0,
+                max_front: usize::MAX,
+            },
         );
         assert!(t.len() < 16, "got {} nodes", t.len());
         assert!(t.validate().is_ok());
@@ -226,7 +231,11 @@ mod tests {
         assert!(capped.nodes.iter().all(|n| n.nfront <= 6), "cap violated");
         let uncapped = analyze_raw(
             &a,
-            &AmalgamationOptions { always_merge_npiv: 64, max_fill_ratio: 1.0, max_front: usize::MAX },
+            &AmalgamationOptions {
+                always_merge_npiv: 64,
+                max_fill_ratio: 1.0,
+                max_front: usize::MAX,
+            },
         );
         assert!(uncapped.len() < capped.len());
     }
@@ -249,11 +258,16 @@ mod tests {
         // its nature), but a zero fill-ratio must never grow the total
         // front weight of the tree.
         let a = mf_sparse::gen::grid::grid2d(8, 8, mf_sparse::gen::grid::Stencil::Star);
-        let none = crate::analyze(&a, &mf_sparse::Permutation::identity(64), &AmalgamationOptions::none());
+        let none =
+            crate::analyze(&a, &mf_sparse::Permutation::identity(64), &AmalgamationOptions::none());
         let tight = crate::analyze(
             &a,
             &mf_sparse::Permutation::identity(64),
-            &AmalgamationOptions { always_merge_npiv: 0, max_fill_ratio: 0.0, max_front: usize::MAX },
+            &AmalgamationOptions {
+                always_merge_npiv: 0,
+                max_fill_ratio: 0.0,
+                max_front: usize::MAX,
+            },
         );
         let weight = |t: &AssemblyTree| (0..t.len()).map(|i| t.front_entries(i)).sum::<u64>();
         assert!(weight(&tight.tree) <= weight(&none.tree));

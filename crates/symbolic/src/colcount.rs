@@ -47,9 +47,8 @@ mod tests {
     fn dense_l_counts(a: &CscMatrix) -> Vec<usize> {
         // Reference: naive symbolic elimination.
         let n = a.ncols();
-        let mut adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
-            .map(|j| a.rows_in_col(j).iter().copied().filter(|&i| i > j).collect())
-            .collect();
+        let mut adj: Vec<std::collections::BTreeSet<usize>> =
+            (0..n).map(|j| a.rows_in_col(j).iter().copied().filter(|&i| i > j).collect()).collect();
         for j in 0..n {
             let nbrs: Vec<usize> = adj[j].iter().copied().collect();
             for (x, &p) in nbrs.iter().enumerate() {

@@ -72,8 +72,10 @@ pub fn front_structures(s: &SymbolicAnalysis) -> FrontStructures {
         for &ch in &nd.children {
             for &i in &rows[ch][tree.nodes[ch].npiv..] {
                 if stamp[i] != v {
-                    debug_assert!(i >= nd.first_col + nd.npiv || i >= nd.first_col,
-                        "child CB index {i} below parent pivots");
+                    debug_assert!(
+                        i >= nd.first_col + nd.npiv || i >= nd.first_col,
+                        "child CB index {i} below parent pivots"
+                    );
                     if i >= nd.first_col + nd.npiv {
                         stamp[i] = v;
                         list.push(i);

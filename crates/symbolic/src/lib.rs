@@ -23,12 +23,12 @@
 #![allow(clippy::needless_range_loop)] // stamped set algorithms index by design
 pub mod amalg;
 pub mod colcount;
-#[cfg(test)]
-pub(crate) mod testmat;
 pub mod etree;
 pub mod frontstruct;
 pub mod seqstack;
 pub mod split;
+#[cfg(test)]
+pub(crate) mod testmat;
 pub mod tree;
 
 pub use amalg::AmalgamationOptions;

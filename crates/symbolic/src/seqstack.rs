@@ -44,8 +44,7 @@ pub fn subtree_peaks(tree: &AssemblyTree, discipline: AssemblyDiscipline) -> Vec
         let assembly = match discipline {
             AssemblyDiscipline::FrontThenFree => stacked + tree.front_entries(v),
             AssemblyDiscipline::InPlaceLastChild => {
-                let last_cb =
-                    nd.children.last().map(|&c| tree.cb_entries(c)).unwrap_or(0);
+                let last_cb = nd.children.last().map(|&c| tree.cb_entries(c)).unwrap_or(0);
                 stacked - last_cb + tree.front_entries(v)
             }
         };
@@ -105,10 +104,31 @@ mod tests {
         AssemblyTree {
             nodes: vec![
                 // fat child: front 10 (100 entries), cb 2 (4 entries)
-                FrontNode { first_col: 0, npiv: 8, nfront: 10, parent: Some(2), children: vec![], chain_head: None },
+                FrontNode {
+                    first_col: 0,
+                    npiv: 8,
+                    nfront: 10,
+                    parent: Some(2),
+                    children: vec![],
+                    chain_head: None,
+                },
                 // thin child: front 4 (16), cb 2 (4)
-                FrontNode { first_col: 8, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
-                FrontNode { first_col: 10, npiv: 2, nfront: 2, parent: None, children: vec![1, 0], chain_head: None },
+                FrontNode {
+                    first_col: 8,
+                    npiv: 2,
+                    nfront: 4,
+                    parent: Some(2),
+                    children: vec![],
+                    chain_head: None,
+                },
+                FrontNode {
+                    first_col: 10,
+                    npiv: 2,
+                    nfront: 2,
+                    parent: None,
+                    children: vec![1, 0],
+                    chain_head: None,
+                },
             ],
             sym: Symmetry::General,
             n: 12,

@@ -117,8 +117,22 @@ mod tests {
     fn big_tree() -> AssemblyTree {
         AssemblyTree {
             nodes: vec![
-                FrontNode { first_col: 0, npiv: 10, nfront: 60, parent: Some(1), children: vec![], chain_head: None },
-                FrontNode { first_col: 10, npiv: 90, nfront: 90, parent: None, children: vec![0], chain_head: None },
+                FrontNode {
+                    first_col: 0,
+                    npiv: 10,
+                    nfront: 60,
+                    parent: Some(1),
+                    children: vec![],
+                    chain_head: None,
+                },
+                FrontNode {
+                    first_col: 10,
+                    npiv: 90,
+                    nfront: 90,
+                    parent: None,
+                    children: vec![0],
+                    chain_head: None,
+                },
             ],
             sym: Symmetry::General,
             n: 100,

@@ -313,9 +313,30 @@ mod tests {
     pub(crate) fn toy_tree(sym: Symmetry) -> AssemblyTree {
         AssemblyTree {
             nodes: vec![
-                FrontNode { first_col: 0, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
-                FrontNode { first_col: 2, npiv: 2, nfront: 4, parent: Some(2), children: vec![], chain_head: None },
-                FrontNode { first_col: 4, npiv: 2, nfront: 2, parent: None, children: vec![0, 1], chain_head: None },
+                FrontNode {
+                    first_col: 0,
+                    npiv: 2,
+                    nfront: 4,
+                    parent: Some(2),
+                    children: vec![],
+                    chain_head: None,
+                },
+                FrontNode {
+                    first_col: 2,
+                    npiv: 2,
+                    nfront: 4,
+                    parent: Some(2),
+                    children: vec![],
+                    chain_head: None,
+                },
+                FrontNode {
+                    first_col: 4,
+                    npiv: 2,
+                    nfront: 2,
+                    parent: None,
+                    children: vec![0, 1],
+                    chain_head: None,
+                },
             ],
             sym,
             n: 6,

@@ -60,13 +60,12 @@ fn main() {
     // The same numbers the paper's Figure 1 shows: {1,2} and {3,4} are
     // the leaves, {5,6} the root.
     assert_eq!(s.tree.len(), 3);
-    let piv: Vec<(usize, usize)> =
-        s.tree.nodes.iter().map(|n| (n.first_col, n.npiv)).collect();
+    let piv: Vec<(usize, usize)> = s.tree.nodes.iter().map(|n| (n.first_col, n.npiv)).collect();
     assert_eq!(piv, vec![(0, 2), (2, 2), (4, 2)]);
 
     // And it factors: the numeric engine agrees with a dense solve.
-    let f = Factorization::new(&a, &Permutation::identity(6), &AmalgamationOptions::none())
-        .unwrap();
+    let f =
+        Factorization::new(&a, &Permutation::identity(6), &AmalgamationOptions::none()).unwrap();
     let b = vec![1.0; 6];
     let x = f.solve(&b);
     println!("\nsolution of A x = 1: {x:.3?}");

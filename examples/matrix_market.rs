@@ -32,8 +32,11 @@ fn main() {
             let path = std::env::temp_dir().join("mf_xenon2_demo.mtx");
             let mut f = std::fs::File::create(&path).unwrap();
             write_matrix_market(&mut f, &a).unwrap();
-            println!("wrote demo instance to {} ({} bytes)", path.display(),
-                std::fs::metadata(&path).unwrap().len());
+            println!(
+                "wrote demo instance to {} ({} bytes)",
+                path.display(),
+                std::fs::metadata(&path).unwrap().len()
+            );
             read_matrix_market_file(&path).unwrap()
         }
     };
@@ -41,14 +44,24 @@ fn main() {
 
     for kind in ALL_ORDERINGS {
         let input = ExperimentInput { matrix: &a, ordering: kind };
-        let base = run_experiment(&input, &SolverConfig {
-            type2_front_min: 150, type3_front_min: 500,
-            ..SolverConfig::mumps_baseline(8)
-        }).unwrap();
-        let mem = run_experiment(&input, &SolverConfig {
-            type2_front_min: 150, type3_front_min: 500,
-            ..SolverConfig::memory_based(8)
-        }).unwrap();
+        let base = run_experiment(
+            &input,
+            &SolverConfig {
+                type2_front_min: 150,
+                type3_front_min: 500,
+                ..SolverConfig::mumps_baseline(8)
+            },
+        )
+        .unwrap();
+        let mem = run_experiment(
+            &input,
+            &SolverConfig {
+                type2_front_min: 150,
+                type3_front_min: 500,
+                ..SolverConfig::memory_based(8)
+            },
+        )
+        .unwrap();
         println!(
             "  {:5}: max stack peak {:>9} -> {:>9} ({:+.1}%)",
             kind.name(),

@@ -12,10 +12,7 @@ use multifrontal::symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
 
 fn sparkline(samples: &[(u64, u64)], max: u64) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    samples
-        .iter()
-        .map(|&(_, v)| LEVELS[((v * 7) / max.max(1)) as usize])
-        .collect()
+    samples.iter().map(|&(_, v)| LEVELS[((v * 7) / max.max(1)) as usize]).collect()
 }
 
 fn main() {
@@ -43,8 +40,12 @@ fn main() {
     let base = multifrontal::core::parsim::run(&s.tree, &map, &base_cfg).unwrap();
     let mem = multifrontal::core::parsim::run(&s.tree, &map, &mem_cfg).unwrap();
 
-    println!("\nmax stack peak: baseline {} -> memory-based {} ({:+.1}%)",
-        base.max_peak, mem.max_peak, percent_decrease(base.max_peak, mem.max_peak));
+    println!(
+        "\nmax stack peak: baseline {} -> memory-based {} ({:+.1}%)",
+        base.max_peak,
+        mem.max_peak,
+        percent_decrease(base.max_peak, mem.max_peak)
+    );
     println!("avg stack peak: baseline {:.0} -> memory-based {:.0}", base.avg_peak, mem.avg_peak);
     println!("makespan:       baseline {} -> memory-based {}", base.makespan, mem.makespan);
 

@@ -8,14 +8,8 @@ use multifrontal::prelude::*;
 
 fn main() {
     // A 3-D finite-element-like SPD problem (7-point box stencil).
-    let a = multifrontal::sparse::gen::grid::grid3d(
-        12,
-        12,
-        12,
-        Stencil::Box,
-        Symmetry::Symmetric,
-        42,
-    );
+    let a =
+        multifrontal::sparse::gen::grid::grid3d(12, 12, 12, Stencil::Box, Symmetry::Symmetric, 42);
     println!("matrix: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
 
     // Fill-reducing ordering (try OrderingKind::Metis / Pord / Amf too).
@@ -24,10 +18,7 @@ fn main() {
     // Symbolic analysis + numeric factorization.
     let f = Factorization::new(&a, &perm, &AmalgamationOptions::default())
         .expect("SPD matrix factors without pivoting trouble");
-    println!(
-        "factors: {} entries over {} fronts",
-        f.stats.factor_entries, f.stats.fronts
-    );
+    println!("factors: {} entries over {} fronts", f.stats.factor_entries, f.stats.fronts);
     println!(
         "sequential stack peak: {} entries (active memory {})",
         f.stats.stack_peak, f.stats.active_peak

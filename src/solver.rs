@@ -114,9 +114,7 @@ impl Solver {
         if self.refine_steps == 0 {
             self.factorization.solve(b)
         } else {
-            self.factorization
-                .solve_refined(&self.matrix, b, self.refine_steps, self.refine_tol)
-                .0
+            self.factorization.solve_refined(&self.matrix, b, self.refine_steps, self.refine_tol).0
         }
     }
 

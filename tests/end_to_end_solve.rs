@@ -81,7 +81,11 @@ fn amalgamation_options_do_not_change_the_answer() {
     for opts in [
         AmalgamationOptions::none(),
         AmalgamationOptions::default(),
-        AmalgamationOptions { always_merge_npiv: 32, max_fill_ratio: 0.5, ..AmalgamationOptions::default() },
+        AmalgamationOptions {
+            always_merge_npiv: 32,
+            max_fill_ratio: 0.5,
+            ..AmalgamationOptions::default()
+        },
     ] {
         let f = Factorization::new(&a, &perm, &opts).unwrap();
         answers.push(f.solve(&b));

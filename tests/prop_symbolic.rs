@@ -3,9 +3,7 @@
 //! permutation algebra.
 
 use multifrontal::prelude::*;
-use multifrontal::symbolic::seqstack::{
-    apply_liu_order, sequential_peak, AssemblyDiscipline,
-};
+use multifrontal::symbolic::seqstack::{apply_liu_order, sequential_peak, AssemblyDiscipline};
 use proptest::prelude::*;
 
 /// Random connected-ish symmetric pattern.
@@ -29,9 +27,8 @@ fn pattern(n: usize, edges: &[(usize, usize)]) -> CscMatrix {
 
 fn naive_col_counts(a: &CscMatrix) -> Vec<usize> {
     let n = a.ncols();
-    let mut adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
-        .map(|j| a.rows_in_col(j).iter().copied().filter(|&i| i > j).collect())
-        .collect();
+    let mut adj: Vec<std::collections::BTreeSet<usize>> =
+        (0..n).map(|j| a.rows_in_col(j).iter().copied().filter(|&i| i > j).collect()).collect();
     for j in 0..n {
         let nbrs: Vec<usize> = adj[j].iter().copied().collect();
         for (x, &p) in nbrs.iter().enumerate() {

@@ -45,11 +45,7 @@ fn pinned_twotone_amd_cell() {
     // after an intentional change.
     eprintln!(
         "pinned cell: nodes={} flops={} base_peak={} mem_peak={} base_makespan={}",
-        stats.nodes,
-        stats.flops,
-        base.max_peak,
-        mem.max_peak,
-        base.makespan
+        stats.nodes, stats.flops, base.max_peak, mem.max_peak, base.makespan
     );
     assert_eq!(base.nodes_done, base.total_nodes);
     assert_eq!(mem.nodes_done, mem.total_nodes);
@@ -83,9 +79,9 @@ fn pinned_figure1_analysis() {
     let s = analyze(&a, &Permutation::identity(6), &AmalgamationOptions::none());
     assert_eq!(s.tree.len(), 3);
     assert_eq!(s.tree.total_factor_entries(), 17); // tri(4)-tri(2) twice + tri(2)
-    // flops check: two leaves npiv=2,nfront=4 (k=0: r=3 -> 3+9=12; k=1:
-    // r=2 -> 2+4=6; sum 18 each) + root npiv=2,nfront=2 (k=0: r=1 -> 2;
-    // k=1: 0) = 18+18+2 = 38.
+                                                   // flops check: two leaves npiv=2,nfront=4 (k=0: r=3 -> 3+9=12; k=1:
+                                                   // r=2 -> 2+4=6; sum 18 each) + root npiv=2,nfront=2 (k=0: r=1 -> 2;
+                                                   // k=1: 0) = 18+18+2 = 38.
     assert_eq!(s.tree.total_flops(), 38);
 }
 
@@ -106,12 +102,8 @@ fn disconnected_matrix_pipeline() {
     }
     let a = coo.to_csc();
     // Numeric: solves.
-    let f = Factorization::new(
-        &a,
-        &OrderingKind::Amd.compute(&a),
-        &AmalgamationOptions::default(),
-    )
-    .unwrap();
+    let f = Factorization::new(&a, &OrderingKind::Amd.compute(&a), &AmalgamationOptions::default())
+        .unwrap();
     let b: Vec<f64> = (0..2 * n).map(|i| (i % 5) as f64).collect();
     let x = f.solve(&b);
     assert!(Factorization::residual_inf(&a, &x, &b) < 1e-10);
