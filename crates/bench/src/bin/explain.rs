@@ -32,7 +32,7 @@ use mf_bench::obs;
 use mf_bench::sweep::{split_threshold_for, sweep_cell_captured, CellResult};
 use mf_core::parsim::RunResult;
 use mf_order::{OrderingKind, ALL_ORDERINGS};
-use mf_sim::recorder::SchedEvent;
+use mf_sim::recorder::{EventRef, SchedEvent};
 use mf_sim::{active_before, attribute_peaks, PeakAttribution, Recording};
 use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
 
@@ -119,15 +119,15 @@ fn peak_event_index(rec: &Recording, p: usize) -> Option<usize> {
     let mut peak = 0u64;
     let mut idx = None;
     for (i, te) in rec.events().enumerate() {
-        match te.event {
-            SchedEvent::MemAlloc { proc, entries, .. } if proc == p => {
+        match te.ev {
+            EventRef::MemAlloc { proc, entries, .. } if proc == p => {
                 active += entries;
                 if active > peak {
                     peak = active;
                     idx = Some(i);
                 }
             }
-            SchedEvent::MemFree { proc, entries, .. } if proc == p => {
+            EventRef::MemFree { proc, entries, .. } if proc == p => {
                 active = active.saturating_sub(entries);
             }
             _ => {}
@@ -137,16 +137,16 @@ fn peak_event_index(rec: &Recording, p: usize) -> Option<usize> {
 }
 
 /// Is this a scheduling *decision* involving processor `p`?
-fn involves(e: &SchedEvent, p: usize) -> bool {
+fn involves(e: EventRef<'_>, p: usize) -> bool {
     match e {
-        SchedEvent::Activate { proc, .. }
-        | SchedEvent::PoolDecision { proc, .. }
-        | SchedEvent::Forced { proc, .. } => *proc == p,
-        SchedEvent::SlaveSelection { master, picked, .. } => {
-            *master == p || picked.iter().any(|s| s.proc == p)
+        EventRef::Activate { proc, .. }
+        | EventRef::PoolDecision { proc, .. }
+        | EventRef::Forced { proc, .. } => proc == p,
+        EventRef::SlaveSelection { master, picked, .. } => {
+            master == p || picked.iter().any(|s| s.proc == p)
         }
-        SchedEvent::Reselect { master, dropped, .. } => *master == p || dropped.contains(&p),
-        SchedEvent::StatusApply { to, .. } => *to == p,
+        EventRef::Reselect { master, dropped, .. } => master == p || dropped.contains(p),
+        EventRef::StatusApply { to, .. } => to == p,
         _ => false,
     }
 }
@@ -216,8 +216,8 @@ fn print_decision_chain(rec: &Recording, nprocs: usize, p: usize, limit: usize) 
         .events()
         .enumerate()
         .take(peak_idx + 1)
-        .filter(|(_, te)| involves(&te.event, p))
-        .map(|(i, te)| (i, te.at, te.event.clone()))
+        .filter(|(_, te)| involves(te.ev, p))
+        .map(|(i, te)| (i, te.at, te.ev.to_owned()))
         .collect();
     let skipped = decisions.len().saturating_sub(limit);
     if skipped > 0 {

@@ -198,6 +198,41 @@ pub fn sweep_cell_captured(
     CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
 }
 
+/// Runs one cell exactly like [`sweep_cell`] with traces off, but with
+/// the structured flight recorder on (unbounded). This is the honest
+/// recorder-overhead arm: the *only* difference from
+/// `sweep_cell(.., false)` is `record_events`, so timing the two on the
+/// same cell set in the same process isolates the recorder's cost.
+pub fn sweep_cell_recorded(
+    matrix: PaperMatrix,
+    ordering: OrderingKind,
+    nprocs: usize,
+    split: Option<u64>,
+) -> CellResult {
+    let tree = build_tree(matrix, ordering, split);
+    let observed =
+        SolverConfig { record_events: true, event_capacity: None, ..paper_scale_config(nprocs) };
+    let base_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Workload,
+        task_selection: TaskSelection::Lifo,
+        use_subtree_info: false,
+        use_prediction: false,
+        ..observed.clone()
+    };
+    let mem_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        ..observed
+    };
+    let map = compute_mapping(&tree, &base_cfg);
+    let backend = Backend::from_env();
+    let baseline = backend.run(&tree, &map, &base_cfg);
+    let memory = backend.run(&tree, &map, &mem_cfg);
+    CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
+}
+
 /// One entry of a parallel sweep: the arguments of [`sweep_cell`].
 pub type CellSpec = (PaperMatrix, OrderingKind, usize, Option<u64>, bool);
 

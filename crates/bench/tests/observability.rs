@@ -139,6 +139,38 @@ fn real_trace_is_valid_monotone_and_balanced() {
     }
 }
 
+/// Round-trip equivalence of the compact columnar encoding: decoding a
+/// real recording to owned events and re-recording them must reproduce
+/// the identical logical stream, a byte-identical Perfetto export, and a
+/// peak attribution that still sums to the solver's `active_peak`.
+#[test]
+fn compact_recording_round_trips_through_owned_events() {
+    let nprocs = 4;
+    let c = sweep_cell_captured(PaperMatrix::TwoTone, OrderingKind::Amd, nprocs, None);
+    for run in [&c.baseline, &c.memory] {
+        let rec = run.recording.as_ref().expect("captured run records");
+        assert!(rec.payload_refs_valid(), "payload refs must be in-bounds and non-overlapping");
+
+        let mut rebuilt = Recording::new(None);
+        for te in rec.events() {
+            rebuilt.record(te.at, te.ev.to_owned());
+        }
+        assert!(&rebuilt == rec, "re-recording decoded events must reproduce the stream");
+        assert_eq!(
+            render(rec, nprocs),
+            render(&rebuilt, nprocs),
+            "exports must agree byte-for-byte"
+        );
+
+        let att = mf_sim::attribute_peaks(nprocs, &rebuilt);
+        for (p, a) in att.iter().enumerate() {
+            let sum: u64 = a.composition.iter().map(|it| it.entries).sum();
+            assert_eq!(sum, a.peak, "proc {p}: composition must sum to the replayed peak");
+            assert_eq!(a.peak, run.peaks[p], "proc {p}: replayed peak must equal active_peak");
+        }
+    }
+}
+
 /// Flight recordings are part of the deterministic contract: sweeping
 /// the same cells under different rayon pool widths must produce
 /// byte-identical recordings, not just identical peaks.

@@ -14,9 +14,10 @@
 use crate::config::SolverConfig;
 use crate::error::{RunDiagnostics, SimError};
 use crate::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
+use mf_sim::recorder::TaskRole;
 use mf_sim::{
-    Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory, Recording, RunMetrics,
-    SchedEvent, Sim, Time, Trace,
+    CompactEvent, Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory,
+    Recording, RunMetrics, Sim, Time, Trace,
 };
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
@@ -106,6 +107,11 @@ struct SimDriver<'a> {
     /// Flight recorder; `None` = disabled (the zero-cost path: cores emit
     /// no `Record` effects and every driver-side site is one branch).
     rec: Option<Recording>,
+    /// Per-processor `(node, role)` by compute key, maintained only while
+    /// recording: the driver synthesizes `ComputeStart` from the
+    /// `StartCompute` effect and `ComputeEnd` from its timer, so the
+    /// core's compute path needs no recording branch.
+    work_info: Vec<Vec<(usize, TaskRole)>>,
 }
 
 impl<'a> SimDriver<'a> {
@@ -121,12 +127,13 @@ impl<'a> SimDriver<'a> {
             fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
             metrics: RunMetrics::new(cfg.nprocs),
             rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
+            work_info: if cfg.record_events { vec![Vec::new(); cfg.nprocs] } else { Vec::new() },
         }
     }
 
     /// Records an event when the recorder is enabled.
     #[inline]
-    fn record(&mut self, build: impl FnOnce() -> SchedEvent) {
+    fn record(&mut self, build: impl FnOnce() -> CompactEvent) {
         let now = self.sim.now();
         if let Some(rec) = self.rec.as_mut() {
             rec.record(now, build());
@@ -154,7 +161,7 @@ impl<'a> SimDriver<'a> {
                     Some(t) => self.sim.schedule(t, EventPayload::Message { from, to, msg }),
                     None => {
                         self.metrics.dropped_status += 1;
-                        self.record(|| SchedEvent::FaultDrop { from, to });
+                        self.record(|| CompactEvent::fault_drop(from, to));
                     }
                 }
             }
@@ -166,7 +173,7 @@ impl<'a> SimDriver<'a> {
         // per receiver) with its payload value.
         if self.rec.is_some() {
             if let Some((kind, value)) = msg.status_kind() {
-                self.record(|| SchedEvent::StatusSend { from, kind, value });
+                self.record(|| CompactEvent::status_send(from, kind, value));
             }
         }
         debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
@@ -220,20 +227,39 @@ impl<'a> SimDriver<'a> {
     /// bit-identical to the historical monolithic scheduler.
     fn step(&mut self, core: &mut SchedulerCore<'_>, now: Time, input: Input) {
         let p = core.id();
+        if self.rec.is_some() {
+            // A fired timer is a compute completion: record ComputeEnd
+            // before the core's effects (exactly where the completion
+            // handler sits in the event order).
+            if let Input::TimerFired { key } = &input {
+                if let Some(&(node, role)) = self.work_info[p].get(*key as usize) {
+                    self.record(|| CompactEvent::compute_end(p, node, role));
+                }
+            }
+        }
         for e in core.handle(now, input) {
             match e {
                 Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
                 Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
-                Effect::StartCompute { key, flops, .. } => {
+                Effect::StartCompute { key, node, role, flops } => {
+                    if self.rec.is_some() {
+                        self.record(|| CompactEvent::compute_start(p, node, role));
+                        let info = &mut self.work_info[p];
+                        let k = key as usize;
+                        if info.len() <= k {
+                            info.resize(k + 1, (0, TaskRole::Elim));
+                        }
+                        info[k] = (node, role);
+                    }
                     let duration = self.duration_of(p, flops);
                     self.metrics.procs[p].busy_ticks += duration;
                     self.sim.schedule_timer(p, duration, key);
                 }
                 Effect::Alloc { node, area, entries } => {
-                    self.record(|| SchedEvent::MemAlloc { proc: p, node, area, entries });
+                    self.record(|| CompactEvent::mem_alloc(p, node, area, entries));
                 }
                 Effect::Free { node, area, entries } => {
-                    self.record(|| SchedEvent::MemFree { proc: p, node, area, entries });
+                    self.record(|| CompactEvent::mem_free(p, node, area, entries));
                 }
                 Effect::Record(ev) => {
                     let now = self.sim.now();
@@ -371,6 +397,11 @@ pub fn run(
     let mut metrics = drv.metrics;
     for core in &cores {
         metrics.merge(core.metrics());
+    }
+    if let Some(rec) = &drv.rec {
+        // Finalization invariant: every payload reference of the finished
+        // recording is in-bounds and non-overlapping.
+        rec.debug_validate();
     }
     Ok(RunResult {
         total_peaks,
@@ -620,10 +651,10 @@ mod tests {
         assert!(r.makespan >= free.makespan);
         // The recording saw the same story.
         let rec = r.recording.unwrap();
-        assert!(rec.events().any(|te| matches!(te.event, mf_sim::SchedEvent::Forced { .. })));
+        assert!(rec.events().any(|te| matches!(te.ev, mf_sim::EventRef::Forced { .. })));
         assert!(rec
             .events()
-            .any(|te| matches!(te.event, mf_sim::SchedEvent::PoolDecision { picked: None, .. })));
+            .any(|te| matches!(te.ev, mf_sim::EventRef::PoolDecision { picked: None, .. })));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::pool::{TaskCtx, TaskPool, TaskSelector};
 use crate::slavesel::{SlaveAssignment, SlaveCtx, SlaveSelector};
 use crate::views::Views;
 use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
-use mf_sim::{MsgClass, ProcMemory, RunMetrics, SchedEvent, Time};
+use mf_sim::{CompactEvent, MsgClass, ProcMemory, RunMetrics, Time};
 use mf_symbolic::AssemblyTree;
 use std::collections::VecDeque;
 
@@ -229,7 +229,10 @@ pub enum Effect {
     },
     /// Run `flops` worth of compute; deliver [`Input::TimerFired`] with
     /// `key` when it completes. The runtime owns the duration model
-    /// (flop rate, jitter, stragglers).
+    /// (flop rate, jitter, stragglers). A recording driver derives the
+    /// `ComputeStart`/`ComputeEnd` events from this effect and its
+    /// timer, so the core's compute hot path carries no recording
+    /// branches at all.
     StartCompute {
         /// Completion key (an index into the core's work ledger).
         key: u64,
@@ -262,10 +265,13 @@ pub enum Effect {
         /// Release size in entries.
         entries: u64,
     },
-    /// A flight-recorder event (only emitted when the core was built with
-    /// recording enabled, preserving the recorder's zero-cost-off
-    /// contract).
-    Record(SchedEvent),
+    /// A flight-recorder decision event in compact wire form (only
+    /// emitted when the core was built with recording enabled,
+    /// preserving the recorder's zero-cost-off contract). Carrying the
+    /// POD [`CompactEvent`] — payloads boxed, and only for the rare
+    /// selection events — keeps this variant from inflating the whole
+    /// `Effect` enum the hot paths move through.
+    Record(CompactEvent),
 }
 
 /// Work units whose completion is signalled by [`Input::TimerFired`].
@@ -513,11 +519,14 @@ impl<'a> SchedulerCore<'a> {
     }
 
     /// Emits a recorder event when recording is enabled. The event is
-    /// built inside the closure, so the disabled path is a single branch
-    /// with no allocation — the zero-cost contract of the observability
-    /// layer.
+    /// built inside the closure, so the disabled path is a single
+    /// predictable branch with nothing constructed — and since the
+    /// memory/compute hot paths derive their events driver-side from
+    /// `Alloc`/`Free`/`StartCompute` effects, the recording-off fast
+    /// path of the core's inner loops carries no recording branches at
+    /// all; only the cold decision sites and status applies reach here.
     #[inline]
-    fn emit_record(&mut self, build: impl FnOnce() -> SchedEvent) {
+    fn emit_record(&mut self, build: impl FnOnce() -> CompactEvent) {
         if self.record {
             let ev = build();
             self.out.push(Effect::Record(ev));
@@ -644,8 +653,6 @@ impl<'a> SchedulerCore<'a> {
             };
             self.close_stall();
             self.busy = true;
-            let p = self.id;
-            self.emit_record(|| SchedEvent::ComputeStart { proc: p, node, role });
             self.out.push(Effect::StartCompute { key: key as u64, node, role, flops });
             return;
         }
@@ -692,7 +699,7 @@ impl<'a> SchedulerCore<'a> {
         if depth > 0 {
             // A real decision was taken over a non-empty pool: observe it.
             self.metrics.pool_depth.observe(depth as u64);
-            self.emit_record(|| SchedEvent::PoolDecision { proc: id, depth, picked });
+            self.emit_record(|| CompactEvent::pool_decision(id, depth, picked));
             if picked.is_none() {
                 // The Algorithm-2 / capacity verdict deferred everything:
                 // the processor is stalled until memory frees.
@@ -725,7 +732,7 @@ impl<'a> SchedulerCore<'a> {
         self.forced += 1;
         self.metrics.forced_activations += 1;
         let p = self.id;
-        self.emit_record(|| SchedEvent::Forced { proc: p, node: v, cost });
+        self.emit_record(|| CompactEvent::forced(p, v, cost));
         self.activate_node(v);
     }
 
@@ -753,7 +760,7 @@ impl<'a> SchedulerCore<'a> {
             NodeKind::Type3 => FrontClass::Type3,
         };
         let p = self.id;
-        self.emit_record(|| SchedEvent::Activate { proc: p, node: v, class });
+        self.emit_record(|| CompactEvent::activate(p, v, class));
 
         if self.cfg.use_prediction {
             // This task is no longer "upcoming": refresh the broadcast.
@@ -854,11 +861,8 @@ impl<'a> SchedulerCore<'a> {
             }
             rounds += 1;
             self.metrics.reselect_rounds += 1;
-            if self.record {
-                let dropped = violators.clone();
-                let master = self.id;
-                self.emit_record(|| SchedEvent::Reselect { master, node: v, dropped });
-            }
+            let master = self.id;
+            self.emit_record(|| CompactEvent::reselect(master, v, &violators));
             candidates.retain(|q| !violators.contains(q));
             if candidates.is_empty() {
                 // Last resort: serialize the whole front on the master.
@@ -894,16 +898,9 @@ impl<'a> SchedulerCore<'a> {
                 })
                 .collect();
             let serialized = serialized || assignment.is_empty();
-            let master = self.id;
-            self.emit_record(|| SchedEvent::SlaveSelection {
-                master,
-                node: v,
-                metric,
-                view_age,
-                picked,
-                rounds,
-                serialized,
-            });
+            self.out.push(Effect::Record(CompactEvent::slave_selection(
+                self.id, v, &metric, &view_age, &picked, rounds, serialized,
+            )));
         }
 
         if assignment.is_empty() {
@@ -981,8 +978,6 @@ impl<'a> SchedulerCore<'a> {
             Work::Slave { flops, node, .. } => (*flops, *node, TaskRole::Slave),
             Work::RootShare { flops, node, .. } => (*flops, *node, TaskRole::Root),
         };
-        let p = self.id;
-        self.emit_record(|| SchedEvent::ComputeStart { proc: p, node, role });
         let key = self.works.len() as u64;
         self.works.push(work);
         self.out.push(Effect::StartCompute { key, node, role, flops });
@@ -1012,10 +1007,8 @@ impl<'a> SchedulerCore<'a> {
             });
             return;
         };
-        let p = self.id;
         match work {
             Work::Elim { node, flops } => {
-                self.emit_record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Elim });
                 self.store_factors(self.tree.factor_entries(node));
                 self.mem_free_front(node, self.tree.front_entries(node));
                 let cb = self.tree.cb_entries(node);
@@ -1026,21 +1019,11 @@ impl<'a> SchedulerCore<'a> {
                 self.finish_node(node, pieces, flops);
             }
             Work::MasterPart { node, pieces, flops } => {
-                self.emit_record(|| SchedEvent::ComputeEnd {
-                    proc: p,
-                    node,
-                    role: TaskRole::Master,
-                });
                 self.store_factors(self.tree.master_entries(node));
                 self.mem_free_front(node, self.tree.master_entries(node));
                 self.finish_node(node, pieces, flops);
             }
             Work::Slave { node, entries, cb_share, factor_share, flops } => {
-                self.emit_record(|| SchedEvent::ComputeEnd {
-                    proc: p,
-                    node,
-                    role: TaskRole::Slave,
-                });
                 self.store_factors(factor_share);
                 self.mem_free_front(node, entries);
                 if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
@@ -1051,7 +1034,6 @@ impl<'a> SchedulerCore<'a> {
                 self.try_start();
             }
             Work::RootShare { node, entries, flops, is_master } => {
-                self.emit_record(|| SchedEvent::ComputeEnd { proc: p, node, role: TaskRole::Root });
                 self.store_factors(entries);
                 self.mem_free_front(node, entries);
                 self.load_change(-(flops as i64));
@@ -1185,12 +1167,8 @@ impl<'a> SchedulerCore<'a> {
             Msg::MemDelta { delta } => {
                 let age = self.touch_view(from);
                 self.views.apply_mem_delta(from, delta);
-                self.emit_record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::MemDelta,
-                    age,
+                self.emit_record(|| {
+                    CompactEvent::status_apply(to, from, from, StatusKind::MemDelta, age)
                 });
             }
             Msg::Assigned { proc, entries } => {
@@ -1198,46 +1176,30 @@ impl<'a> SchedulerCore<'a> {
                 if proc != to {
                     let age = self.touch_view(proc);
                     self.views.apply_mem_delta(proc, entries as i64);
-                    self.emit_record(|| SchedEvent::StatusApply {
-                        to,
-                        from,
-                        about: proc,
-                        kind: StatusKind::Assigned,
-                        age,
+                    self.emit_record(|| {
+                        CompactEvent::status_apply(to, from, proc, StatusKind::Assigned, age)
                     });
                 }
             }
             Msg::LoadDelta { delta } => {
                 let age = self.touch_view(from);
                 self.views.apply_load_delta(from, delta);
-                self.emit_record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::LoadDelta,
-                    age,
+                self.emit_record(|| {
+                    CompactEvent::status_apply(to, from, from, StatusKind::LoadDelta, age)
                 });
             }
             Msg::SubtreePeak { peak } => {
                 let age = self.touch_view(from);
                 self.views.subtree[from] = peak;
-                self.emit_record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::SubtreePeak,
-                    age,
+                self.emit_record(|| {
+                    CompactEvent::status_apply(to, from, from, StatusKind::SubtreePeak, age)
                 });
             }
             Msg::Predicted { cost } => {
                 let age = self.touch_view(from);
                 self.views.predicted[from] = cost;
-                self.emit_record(|| SchedEvent::StatusApply {
-                    to,
-                    from,
-                    about: from,
-                    kind: StatusKind::Predicted,
-                    age,
+                self.emit_record(|| {
+                    CompactEvent::status_apply(to, from, from, StatusKind::Predicted, age)
                 });
             }
             Msg::ChildStarted { node } => {

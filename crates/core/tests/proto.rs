@@ -215,3 +215,16 @@ proptest! {
         }
     }
 }
+
+/// The `Effect` enum is the core's hot currency: every message, memory
+/// movement, and compute start moves through it. The columnar recorder
+/// rebuild shrank it from ~112 bytes (when `Record` carried `SchedEvent`
+/// with four inline `Vec`s) to 64; this pin keeps it from growing back.
+#[test]
+fn effect_enum_stays_slim() {
+    assert!(
+        std::mem::size_of::<Effect>() <= 64,
+        "Effect grew to {} bytes; keep Record payloads boxed/compact",
+        std::mem::size_of::<Effect>()
+    );
+}

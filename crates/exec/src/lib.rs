@@ -28,7 +28,8 @@ use mf_core::parsim::RunResult;
 use mf_core::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
 use mf_core::ProcDiag;
 use mf_sim::recorder::MemArea;
-use mf_sim::{MsgClass, NetworkModel, Recording, RunMetrics, SchedEvent, Time, Trace};
+use mf_sim::recorder::TaskRole;
+use mf_sim::{CompactEvent, MsgClass, NetworkModel, Recording, RunMetrics, Time, Trace};
 use mf_symbolic::AssemblyTree;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -258,12 +259,17 @@ struct Coordinator {
     nprocs: usize,
     metrics: RunMetrics,
     rec: Option<Recording>,
+    /// Per-processor `(node, role)` by compute key, maintained only while
+    /// recording: the coordinator synthesizes `ComputeStart` from the
+    /// `StartCompute` effect and `ComputeEnd` from its timer, so the
+    /// core's compute path needs no recording branch.
+    work_info: Vec<Vec<(usize, TaskRole)>>,
     flops_per_tick: u64,
     nodes_done: Vec<usize>,
 }
 
 impl Coordinator {
-    fn record(&mut self, build: impl FnOnce() -> SchedEvent) {
+    fn record(&mut self, build: impl FnOnce() -> CompactEvent) {
         if let Some(rec) = self.rec.as_mut() {
             rec.record(self.now, build());
         }
@@ -295,7 +301,7 @@ impl Coordinator {
     fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
         if self.rec.is_some() {
             if let Some((kind, value)) = msg.status_kind() {
-                self.record(|| SchedEvent::StatusSend { from, kind, value });
+                self.record(|| CompactEvent::status_send(from, kind, value));
             }
         }
         debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
@@ -319,17 +325,26 @@ impl Coordinator {
             match e {
                 Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
                 Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
-                Effect::StartCompute { key, flops, .. } => {
+                Effect::StartCompute { key, node, role, flops } => {
+                    if self.rec.is_some() {
+                        self.record(|| CompactEvent::compute_start(p, node, role));
+                        let info = &mut self.work_info[p];
+                        let k = key as usize;
+                        if info.len() <= k {
+                            info.resize(k + 1, (0, TaskRole::Elim));
+                        }
+                        info[k] = (node, role);
+                    }
                     let duration = (flops / self.flops_per_tick.max(1)).max(1);
                     self.metrics.procs[p].busy_ticks += duration;
                     let at = self.now + duration;
                     self.push(at, Item::Timer { proc: p, key });
                 }
                 Effect::Alloc { node, area, entries } => {
-                    self.record(|| SchedEvent::MemAlloc { proc: p, node, area, entries });
+                    self.record(|| CompactEvent::mem_alloc(p, node, area, entries));
                 }
                 Effect::Free { node, area, entries } => {
-                    self.record(|| SchedEvent::MemFree { proc: p, node, area, entries });
+                    self.record(|| CompactEvent::mem_free(p, node, area, entries));
                 }
                 Effect::Record(ev) => {
                     if let Some(rec) = self.rec.as_mut() {
@@ -449,6 +464,7 @@ pub fn run_threads(
             nprocs: cfg.nprocs,
             metrics: RunMetrics::new(cfg.nprocs),
             rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
+            work_info: if cfg.record_events { vec![Vec::new(); cfg.nprocs] } else { Vec::new() },
             flops_per_tick: cfg.flops_per_tick,
             nodes_done: vec![0; cfg.nprocs],
         };
@@ -466,7 +482,18 @@ pub fn run_threads(
                 co.delivered += 1;
                 let (p, input) = match item {
                     Item::Msg { from, to, msg } => (to, Input::Deliver { from, msg }),
-                    Item::Timer { proc, key } => (proc, Input::TimerFired { key }),
+                    Item::Timer { proc, key } => {
+                        if co.rec.is_some() {
+                            // A fired timer is a compute completion: record
+                            // ComputeEnd before the worker's effects (exactly
+                            // where the completion handler sits in the event
+                            // order).
+                            if let Some(&(node, role)) = co.work_info[proc].get(key as usize) {
+                                co.record(|| CompactEvent::compute_end(proc, node, role));
+                            }
+                        }
+                        (proc, Input::TimerFired { key })
+                    }
                 };
                 if let Some(v) = dispatch(&mut co, &cmds, &replies, p, input)? {
                     let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
@@ -550,6 +577,11 @@ pub fn run_threads(
         let mut metrics = co.metrics;
         for f in &finals {
             metrics.merge(&f.metrics);
+        }
+        if let Some(rec) = &co.rec {
+            // Finalization invariant: every payload reference of the finished
+            // recording is in-bounds and non-overlapping.
+            rec.debug_validate();
         }
         Ok(RunResult {
             total_peaks: finals.iter().map(|f| f.total_peak).collect(),

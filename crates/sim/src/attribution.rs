@@ -11,7 +11,7 @@
 //! bit-exactly to the solver's `active_peak`.
 
 use crate::engine::Time;
-use crate::recorder::{MemArea, Recording, SchedEvent};
+use crate::recorder::{EventRef, MemArea, Recording};
 
 /// One live allocation at a peak instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,8 +84,8 @@ pub fn attribute_peaks(nprocs: usize, rec: &Recording) -> Vec<PeakAttribution> {
     let mut peak_idx = vec![usize::MAX; nprocs];
     let mut peak_at = vec![0 as Time; nprocs];
     for (idx, te) in rec.events().enumerate() {
-        match te.event {
-            SchedEvent::MemAlloc { proc, entries, .. } => {
+        match te.ev {
+            EventRef::MemAlloc { proc, entries, .. } => {
                 active[proc] += entries;
                 if active[proc] > peak[proc] {
                     peak[proc] = active[proc];
@@ -93,7 +93,7 @@ pub fn attribute_peaks(nprocs: usize, rec: &Recording) -> Vec<PeakAttribution> {
                     peak_at[proc] = te.at;
                 }
             }
-            SchedEvent::MemFree { proc, entries, .. } => {
+            EventRef::MemFree { proc, entries, .. } => {
                 active[proc] = active[proc].saturating_sub(entries);
             }
             _ => {}
@@ -107,8 +107,8 @@ pub fn attribute_peaks(nprocs: usize, rec: &Recording) -> Vec<PeakAttribution> {
         .map(|p| PeakAttribution { proc: p, at: 0, peak: 0, composition: Vec::new() })
         .collect();
     for (idx, te) in rec.events().enumerate() {
-        match te.event {
-            SchedEvent::MemAlloc { proc, node, area, entries } => {
+        match te.ev {
+            EventRef::MemAlloc { proc, node, area, entries } => {
                 replays[proc].alloc(node, area, entries);
                 if idx == peak_idx[proc] {
                     let mut comp = replays[proc].live.clone();
@@ -121,7 +121,7 @@ pub fn attribute_peaks(nprocs: usize, rec: &Recording) -> Vec<PeakAttribution> {
                     };
                 }
             }
-            SchedEvent::MemFree { proc, node, area, entries } => {
+            EventRef::MemFree { proc, node, area, entries } => {
                 replays[proc].free(node, area, entries);
             }
             _ => {}
@@ -139,9 +139,9 @@ pub fn attribute_peaks(nprocs: usize, rec: &Recording) -> Vec<PeakAttribution> {
 pub fn active_before(nprocs: usize, rec: &Recording, idx: usize) -> Vec<u64> {
     let mut active = vec![0u64; nprocs];
     for te in rec.events().take(idx) {
-        match te.event {
-            SchedEvent::MemAlloc { proc, entries, .. } => active[proc] += entries,
-            SchedEvent::MemFree { proc, entries, .. } => {
+        match te.ev {
+            EventRef::MemAlloc { proc, entries, .. } => active[proc] += entries,
+            EventRef::MemFree { proc, entries, .. } => {
                 active[proc] = active[proc].saturating_sub(entries)
             }
             _ => {}
@@ -153,6 +153,7 @@ pub fn active_before(nprocs: usize, rec: &Recording, idx: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::SchedEvent;
 
     fn alloc(proc: usize, node: usize, area: MemArea, entries: u64) -> SchedEvent {
         SchedEvent::MemAlloc { proc, node, area, entries }

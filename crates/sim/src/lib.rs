@@ -43,6 +43,7 @@ pub use metrics::{Histogram, ProcMetrics, RunMetrics};
 pub use network::NetworkModel;
 pub use perfetto::write_chrome_trace;
 pub use recorder::{
-    FrontClass, MemArea, Recording, SchedEvent, SlavePick, StatusKind, TaskRole, TimedEvent,
+    CompactEvent, EventRef, EventView, FrontClass, MemArea, ProcList, Recording, SchedEvent,
+    SlavePick, SlavePicks, StatusKind, TaskRole,
 };
 pub use trace::{Trace, TraceSample};

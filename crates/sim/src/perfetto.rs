@@ -11,7 +11,7 @@
 //! The output is plain ASCII JSON, emitted deterministically in event
 //! order — byte-identical for byte-identical recordings.
 
-use crate::recorder::{MemArea, Recording, SchedEvent};
+use crate::recorder::{EventRef, MemArea, Recording};
 use std::io::{self, Write};
 
 /// Writes `rec` as Chrome trace-event JSON for an `nprocs`-processor
@@ -59,8 +59,8 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -
 
     for te in rec.events() {
         let ts = te.at;
-        match &te.event {
-            SchedEvent::ComputeStart { proc, node, role } => {
+        match te.ev {
+            EventRef::ComputeStart { proc, node, role } => {
                 emit(
                     w,
                     &format!(
@@ -70,7 +70,7 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -
                     ),
                 )?;
             }
-            SchedEvent::ComputeEnd { proc, node, role } => {
+            EventRef::ComputeEnd { proc, node, role } => {
                 emit(
                     w,
                     &format!(
@@ -80,21 +80,21 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -
                     ),
                 )?;
             }
-            SchedEvent::MemAlloc { proc, area, entries, .. } => {
+            EventRef::MemAlloc { proc, area, entries, .. } => {
                 match area {
-                    MemArea::Front => front[*proc] += entries,
-                    MemArea::Stack => stack[*proc] += entries,
+                    MemArea::Front => front[proc] += entries,
+                    MemArea::Stack => stack[proc] += entries,
                 }
-                emit(w, &counter_line(*proc, ts, front[*proc], stack[*proc]))?;
+                emit(w, &counter_line(proc, ts, front[proc], stack[proc]))?;
             }
-            SchedEvent::MemFree { proc, area, entries, .. } => {
+            EventRef::MemFree { proc, area, entries, .. } => {
                 match area {
-                    MemArea::Front => front[*proc] = front[*proc].saturating_sub(*entries),
-                    MemArea::Stack => stack[*proc] = stack[*proc].saturating_sub(*entries),
+                    MemArea::Front => front[proc] = front[proc].saturating_sub(entries),
+                    MemArea::Stack => stack[proc] = stack[proc].saturating_sub(entries),
                 }
-                emit(w, &counter_line(*proc, ts, front[*proc], stack[*proc]))?;
+                emit(w, &counter_line(proc, ts, front[proc], stack[proc]))?;
             }
-            SchedEvent::Activate { proc, node, class } => {
+            EventRef::Activate { proc, node, class } => {
                 emit(
                     w,
                     &format!(
@@ -105,7 +105,7 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -
                     ),
                 )?;
             }
-            SchedEvent::Forced { proc, node, .. } => {
+            EventRef::Forced { proc, node, .. } => {
                 emit(
                     w,
                     &format!(
@@ -137,7 +137,7 @@ fn counter_line(proc: usize, ts: crate::engine::Time, front: u64, stack: u64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{Recording, TaskRole};
+    use crate::recorder::{Recording, SchedEvent, TaskRole};
 
     #[test]
     fn slices_and_counters_render() {
