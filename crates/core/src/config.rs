@@ -199,6 +199,15 @@ pub struct SolverConfig {
     /// virtual time passes this many ticks (runaway guard). `None`
     /// disables the check.
     pub time_limit: Option<Time>,
+    /// Thread budget for the trailing update *inside* each front when a
+    /// numeric driver executes this configuration (the malleable-tasks
+    /// axis of Guermouche–Marchal–Simon–Vivien: a front is a task whose
+    /// processing time shrinks with allotted cores). Purely a numeric
+    /// performance knob: the simulator's scheduling decisions ignore it,
+    /// and the factor bytes do not depend on it (kernel dispatch keys on
+    /// the pivot count only; the parallel trailing sweep is partition-
+    /// invariant). `1` keeps every front sequential.
+    pub cores_per_front: usize,
 }
 
 impl Default for SolverConfig {
@@ -226,6 +235,7 @@ impl Default for SolverConfig {
             fault: None,
             capacity: None,
             time_limit: None,
+            cores_per_front: 1,
         }
     }
 }
@@ -263,6 +273,15 @@ mod tests {
         assert_eq!(base.nprocs, mem.nprocs);
         assert_eq!(base.type2_front_min, mem.type2_front_min);
         assert!(mem.use_subtree_info && mem.use_prediction);
+    }
+
+    #[test]
+    fn cores_per_front_defaults_to_sequential() {
+        // The malleable-tasks knob must not alter any preset's behavior
+        // unless explicitly raised.
+        assert_eq!(SolverConfig::default().cores_per_front, 1);
+        assert_eq!(SolverConfig::mumps_baseline(32).cores_per_front, 1);
+        assert_eq!(SolverConfig::memory_based(32).cores_per_front, 1);
     }
 
     #[test]

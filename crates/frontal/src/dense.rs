@@ -1,5 +1,8 @@
 //! Column-major dense storage and partial factorization kernels.
 
+use crate::gemm::{self, GemmWorkspace};
+use rayon::prelude::*;
+
 /// A column-major dense matrix (the layout of frontal matrices).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMat {
@@ -62,6 +65,11 @@ impl DenseMat {
         &mut self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
+    /// Raw column-major backing slice (crate-internal: content digests).
+    pub(crate) fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Swaps rows `a` and `b` across all columns.
     pub fn swap_rows(&mut self, a: usize, b: usize) {
         if a == b {
@@ -117,28 +125,17 @@ impl std::error::Error for KernelError {}
 /// `dst.len()` up front lets the inner loop run without bounds checks.
 #[inline]
 fn axpy_sub(dst: &mut [f64], l: &[f64], u: f64) {
-    let n = dst.len();
-    let l = &l[..n];
-    for i in 0..n {
-        dst[i] -= l[i] * u;
-    }
+    gemm::axpy_sub(dst, l, u);
 }
 
-/// Four fused axpy updates: `dst[i] -= l0[i]*u0; dst[i] -= l1[i]*u1; ...`
-/// with the subtractions kept sequential per element, so the rounding of
-/// each destination value is exactly that of four separate [`axpy_sub`]
-/// calls (one pass over `dst` instead of four).
+/// `dst[i] += src[i]` over equal-length slices (assembly fast path for
+/// contribution blocks whose variables land on consecutive parent rows).
 #[inline]
-fn axpy_sub4(dst: &mut [f64], l0: &[f64], l1: &[f64], l2: &[f64], l3: &[f64], u: [f64; 4]) {
+pub(crate) fn add_assign_slice(dst: &mut [f64], src: &[f64]) {
     let n = dst.len();
-    let (l0, l1, l2, l3) = (&l0[..n], &l1[..n], &l2[..n], &l3[..n]);
+    let src = &src[..n];
     for i in 0..n {
-        let mut v = dst[i];
-        v -= l0[i] * u[0];
-        v -= l1[i] * u[1];
-        v -= l2[i] * u[2];
-        v -= l3[i] * u[3];
-        dst[i] = v;
+        dst[i] += src[i];
     }
 }
 
@@ -205,20 +202,136 @@ pub fn partial_lu(
     Ok(())
 }
 
+/// Fixed column-chunk width of the parallel trailing sweep (a multiple
+/// of the microkernel tile width). The partition never changes results:
+/// every column's update is computed independently from the shared
+/// packed panel, so any chunking — including the single-chunk sequential
+/// sweep — produces bit-identical bytes.
+const PAR_COL_CHUNK: usize = 8 * gemm::NR;
+
+/// Below this many trailing columns a parallel dispatch cannot pay for
+/// its thread handoff; stay on the single-chunk path.
+const PAR_MIN_COLS: usize = 2 * PAR_COL_CHUNK;
+
+/// One chunk of the LU trailing update: for every column of `cols`
+/// (whole front columns, length `f` each), solve `L11` against the
+/// fully-summed rows `k0..kend` (forming `U12`), then subtract
+/// `L21 · U12` from rows `kend..` through the packed microkernel.
+fn lu_trailing_chunk(
+    cols: &mut [f64],
+    f: usize,
+    k0: usize,
+    kend: usize,
+    panel: &[f64],
+    ap: &gemm::APack<'_>,
+) {
+    let nc = cols.len() / f;
+    for colj in cols.chunks_exact_mut(f) {
+        for k in k0..kend {
+            let ukj = colj[k];
+            if ukj == 0.0 {
+                continue;
+            }
+            let base = k * f + k + 1;
+            axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ukj);
+        }
+    }
+    let mut bp = Vec::new();
+    gemm::pack_b(&mut bp, &cols[k0..], f, kend - k0, nc);
+    gemm::gemm_sub_packed(ap, &bp, nc, &mut cols[kend..], f);
+}
+
+/// One chunk of the LDLᵀ trailing update: for every column `j`
+/// (`global_j0 + local`), form the scaled row `B(k,j) = d_k·l_{jk}`,
+/// apply the mirror update to the fully-summed rows `k+1..kend`, then
+/// subtract `L21 · B` from rows `kend..` through the packed microkernel.
+#[allow(clippy::too_many_arguments)]
+fn ldlt_trailing_chunk(
+    cols: &mut [f64],
+    global_j0: usize,
+    f: usize,
+    k0: usize,
+    kend: usize,
+    panel: &[f64],
+    ap: &gemm::APack<'_>,
+    d: &[f64],
+) {
+    let kb = kend - k0;
+    let nc = cols.len() / f;
+    let mut bvals = vec![0.0; kb * nc];
+    for (jl, colj) in cols.chunks_exact_mut(f).enumerate() {
+        let gj = global_j0 + jl;
+        for k in k0..kend {
+            let ljk_d = panel[k * f + gj] * d[k - k0];
+            bvals[jl * kb + (k - k0)] = ljk_d;
+            if ljk_d == 0.0 {
+                continue;
+            }
+            let base = k * f + k + 1;
+            axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ljk_d);
+        }
+    }
+    let mut bp = Vec::new();
+    gemm::pack_b(&mut bp, &bvals, kb, kb, nc);
+    gemm::gemm_sub_packed(ap, &bp, nc, &mut cols[kend..], f);
+}
+
+/// Runs `chunk_fn` over the trailing columns, either as one sequential
+/// chunk or as fixed-width chunks fanned out over up to `threads` rayon
+/// workers. Chunks write disjoint whole columns and read only the shared
+/// packed panel, so there is **no cross-thread reduction to order**: the
+/// per-element accumulation order is pinned inside the microkernel
+/// (ascending `k`), and the output is bit-identical for every thread
+/// count and chunk partition.
+fn dispatch_trailing(
+    trailing: &mut [f64],
+    f: usize,
+    threads: usize,
+    chunk_fn: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    let ncols = trailing.len() / f;
+    if threads <= 1 || ncols < PAR_MIN_COLS {
+        chunk_fn(0, trailing);
+        return;
+    }
+    let chunks: Vec<(usize, &mut [f64])> = trailing
+        .chunks_mut(f * PAR_COL_CHUNK)
+        .enumerate()
+        .map(|(i, c)| (i * PAR_COL_CHUNK, c))
+        .collect();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+    pool.install(|| {
+        chunks.into_par_iter().for_each(|(c0, cols)| chunk_fn(c0, cols));
+    });
+}
+
 /// Cache-blocked variant of [`partial_lu`]: identical result (same pivot
-/// choices), computed by panels of `nb` columns with a GEMM-shaped
-/// trailing update — the textbook BLAS-3 restructuring.
-///
-/// The trailing update is a register-blocked microkernel on disjoint
-/// column slices ([`axpy_sub4`]): one pass over each target column per
-/// four panel columns, no bounds checks in the inner loop. See the
-/// `numeric/kernel` benches; [`factor_front_lu`] dispatches here beyond
-/// 512 pivots, where panel reuse pays for the extra structure.
+/// choices), computed by panels of `nb` columns with a packed-GEMM
+/// trailing update — the textbook BLAS-3 restructuring over the
+/// [`crate::gemm`] microkernels. Single-threaded; see
+/// [`partial_lu_blocked_mt`] for the within-front parallel variant
+/// (which this delegates to and is bit-identical with).
 pub fn partial_lu_blocked(
     w: &mut DenseMat,
     npiv: usize,
     nb: usize,
     row_perm: &mut Vec<usize>,
+) -> Result<(), KernelError> {
+    partial_lu_blocked_mt(w, npiv, nb, row_perm, 1)
+}
+
+/// [`partial_lu_blocked`] with the trailing update of each panel fanned
+/// out across up to `threads` rayon workers (within-front parallelism —
+/// the "malleable task" axis). Output bytes are identical for every
+/// `threads` value: the panel factorization is sequential, and the
+/// parallel trailing sweep partitions columns disjointly with a pinned
+/// per-element accumulation order (see [`crate::gemm`]).
+pub fn partial_lu_blocked_mt(
+    w: &mut DenseMat,
+    npiv: usize,
+    nb: usize,
+    row_perm: &mut Vec<usize>,
+    threads: usize,
 ) -> Result<(), KernelError> {
     let f = w.nrows();
     assert_eq!(f, w.ncols(), "frontal matrices are square");
@@ -226,6 +339,7 @@ pub fn partial_lu_blocked(
     let nb = nb.max(1);
     row_perm.clear();
     row_perm.extend(0..f);
+    let mut ws = GemmWorkspace::new();
     let mut k0 = 0;
     while k0 < npiv {
         let kb = nb.min(npiv - k0);
@@ -263,51 +377,16 @@ pub fn partial_lu_blocked(
             }
         }
         let kend = k0 + kb;
-        // ---- Columns right of the panel: the triangular U12 update
-        // (rows k0..kend) followed by the trailing GEMM update
-        // (rows kend..f), fused so each column is touched once per panel.
-        // One split separates the factored panel (read-only L) from the
-        // columns being updated; the microkernels then run on plain
-        // slices with no index arithmetic in the inner loop. Each target
-        // element receives its panel updates one `k` at a time in
-        // ascending order — the same subtraction sequence as the rank-1
-        // form, so downstream pivot decisions are unaffected. ----
-        let (panel, trailing) = w.data.split_at_mut(kend * f);
-        for colj in trailing.chunks_exact_mut(f) {
-            // U12: solve L11 (unit lower) against rows k0..kend.
-            for k in k0..kend {
-                let ukj = colj[k];
-                if ukj == 0.0 {
-                    continue;
-                }
-                let base = k * f + k + 1;
-                axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ukj);
-            }
-            // GEMM: rows kend..f minus L21 times this column of U12,
-            // four panel columns per pass.
-            let (u12, dst) = colj.split_at_mut(kend);
-            let n = dst.len();
-            let mut k = k0;
-            while k + 4 <= kend {
-                let base = k * f + kend;
-                axpy_sub4(
-                    dst,
-                    &panel[base..base + n],
-                    &panel[base + f..base + f + n],
-                    &panel[base + 2 * f..base + 2 * f + n],
-                    &panel[base + 3 * f..base + 3 * f + n],
-                    [u12[k], u12[k + 1], u12[k + 2], u12[k + 3]],
-                );
-                k += 4;
-            }
-            while k < kend {
-                let ukj = u12[k];
-                if ukj != 0.0 {
-                    let base = k * f + kend;
-                    axpy_sub(dst, &panel[base..base + n], ukj);
-                }
-                k += 1;
-            }
+        // ---- Columns right of the panel: the triangular U12 solve
+        // (rows k0..kend) followed by the GEMM update of rows kend..f,
+        // `W22 -= L21 · U12`, through the packed microkernels. L21 is
+        // packed once per panel and read-shared by every chunk. ----
+        if kend < f {
+            let (panel, trailing) = w.data.split_at_mut(kend * f);
+            let ap = gemm::pack_a(&mut ws, &panel[k0 * f + kend..], f, f - kend, kb);
+            dispatch_trailing(trailing, f, threads, |_, cols| {
+                lu_trailing_chunk(cols, f, k0, kend, panel, &ap);
+            });
         }
         k0 = kend;
     }
@@ -352,6 +431,75 @@ pub fn partial_ldlt(w: &mut DenseMat, npiv: usize) -> Result<(), KernelError> {
     Ok(())
 }
 
+/// Cache-blocked variant of [`partial_ldlt`]: same (unpivoted) pivot
+/// sequence, computed by panels of `nb` columns. Panel columns keep the
+/// rank-1 form (all rows); trailing columns receive the fully-summed-row
+/// mirror updates per column and a deferred `W22 -= L21 · (D·L21ᵀ)`
+/// through the packed microkernels. Values differ from the rank-1 kernel
+/// only by summation order. See [`partial_ldlt_blocked_mt`].
+pub fn partial_ldlt_blocked(w: &mut DenseMat, npiv: usize, nb: usize) -> Result<(), KernelError> {
+    partial_ldlt_blocked_mt(w, npiv, nb, 1)
+}
+
+/// [`partial_ldlt_blocked`] with the trailing update of each panel fanned
+/// out across up to `threads` rayon workers. Bit-identical output for
+/// every `threads` value, by the same argument as
+/// [`partial_lu_blocked_mt`]: columns are partitioned disjointly and the
+/// per-element accumulation order is pinned.
+pub fn partial_ldlt_blocked_mt(
+    w: &mut DenseMat,
+    npiv: usize,
+    nb: usize,
+    threads: usize,
+) -> Result<(), KernelError> {
+    let f = w.nrows();
+    assert_eq!(f, w.ncols());
+    assert!(npiv <= f);
+    let nb = nb.max(1);
+    let mut ws = GemmWorkspace::new();
+    let mut k0 = 0;
+    while k0 < npiv {
+        let kb = nb.min(npiv - k0);
+        let kend = k0 + kb;
+        // ---- Panel factorization: rank-1 over the panel columns only
+        // (all rows, both triangles current — same sequence as the
+        // unblocked kernel restricted to these columns). ----
+        for k in k0..kend {
+            let d = w.get(k, k);
+            if d.abs() < 1e-300 {
+                return Err(KernelError::TinyPivot { step: k, value: d });
+            }
+            let inv = 1.0 / d;
+            for i in k + 1..f {
+                *w.get_mut(i, k) *= inv;
+            }
+            let (head, tail) = w.data.split_at_mut((k + 1) * f);
+            let lcol = &head[k * f + k + 1..];
+            for (jt, colj) in tail.chunks_exact_mut(f).take(kend - k - 1).enumerate() {
+                let ljk_d = lcol[jt] * d;
+                if ljk_d == 0.0 {
+                    continue;
+                }
+                axpy_sub(&mut colj[k + 1..], lcol, ljk_d);
+            }
+        }
+        // ---- Trailing columns: scaled rows `B(k,j) = d_k·l_jk` come
+        // from the factored panel (the diagonal keeps `d_k`; scaling
+        // touches only rows below it), mirror rows k+1..kend per column,
+        // GEMM for rows kend..f. ----
+        if kend < f {
+            let dvals: Vec<f64> = (k0..kend).map(|k| w.data[k * f + k]).collect();
+            let (panel, trailing) = w.data.split_at_mut(kend * f);
+            let ap = gemm::pack_a(&mut ws, &panel[k0 * f + kend..], f, f - kend, kb);
+            dispatch_trailing(trailing, f, threads, |c0, cols| {
+                ldlt_trailing_chunk(cols, kend + c0, f, k0, kend, panel, &ap, &dvals);
+            });
+        }
+        k0 = kend;
+    }
+    Ok(())
+}
+
 /// Production entry point used by the numeric drivers: picks the blocked
 /// kernel for pivot blocks large enough to benefit, the rank-1 kernel
 /// otherwise. Both compute the same factorization (identical pivot
@@ -363,14 +511,56 @@ pub fn factor_front_lu(
     npiv: usize,
     row_perm: &mut Vec<usize>,
 ) -> Result<(), KernelError> {
-    const BLOCK_THRESHOLD: usize = 512;
-    const NB: usize = 64;
+    factor_front_lu_mt(w, npiv, row_perm, 1)
+}
+
+/// [`factor_front_lu`] with a within-front thread budget. The kernel
+/// choice depends **only** on `npiv` — never on `threads` — so a
+/// different cores-per-front setting can never change which arithmetic
+/// runs, and the factors stay bit-identical across budgets.
+pub fn factor_front_lu_mt(
+    w: &mut DenseMat,
+    npiv: usize,
+    row_perm: &mut Vec<usize>,
+    threads: usize,
+) -> Result<(), KernelError> {
     if npiv >= BLOCK_THRESHOLD {
-        partial_lu_blocked(w, npiv, NB, row_perm)
+        partial_lu_blocked_mt(w, npiv, FRONT_NB, row_perm, threads)
     } else {
         partial_lu(w, npiv, row_perm)
     }
 }
+
+/// Symmetric analogue of [`factor_front_lu`]: blocked LDLᵀ for large
+/// pivot blocks, rank-1 otherwise.
+pub fn factor_front_ldlt(w: &mut DenseMat, npiv: usize) -> Result<(), KernelError> {
+    factor_front_ldlt_mt(w, npiv, 1)
+}
+
+/// [`factor_front_ldlt`] with a within-front thread budget; same
+/// `npiv`-only dispatch rule as [`factor_front_lu_mt`].
+pub fn factor_front_ldlt_mt(
+    w: &mut DenseMat,
+    npiv: usize,
+    threads: usize,
+) -> Result<(), KernelError> {
+    if npiv >= BLOCK_THRESHOLD {
+        partial_ldlt_blocked_mt(w, npiv, FRONT_NB, threads)
+    } else {
+        partial_ldlt(w, npiv)
+    }
+}
+
+/// Pivot-block size above which the numeric drivers switch from the
+/// rank-1 kernels to the packed-GEMM blocked kernels. Set from the
+/// `numeric/kernel` benchmarks; with the packed microkernels the
+/// crossover sits far below the old axpy-based value of 512.
+const BLOCK_THRESHOLD: usize = 128;
+/// Panel width used by the drivers' blocked kernels. 32 balances the
+/// (axpy-speed) panel factorization against the (GEMM-speed) trailing
+/// update across front sizes 256–1024 in the `perf_baseline` nb sweep;
+/// public so the harness benchmarks the production configuration.
+pub const FRONT_NB: usize = 32;
 
 /// Full dense LU solve used as a test oracle: solves `A x = b` with
 /// partial pivoting over all rows. Returns `None` for singular input.
@@ -588,6 +778,65 @@ mod tests {
                         "(f={f},p={p}) mismatch at ({i},{j}): {x} vs {y}"
                     );
                 }
+            }
+        }
+    }
+
+    fn random_sym_front(f: usize, seed: u64) -> DenseMat {
+        let mut w = random_front(f, seed);
+        for j in 0..f {
+            for i in 0..j {
+                let v = w.get(j, i);
+                *w.get_mut(i, j) = v;
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn blocked_ldlt_matches_unblocked() {
+        for (f, p, nb) in [(7, 4, 2), (20, 20, 8), (33, 17, 8), (64, 50, 16), (65, 65, 32)] {
+            let a = random_sym_front(f, (f * 17 + p) as u64);
+            let mut w1 = a.clone();
+            let mut w2 = a.clone();
+            partial_ldlt(&mut w1, p).unwrap();
+            partial_ldlt_blocked(&mut w2, p, nb).unwrap();
+            for j in 0..f {
+                for i in 0..f {
+                    let (x, y) = (w1.get(i, j), w2.get(i, j));
+                    assert!(
+                        (x - y).abs() <= 1e-10 * (1.0 + x.abs()),
+                        "(f={f},p={p}) mismatch at ({i},{j}): {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mt_trailing_update_is_bit_identical() {
+        // Large enough that the first panels' trailing sweeps exceed
+        // PAR_MIN_COLS and actually take the chunked path.
+        let a = random_front(160, 7);
+        for threads in [2, 4, 8] {
+            let mut w1 = a.clone();
+            let mut w2 = a.clone();
+            let (mut p1, mut p2) = (Vec::new(), Vec::new());
+            partial_lu_blocked_mt(&mut w1, 96, 32, &mut p1, 1).unwrap();
+            partial_lu_blocked_mt(&mut w2, 96, 32, &mut p2, threads).unwrap();
+            assert_eq!(p1, p2, "pivots (threads={threads})");
+            for (x, y) in w1.data.iter().zip(&w2.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "LU bits differ (threads={threads})");
+            }
+        }
+        let s = random_sym_front(160, 11);
+        for threads in [2, 8] {
+            let mut w1 = s.clone();
+            let mut w2 = s.clone();
+            partial_ldlt_blocked_mt(&mut w1, 96, 32, 1).unwrap();
+            partial_ldlt_blocked_mt(&mut w2, 96, 32, threads).unwrap();
+            for (x, y) in w1.data.iter().zip(&w2.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "LDLT bits differ (threads={threads})");
             }
         }
     }

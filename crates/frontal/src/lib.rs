@@ -13,6 +13,9 @@
 //!   solve over an assembly tree (the correctness anchor of the whole
 //!   reproduction: residual tests prove the symbolic layer + tree
 //!   semantics are right);
+//! * [`gemm`] — packed cache-blocked GEMM microkernels (runtime SIMD
+//!   dispatch, bit-identical across scalar/AVX2/AVX-512 paths) backing
+//!   the blocked kernels' trailing updates;
 //! * [`parallel`] — a rayon tree-parallel variant exploiting the same
 //!   tree parallelism the paper's type-1 nodes exploit across MPI ranks,
 //!   here across threads.
@@ -21,6 +24,7 @@
 #![allow(clippy::needless_range_loop)] // indexed loops are the idiom of dense kernels
 pub mod arena;
 pub mod dense;
+pub mod gemm;
 pub mod numeric;
 pub mod parallel;
 

@@ -8,10 +8,31 @@
 //! consistent.
 
 use crate::arena::{CbStack, MemoryAccount};
-use crate::dense::{factor_front_lu, partial_ldlt, DenseMat, KernelError};
+use crate::dense::{
+    add_assign_slice, factor_front_ldlt_mt, factor_front_lu_mt, DenseMat, KernelError,
+};
 use mf_sparse::{CscMatrix, Permutation, Symmetry};
 use mf_symbolic::frontstruct::{front_structures, FrontStructures};
 use mf_symbolic::{AmalgamationOptions, SymbolicAnalysis};
+
+/// Knobs of the numeric factorization drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericOptions {
+    /// Thread budget for the trailing update *inside* each front (the
+    /// malleable-task axis: tree parallelism distributes fronts, this
+    /// knob splits one front's GEMM across workers). The factor bytes do
+    /// not depend on this value — kernel dispatch keys on the pivot
+    /// count only, and the parallel trailing sweep is partition-
+    /// invariant — so it is purely a performance knob. `1` (the default)
+    /// keeps every front sequential.
+    pub cores_per_front: usize,
+}
+
+impl Default for NumericOptions {
+    fn default() -> Self {
+        NumericOptions { cores_per_front: 1 }
+    }
+}
 
 /// Failure of the numeric factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,11 +122,69 @@ impl Factorization {
 
     /// Numeric factorization over an existing symbolic analysis.
     pub fn from_symbolic(a: &CscMatrix, s: &SymbolicAnalysis) -> Result<Self, FactorError> {
+        Self::from_symbolic_with(a, s, &NumericOptions::default())
+    }
+
+    /// [`Factorization::from_symbolic`] with explicit driver options
+    /// (within-front thread budget).
+    pub fn from_symbolic_with(
+        a: &CscMatrix,
+        s: &SymbolicAnalysis,
+        opts: &NumericOptions,
+    ) -> Result<Self, FactorError> {
         if a.nrows() != a.ncols() {
             return Err(FactorError::NotSquare);
         }
         let fs = front_structures(s);
-        factorize_sequential(a, s, &fs)
+        factorize_sequential(a, s, &fs, opts)
+    }
+
+    /// Order-stable FNV-1a digest of the complete numeric content:
+    /// symmetry, order, permutation, and — in topological order — every
+    /// front's variables, pivot count, row permutation, and the exact
+    /// bit patterns of all factor blocks. Two factorizations digest
+    /// equal iff they are byte-identical; the determinism suite uses
+    /// this to compare runs across thread counts and SIMD levels.
+    pub fn content_digest(&self) -> u64 {
+        fn mix(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h = (*h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+        fn mix_mat(h: &mut u64, m: &DenseMat) {
+            mix(h, m.nrows() as u64);
+            mix(h, m.ncols() as u64);
+            for &x in m.raw() {
+                mix(h, x.to_bits());
+            }
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        mix(&mut h, matches!(self.sym, Symmetry::Symmetric) as u64);
+        mix(&mut h, self.n as u64);
+        for i in 0..self.n {
+            mix(&mut h, self.perm.new_of(i) as u64);
+        }
+        for &v in &self.topo {
+            let Some(fr) = &self.fronts[v] else {
+                mix(&mut h, u64::MAX);
+                continue;
+            };
+            mix(&mut h, fr.vars.len() as u64);
+            for &gv in &fr.vars {
+                mix(&mut h, gv as u64);
+            }
+            mix(&mut h, fr.npiv as u64);
+            for &r in &fr.row_perm {
+                mix(&mut h, r as u64);
+            }
+            mix_mat(&mut h, &fr.block11);
+            mix_mat(&mut h, &fr.l21);
+            mix_mat(&mut h, &fr.u12);
+            for &x in &fr.d {
+                mix(&mut h, x.to_bits());
+            }
+        }
+        h
     }
 
     /// Matrix order.
@@ -252,7 +331,9 @@ fn factorize_sequential(
     a: &CscMatrix,
     s: &SymbolicAnalysis,
     fs: &FrontStructures,
+    opts: &NumericOptions,
 ) -> Result<Factorization, FactorError> {
+    let threads = opts.cores_per_front.max(1);
     let tree = &s.tree;
     let sym = tree.sym;
     let n = tree.n;
@@ -327,13 +408,30 @@ fn factorize_sequential(
             {
                 let data = cb_stack.get(h);
                 debug_assert_eq!(data.len(), cf * cf);
-                for (cj, &gj) in cb_vars.iter().enumerate() {
-                    let lj = loc[gj];
-                    let col = &data[cj * cf..(cj + 1) * cf];
-                    for (ci, &gi) in cb_vars.iter().enumerate() {
-                        let x = col[ci];
-                        if x != 0.0 {
-                            w.add(loc[gi], lj, x);
+                // When the CB variables land on consecutive parent rows
+                // (the common case for the last child absorbed into an
+                // amalgamated parent), each CB column is one contiguous
+                // slice-add; otherwise fall back to the indexed scatter.
+                // The choice is structural, so it cannot vary across
+                // runs of the same tree.
+                let contiguous = cf > 0
+                    && cb_vars.iter().enumerate().all(|(ci, &gv)| loc[gv] == loc[cb_vars[0]] + ci);
+                if contiguous {
+                    let l0 = loc[cb_vars[0]];
+                    for (cj, &gj) in cb_vars.iter().enumerate() {
+                        let lj = loc[gj];
+                        let col = &data[cj * cf..(cj + 1) * cf];
+                        add_assign_slice(&mut w.col_mut(lj)[l0..l0 + cf], col);
+                    }
+                } else {
+                    for (cj, &gj) in cb_vars.iter().enumerate() {
+                        let lj = loc[gj];
+                        let col = &data[cj * cf..(cj + 1) * cf];
+                        for (ci, &gi) in cb_vars.iter().enumerate() {
+                            let x = col[ci];
+                            if x != 0.0 {
+                                w.add(loc[gi], lj, x);
+                            }
                         }
                     }
                 }
@@ -346,11 +444,11 @@ fn factorize_sequential(
         let mut row_perm = Vec::new();
         match sym {
             Symmetry::General => {
-                factor_front_lu(&mut w, p, &mut row_perm)
+                factor_front_lu_mt(&mut w, p, &mut row_perm, threads)
                     .map_err(|source| FactorError::Kernel { node: v, source })?;
             }
             Symmetry::Symmetric => {
-                partial_ldlt(&mut w, p)
+                factor_front_ldlt_mt(&mut w, p, threads)
                     .map_err(|source| FactorError::Kernel { node: v, source })?;
                 row_perm = (0..f).collect();
             }

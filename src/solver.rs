@@ -16,8 +16,8 @@
 //! assert!(Solver::residual(&a, &x, &b) < 1e-10);
 //! ```
 
-use mf_frontal::numeric::{FactorError, Factorization, NumericStats};
-use mf_frontal::parallel::factorize_parallel;
+use mf_frontal::numeric::{FactorError, Factorization, NumericOptions, NumericStats};
+use mf_frontal::parallel::factorize_parallel_with;
 use mf_order::OrderingKind;
 use mf_sparse::{CscMatrix, Permutation};
 use mf_symbolic::{AmalgamationOptions, SymbolicAnalysis};
@@ -28,6 +28,7 @@ pub struct SolverBuilder {
     ordering: OrderingKind,
     amalgamation: AmalgamationOptions,
     parallel: bool,
+    cores_per_front: usize,
     refine_steps: usize,
     refine_tol: f64,
 }
@@ -38,6 +39,7 @@ impl Default for SolverBuilder {
             ordering: OrderingKind::Amd,
             amalgamation: AmalgamationOptions::default(),
             parallel: false,
+            cores_per_front: 1,
             refine_steps: 0,
             refine_tol: 1e-12,
         }
@@ -63,6 +65,14 @@ impl SolverBuilder {
         self
     }
 
+    /// Thread budget for the trailing update inside each front (works
+    /// with both engines; the factor bytes do not depend on it). `1`
+    /// (the default) keeps every front sequential.
+    pub fn cores_per_front(mut self, n: usize) -> Self {
+        self.cores_per_front = n.max(1);
+        self
+    }
+
     /// Apply up to `steps` iterative-refinement corrections per solve,
     /// stopping at relative residual `tol`.
     pub fn refinement(mut self, steps: usize, tol: f64) -> Self {
@@ -75,10 +85,11 @@ impl SolverBuilder {
     pub fn build(self, a: &CscMatrix) -> Result<Solver, FactorError> {
         let perm = self.ordering.compute(a);
         let analysis = mf_symbolic::analyze(a, &perm, &self.amalgamation);
+        let opts = NumericOptions { cores_per_front: self.cores_per_front };
         let factorization = if self.parallel {
-            factorize_parallel(a, &analysis)?
+            factorize_parallel_with(a, &analysis, &opts)?
         } else {
-            Factorization::from_symbolic(a, &analysis)?
+            Factorization::from_symbolic_with(a, &analysis, &opts)?
         };
         Ok(Solver {
             matrix: a.clone(),
@@ -192,6 +203,20 @@ mod tests {
         for (b, x) in bs.iter().zip(s.solve_many(&bs)) {
             assert!(Solver::residual(&a, &x, b) < 1e-10);
         }
+    }
+
+    #[test]
+    fn cores_per_front_is_bit_invariant() {
+        // The malleable-tasks knob is a pure performance setting: the
+        // factorization content must not depend on it.
+        let a = grid2d(18, 17, Stencil::Box);
+        let s1 = Solver::builder().cores_per_front(1).build(&a).unwrap();
+        let s8 = Solver::builder().cores_per_front(8).build(&a).unwrap();
+        assert_eq!(
+            s1.factorization.content_digest(),
+            s8.factorization.content_digest(),
+            "cores_per_front changed the factor bytes"
+        );
     }
 
     #[test]
