@@ -19,6 +19,7 @@
 //!
 //! ```text
 //! explain [MATRIX] [ORDERING] [--nprocs N] [--split] [--obs-dir DIR] [--check-all]
+//!         [--kill IDX:PROC]... [--join IDX:PROC]...
 //! ```
 //!
 //! Defaults: TWOTONE, AMD, 32 processors, no splitting. `--check-all`
@@ -27,13 +28,26 @@
 //! asserted for every processor under both strategies (CI runs this).
 //! With `--obs-dir` (or `MF_OBS_DIR`), the cell's Perfetto traces and
 //! run summary are exported too.
+//!
+//! `--kill`/`--join` replace the report with a **recovery replay**: the
+//! cell is run with the recorder on under the given membership-fault
+//! schedule (kill/join processor `PROC` at delivered-event index `IDX`)
+//! and the recording is narrated end-to-end — every processor loss, the
+//! subtree reassignment chain (which orphaned root went to which
+//! adopter), every join with its rebalancing migrations — followed by
+//! the recovery counters and the factor-digest comparison against the
+//! fault-free run.
 
 use mf_bench::obs;
-use mf_bench::sweep::{split_threshold_for, sweep_cell_captured, CellResult};
-use mf_core::parsim::RunResult;
+use mf_bench::sweep::{
+    build_tree, paper_scale_config, split_threshold_for, sweep_cell_captured, CellResult,
+};
+use mf_core::config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim::{self, RunResult};
 use mf_order::{OrderingKind, ALL_ORDERINGS};
 use mf_sim::recorder::{EventRef, SchedEvent};
-use mf_sim::{active_before, attribute_peaks, PeakAttribution, Recording};
+use mf_sim::{active_before, attribute_peaks, FaultModel, PeakAttribution, Recording};
 use mf_sparse::gen::paper::{PaperMatrix, ALL_PAPER_MATRICES};
 
 fn parse_matrix(s: &str) -> Option<PaperMatrix> {
@@ -50,6 +64,14 @@ struct Args {
     nprocs: usize,
     split: Option<u64>,
     check_all: bool,
+    kills: Vec<(u64, usize)>,
+    joins: Vec<(u64, usize)>,
+}
+
+/// Parses an `IDX:PROC` membership-fault operand.
+fn parse_fault(s: &str, flag: &str) -> (u64, usize) {
+    let parsed = s.split_once(':').and_then(|(i, p)| Some((i.parse().ok()?, p.parse().ok()?)));
+    parsed.unwrap_or_else(|| die(&format!("{flag} needs IDX:PROC, got {s:?}")))
 }
 
 fn parse_args() -> Args {
@@ -59,6 +81,8 @@ fn parse_args() -> Args {
         nprocs: 32,
         split: None,
         check_all: false,
+        kills: Vec::new(),
+        joins: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -69,6 +93,14 @@ fn parse_args() -> Args {
             }
             "--split" => out.split = Some(split_threshold_for()),
             "--check-all" => out.check_all = true,
+            "--kill" => {
+                let v = args.next().unwrap_or_else(|| die("--kill needs IDX:PROC"));
+                out.kills.push(parse_fault(&v, "--kill"));
+            }
+            "--join" => {
+                let v = args.next().unwrap_or_else(|| die("--join needs IDX:PROC"));
+                out.joins.push(parse_fault(&v, "--join"));
+            }
             "--obs-dir" => {
                 args.next(); // consumed by obs::obs_dir()
             }
@@ -320,6 +352,110 @@ fn print_diff(c: &CellResult) {
     );
 }
 
+/// `--kill`/`--join`: the recovery replay. Runs the cell under the given
+/// membership-fault schedule with the recorder on (memory-based
+/// strategy, recovery layer armed) and narrates the recording: losses,
+/// the subtree reassignment chain, joins with their migrations —
+/// asserting along the way that the run completed, the survivors
+/// drained, and the factors are exactly the fault-free run's.
+fn recovery_replay(args: &Args) {
+    let tree = build_tree(args.matrix, args.ordering, args.split);
+    let cfg0 = SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        record_events: true,
+        ..paper_scale_config(args.nprocs)
+    };
+    let map = compute_mapping(&tree, &cfg0);
+    let plain = parsim::run(&tree, &map, &cfg0).expect("fault-free run");
+    let cfg = SolverConfig {
+        recovery: Some(RecoveryConfig::default()),
+        fault: Some(FaultModel {
+            kill_at: args.kills.clone(),
+            join_at: args.joins.clone(),
+            ..FaultModel::quiet(7)
+        }),
+        ..cfg0
+    };
+    let r = parsim::run(&tree, &map, &cfg)
+        .unwrap_or_else(|e| die(&format!("recovery run failed: {e}")));
+    let rec = r.recording.as_ref().expect("recovery run carries a recording");
+
+    println!("\n=== recovery replay ===");
+    println!("schedule: kills {:?}, joins {:?}", args.kills, args.joins);
+    println!("fault-free: {}", plain.summary_line());
+    println!("recovered:  {}", r.summary_line());
+
+    println!("\nmembership narrative (from the flight recording):");
+    let mut lines = 0usize;
+    for te in rec.events() {
+        match te.ev {
+            EventRef::ProcLost { proc, nodes_lost } => {
+                println!(
+                    "  t={:>8}  processor {proc} declared dead: {nodes_lost} unfinished \
+                     node(s) reclaimed for re-execution",
+                    te.at
+                );
+                lines += 1;
+            }
+            EventRef::SubtreeReassigned { root, from, to } => {
+                println!(
+                    "  t={:>8}    subtree rooted at n{root} reassigned p{from} -> p{to}",
+                    te.at
+                );
+                lines += 1;
+            }
+            EventRef::ProcJoined { proc, migrated } => {
+                println!(
+                    "  t={:>8}  processor {proc} joined: {migrated} pooled task(s) migrated \
+                     to it by rebalancing",
+                    te.at
+                );
+                lines += 1;
+            }
+            _ => {}
+        }
+    }
+    if lines == 0 {
+        println!("  (no membership change fired: the schedule lies past the run's end)");
+    }
+
+    assert_eq!(r.nodes_done, r.total_nodes, "recovered run lost fronts");
+    for (p, &a) in r.final_active.iter().enumerate() {
+        if !r.dead.contains(&p) {
+            assert_eq!(a, 0, "survivor {p} leaked {a} stack entries");
+        }
+    }
+    assert_eq!(
+        r.factor_digest, plain.factor_digest,
+        "recovered factors diverged from the fault-free run"
+    );
+
+    let rec_counters = r.metrics.recovery;
+    let summary = rec_counters.summary();
+    if !summary.is_empty() {
+        println!("\n{summary}");
+    }
+    println!(
+        "\nfactor digest {:016x}: recovered run identical to the fault-free run",
+        r.factor_digest
+    );
+    println!(
+        "degradation: makespan x{:.3}, survivor peak x{:.3}",
+        r.makespan as f64 / plain.makespan.max(1) as f64,
+        r.peaks
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| !r.dead.contains(p))
+            .map(|(_, &pk)| pk)
+            .max()
+            .unwrap_or(0) as f64
+            / plain.max_peak.max(1) as f64
+    );
+}
+
 /// `--check-all`: the acceptance sweep. Every paper matrix, both
 /// strategies, recorder on; asserts composition-sums-to-peak for every
 /// processor (via [`checked_attribution`]) and prints one line per cell.
@@ -349,6 +485,16 @@ fn main() {
     let args = parse_args();
     if args.check_all {
         check_all(args.ordering, args.nprocs, args.split);
+        return;
+    }
+    if !args.kills.is_empty() || !args.joins.is_empty() {
+        println!(
+            "explain {} / {} on {} processors (recovery replay)",
+            args.matrix.name(),
+            args.ordering.name(),
+            args.nprocs
+        );
+        recovery_replay(&args);
         return;
     }
     println!(

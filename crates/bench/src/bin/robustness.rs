@@ -12,12 +12,19 @@
 //! `capacity` set to 1.2× the uncapped peak, every strategy must finish
 //! without any processor exceeding the cap.
 //!
+//! A third section is the membership degradation curve: 0, 1, 2 and 4
+//! processors killed mid-run (plus one kill+join scenario), each run
+//! recovering through the lease protocol and subtree re-execution. The
+//! factor digest must equal the fault-free run's on every cell, and the
+//! rows carry the recovery counters (subtrees reassigned, nodes
+//! recomputed, rebalance migrations, orphaned CB entries reclaimed).
+//!
 //! Writes `BENCH_robustness.json` and prints it.
 
 use std::fmt::Write as _;
 
 use mf_bench::sweep::{build_tree, paper_scale_config};
-use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
 use mf_core::mapping::compute_mapping;
 use mf_core::parsim::{self, RunResult};
 use mf_order::OrderingKind;
@@ -96,6 +103,20 @@ struct CapRow {
     underflow_total: u64,
 }
 
+struct MembershipRow {
+    matrix: PaperMatrix,
+    strategy: &'static str,
+    scenario: &'static str,
+    kills: u64,
+    joins: u64,
+    makespan_ratio: f64,
+    peak_ratio_max: f64,
+    subtrees_reassigned: u64,
+    nodes_recomputed: u64,
+    rebalance_migrations: u64,
+    orphaned_cb_entries: u64,
+}
+
 fn run_ok(
     tree: &mf_symbolic::AssemblyTree,
     map: &mf_core::mapping::StaticMapping,
@@ -106,6 +127,26 @@ fn run_ok(
         .unwrap_or_else(|e| panic!("{what} failed: {e} [{}]", e.diagnostics().summary_line()));
     assert_eq!(r.nodes_done, r.total_nodes, "{what}: fronts lost");
     assert!(r.final_active.iter().all(|&a| a == 0), "{what}: stack leaked");
+    r
+}
+
+/// Like [`run_ok`], but tolerating fail-stopped processors: a dead
+/// processor's stack is frozen at kill time; only survivors must drain
+/// to zero.
+fn run_recovered(
+    tree: &mf_symbolic::AssemblyTree,
+    map: &mf_core::mapping::StaticMapping,
+    cfg: &SolverConfig,
+    what: &str,
+) -> RunResult {
+    let r = parsim::run(tree, map, cfg)
+        .unwrap_or_else(|e| panic!("{what} failed: {e} [{}]", e.diagnostics().summary_line()));
+    assert_eq!(r.nodes_done, r.total_nodes, "{what}: fronts lost");
+    for (p, &a) in r.final_active.iter().enumerate() {
+        if !r.dead.contains(&p) {
+            assert_eq!(a, 0, "{what}: survivor {p} leaked {a} entries");
+        }
+    }
     r
 }
 
@@ -226,6 +267,97 @@ fn main() {
         }
     }
 
+    // Membership degradation curve on the two sweep matrices: processors
+    // killed mid-run (plus one kill+join scenario), recovered through
+    // the lease protocol and capacity-aware subtree re-execution. Every
+    // cell must reproduce the fault-free factor digest; the curve is how
+    // makespan and survivor peak degrade with the number of losses.
+    let mut membership_rows: Vec<MembershipRow> = Vec::new();
+    type FaultSchedule = &'static [(u64, usize)];
+    let scenarios: [(&'static str, FaultSchedule, FaultSchedule); 5] = [
+        ("0 kills (armed detector)", &[], &[]),
+        ("1 kill", &[(1_000, 3)], &[]),
+        ("2 kills", &[(1_000, 3), (2_500, 11)], &[]),
+        ("4 kills", &[(1_000, 3), (2_500, 11), (4_000, 19), (5_500, 27)], &[]),
+        ("1 kill + 1 join", &[(1_000, 3)], &[(3_000, 31)]),
+    ];
+    for (m, k) in pairs {
+        let tree = build_tree(m, k, None);
+        for s in &STRATEGIES {
+            let cfg0 = (s.cfg)();
+            let map = compute_mapping(&tree, &cfg0);
+            let plain = run_ok(&tree, &map, &cfg0, "fault-free run");
+            let idx: Vec<usize> = (0..scenarios.len()).collect();
+            let rows: Vec<(usize, RunResult)> = idx
+                .par_iter()
+                .map(|&i| {
+                    let (name, kills, joins) = scenarios[i];
+                    let cfg = SolverConfig {
+                        recovery: Some(RecoveryConfig::default()),
+                        fault: Some(FaultModel {
+                            kill_at: kills.to_vec(),
+                            join_at: joins.to_vec(),
+                            ..FaultModel::quiet(7)
+                        }),
+                        ..cfg0.clone()
+                    };
+                    (i, run_recovered(&tree, &map, &cfg, name))
+                })
+                .collect();
+            for (i, r) in rows {
+                let (name, kills, joins) = scenarios[i];
+                assert_eq!(
+                    r.factor_digest,
+                    plain.factor_digest,
+                    "{} / {} / {name}: recovered factors diverged",
+                    m.name(),
+                    s.name
+                );
+                if kills.is_empty() && joins.is_empty() {
+                    // The armed-but-idle detector must not perturb the
+                    // schedule at all: bit-identical to the plain run.
+                    assert_eq!(r.peaks, plain.peaks, "armed detector changed peaks");
+                    assert_eq!(r.makespan, plain.makespan, "armed detector moved time");
+                }
+                let survivor_peak = r
+                    .peaks
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !r.dead.contains(p))
+                    .map(|(_, &pk)| pk)
+                    .max()
+                    .unwrap_or(0);
+                let rec = r.metrics.recovery;
+                eprintln!(
+                    "{:10} / {:20} {:24} makespan x{:.3}, survivor peak x{:.3}, \
+                     {} reassigned, {} recomputed, {} migrated, {} CB entries reclaimed",
+                    m.name(),
+                    s.name,
+                    name,
+                    r.makespan as f64 / plain.makespan.max(1) as f64,
+                    survivor_peak as f64 / plain.max_peak.max(1) as f64,
+                    rec.subtrees_reassigned,
+                    rec.nodes_recomputed,
+                    rec.rebalance_migrations,
+                    rec.orphaned_cb_entries
+                );
+                membership_rows.push(MembershipRow {
+                    matrix: m,
+                    strategy: s.name,
+                    scenario: name,
+                    kills: rec.kills_observed,
+                    joins: rec.joins_observed,
+                    makespan_ratio: r.makespan as f64 / plain.makespan.max(1) as f64,
+                    peak_ratio_max: survivor_peak as f64 / plain.max_peak.max(1) as f64,
+                    subtrees_reassigned: rec.subtrees_reassigned,
+                    nodes_recomputed: rec.nodes_recomputed,
+                    rebalance_migrations: rec.rebalance_migrations,
+                    orphaned_cb_entries: rec.orphaned_cb_entries,
+                });
+            }
+        }
+    }
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin robustness\",")
@@ -275,6 +407,31 @@ fn main() {
             r.deferrals,
             r.stalled_ticks,
             r.underflow_total
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"membership\": [").unwrap();
+    for (i, r) in membership_rows.iter().enumerate() {
+        let sep = if i + 1 == membership_rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{ \"matrix\": \"{}\", \"strategy\": \"{}\", \"scenario\": \"{}\", \
+             \"kills\": {}, \"joins\": {}, \"completed\": true, \"digest_identical\": true, \
+             \"makespan_ratio\": {:.3}, \"peak_ratio_max\": {:.3}, \
+             \"subtrees_reassigned\": {}, \"nodes_recomputed\": {}, \
+             \"rebalance_migrations\": {}, \"orphaned_cb_entries\": {} }}{sep}",
+            r.matrix.name(),
+            r.strategy,
+            r.scenario,
+            r.kills,
+            r.joins,
+            r.makespan_ratio,
+            r.peak_ratio_max,
+            r.subtrees_reassigned,
+            r.nodes_recomputed,
+            r.rebalance_migrations,
+            r.orphaned_cb_entries
         )
         .unwrap();
     }

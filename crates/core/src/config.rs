@@ -117,6 +117,35 @@ pub enum SubtreeOrder {
     PeakAscending,
 }
 
+/// Lease/heartbeat failure-detection parameters. Present (as
+/// `Some(RecoveryConfig)`) when the run should survive processor loss:
+/// every processor heartbeats its believed-alive peers every
+/// `heartbeat_every` ticks, and a peer unheard-from for `lease_timeout`
+/// ticks is declared dead, its unfinished subtree reclaimed and
+/// re-executed on the survivors. `None` (the default) disables the
+/// protocol entirely — no heartbeat traffic, no timers, runs
+/// bit-identical to a build without the recovery layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Heartbeat period in ticks.
+    pub heartbeat_every: Time,
+    /// A peer silent for this many ticks is declared dead. Must be
+    /// comfortably larger than `heartbeat_every` plus the worst-case
+    /// message latency, or healthy-but-slow peers get fail-stopped
+    /// (the driver turns every declaration into a real kill: fail-stop
+    /// semantics, no resurrection).
+    pub lease_timeout: Time,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        // Periods sized for the sp_like network model (latencies are tens
+        // of ticks) and tick = 1 µs: heartbeat every 5 ms of virtual time,
+        // declare dead after 25 ms of silence.
+        RecoveryConfig { heartbeat_every: 5_000, lease_timeout: 25_000 }
+    }
+}
+
 /// Full configuration of a simulated parallel factorization.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
@@ -189,6 +218,12 @@ pub struct SolverConfig {
     /// stragglers. `None` keeps the exact happy-path execution — runs are
     /// bit-identical to a build without the fault layer.
     pub fault: Option<FaultModel>,
+    /// Lease/heartbeat failure detection and subtree re-execution (see
+    /// [`RecoveryConfig`]). Required for runs whose fault model kills
+    /// processors (`FaultModel::kill_at`) to complete; without it a kill
+    /// stalls the run and the watchdog names the dead processor. `None`
+    /// keeps the protocol off.
+    pub recovery: Option<RecoveryConfig>,
     /// Hard per-processor memory capacity (active entries). Masters skip
     /// slave candidates whose projected memory would exceed it (falling
     /// back to fewer/larger shares, last resort serialize-on-master), and
@@ -233,6 +268,7 @@ impl Default for SolverConfig {
             out_of_core: None,
             jitter: None,
             fault: None,
+            recovery: None,
             capacity: None,
             time_limit: None,
             cores_per_front: 1,

@@ -11,6 +11,9 @@ use mf_sim::Time;
 use std::fmt;
 
 /// Why a simulated factorization could not complete.
+///
+/// Every variant boxes its [`RunDiagnostics`] snapshot so the `Err` arm
+/// of `Result<_, SimError>` stays pointer-sized on the happy path.
 #[derive(Debug, Clone)]
 pub enum SimError {
     /// The event queue drained with unfinished fronts and nothing left to
@@ -18,7 +21,7 @@ pub enum SimError {
     /// control message).
     Stalled {
         /// State of the world at the stall.
-        diag: RunDiagnostics,
+        diag: Box<RunDiagnostics>,
     },
     /// Virtual time passed the configured
     /// [`crate::config::SolverConfig::time_limit`] (runaway guard).
@@ -26,7 +29,7 @@ pub enum SimError {
         /// The exceeded limit (ticks).
         limit: Time,
         /// State of the world when the limit tripped.
-        diag: RunDiagnostics,
+        diag: Box<RunDiagnostics>,
     },
     /// A memory account underflowed: more entries released than held — an
     /// accounting bug, caught in release builds too.
@@ -36,7 +39,7 @@ pub enum SimError {
         /// Which account underflowed (`"stack"` or `"fronts"`).
         area: &'static str,
         /// State of the world at the underflow.
-        diag: RunDiagnostics,
+        diag: Box<RunDiagnostics>,
     },
     /// The message protocol was violated (e.g. a contribution block for a
     /// node without a parent, or an unknown work key).
@@ -44,7 +47,18 @@ pub enum SimError {
         /// Human-readable description of the violated invariant.
         detail: String,
         /// State of the world at the violation.
-        diag: RunDiagnostics,
+        diag: Box<RunDiagnostics>,
+    },
+    /// The network was silenced by `FaultModel::kill_network_after`: the
+    /// run cannot make progress because *every* message — control
+    /// included — is being dropped. Distinct from [`SimError::Stalled`]
+    /// so a partition is diagnosable as such rather than as a generic
+    /// no-progress state.
+    Partitioned {
+        /// Messages routed before the network died.
+        after: u64,
+        /// State of the world when the partition starved the run.
+        diag: Box<RunDiagnostics>,
     },
 }
 
@@ -55,7 +69,8 @@ impl SimError {
             SimError::Stalled { diag }
             | SimError::TimeLimit { diag, .. }
             | SimError::Accounting { diag, .. }
-            | SimError::Protocol { diag, .. } => diag,
+            | SimError::Protocol { diag, .. }
+            | SimError::Partitioned { diag, .. } => diag,
         }
     }
 }
@@ -63,12 +78,22 @@ impl SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stalled { diag } => write!(
-                f,
-                "no progress possible: event queue drained at t={} with {}/{} fronts done \
-                 ({} messages in flight, {} dropped)",
-                diag.now, diag.nodes_done, diag.total_nodes, diag.in_flight, diag.dropped_messages
-            ),
+            SimError::Stalled { diag } => {
+                write!(
+                    f,
+                    "no progress possible: event queue drained at t={} with {}/{} fronts done \
+                     ({} messages in flight, {} dropped)",
+                    diag.now,
+                    diag.nodes_done,
+                    diag.total_nodes,
+                    diag.in_flight,
+                    diag.dropped_messages
+                )?;
+                if !diag.dead.is_empty() {
+                    write!(f, "; dead processors: {:?}", diag.dead)?;
+                }
+                Ok(())
+            }
             SimError::TimeLimit { limit, diag } => write!(
                 f,
                 "virtual time ran past the limit of {} ticks with {}/{} fronts done",
@@ -82,6 +107,12 @@ impl fmt::Display for SimError {
             SimError::Protocol { detail, diag } => {
                 write!(f, "protocol violation at t={}: {}", diag.now, detail)
             }
+            SimError::Partitioned { after, diag } => write!(
+                f,
+                "network partitioned after {} routed messages: {}/{} fronts done at t={}, \
+                 {} messages dropped",
+                after, diag.nodes_done, diag.total_nodes, diag.now, diag.dropped_messages
+            ),
         }
     }
 }
@@ -103,6 +134,10 @@ pub struct RunDiagnostics {
     pub total_nodes: usize,
     /// Messages the fault injector dropped.
     pub dropped_messages: u64,
+    /// Processors dead at the snapshot (fail-stopped by the fault
+    /// schedule or declared dead by the lease protocol). Empty on runs
+    /// without membership faults.
+    pub dead: Vec<usize>,
     /// Run-wide metrics accumulated up to the snapshot (traffic by
     /// class, staleness/pool-depth histograms, per-processor busy and
     /// stalled time) — a failed run keeps its observability. Boxed to
@@ -117,7 +152,7 @@ impl RunDiagnostics {
     /// binary that prints a failed run.
     pub fn summary_line(&self) -> String {
         let busy = self.procs.iter().filter(|p| p.busy).count();
-        format!(
+        let mut line = format!(
             "t={}: {}/{} fronts done, {} events delivered, {} in flight, \
              {} dropped, {}/{} procs busy",
             self.now,
@@ -128,7 +163,16 @@ impl RunDiagnostics {
             self.dropped_messages,
             busy,
             self.procs.len()
-        )
+        );
+        if !self.dead.is_empty() {
+            line.push_str(&format!(", dead {:?}", self.dead));
+        }
+        let rec = self.metrics.recovery.summary();
+        if !rec.is_empty() {
+            line.push_str("; ");
+            line.push_str(&rec);
+        }
+        line
     }
 }
 
@@ -168,14 +212,29 @@ mod tests {
             in_flight: 2,
             ..Default::default()
         };
+        let diag = Box::new(diag);
         let s = SimError::Stalled { diag: diag.clone() }.to_string();
         assert!(s.contains("t=123") && s.contains("4/9"), "{s}");
         let s = SimError::TimeLimit { limit: 77, diag: diag.clone() }.to_string();
         assert!(s.contains("77"), "{s}");
         let s = SimError::Accounting { proc: 3, area: "stack", diag: diag.clone() }.to_string();
         assert!(s.contains("processor 3") && s.contains("stack"), "{s}");
+        let s = SimError::Partitioned { after: 10, diag: diag.clone() }.to_string();
+        assert!(s.contains("partitioned") && s.contains("10 routed"), "{s}");
         let e = SimError::Protocol { detail: "oops".into(), diag };
         assert!(e.to_string().contains("oops"));
         assert_eq!(e.diagnostics().nodes_done, 4);
+    }
+
+    #[test]
+    fn summary_line_names_dead_procs_and_recovery() {
+        let mut diag = RunDiagnostics { dead: vec![3], ..Default::default() };
+        diag.metrics.recovery.kills_observed = 1;
+        diag.metrics.recovery.nodes_recomputed = 5;
+        let line = diag.summary_line();
+        assert!(line.contains("dead [3]"), "{line}");
+        assert!(line.contains("5 nodes recomputed"), "{line}");
+        let quiet = RunDiagnostics::default().summary_line();
+        assert!(!quiet.contains("dead") && !quiet.contains("recovery"), "{quiet}");
     }
 }

@@ -39,10 +39,14 @@ pub mod mapping;
 pub mod parsim;
 pub mod pool;
 pub mod proto;
+pub mod recovery;
 pub mod slavesel;
 pub mod views;
 
-pub use config::{SlaveSelection, SolverConfig, TaskSelection};
+pub use config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
 pub use driver::{run_experiment, ExperimentInput, RunResult};
 pub use error::{ProcDiag, RunDiagnostics, SimError};
 pub use mapping::StaticMapping;
+pub use recovery::{
+    digest_factors, Membership, MembershipChange, ObligationLedger, RecoveryPlan, RecoverySnapshot,
+};

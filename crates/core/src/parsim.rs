@@ -13,7 +13,10 @@
 
 use crate::config::SolverConfig;
 use crate::error::{RunDiagnostics, SimError};
-use crate::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
+use crate::proto::{
+    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_LEASE,
+};
+use crate::recovery::{digest_factors, Membership, MembershipChange, RecoverySnapshot};
 use mf_sim::recorder::TaskRole;
 use mf_sim::{
     CompactEvent, Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory,
@@ -69,6 +72,12 @@ pub struct RunResult {
     pub metrics: RunMetrics,
     /// The flight recording when [`SolverConfig::record_events`] was set.
     pub recording: Option<Recording>,
+    /// Partition-invariant digest of the per-node factor totals over the
+    /// surviving processors ([`digest_factors`]): a recovered run must
+    /// reproduce the fault-free run's digest exactly.
+    pub factor_digest: u64,
+    /// Processors dead at the end (empty without membership faults).
+    pub dead: Vec<usize>,
 }
 
 impl RunResult {
@@ -76,7 +85,7 @@ impl RunResult {
     /// every report binary (with [`RunMetrics::traffic_line`] and
     /// [`RunMetrics::decisions_line`] for the per-registry detail).
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "peak {} entries, makespan {} ticks, {} messages, {}/{} fronts, \
              {} dropped, {} forced, {} underflows",
             self.max_peak,
@@ -87,7 +96,12 @@ impl RunResult {
             self.dropped_messages,
             self.forced_activations,
             self.underflows.iter().sum::<u64>()
-        )
+        );
+        if !self.metrics.recovery.is_zero() {
+            line.push_str("; ");
+            line.push_str(&self.metrics.recovery.summary());
+        }
+        line
     }
 }
 
@@ -112,6 +126,32 @@ struct SimDriver<'a> {
     /// `StartCompute` effect and `ComputeEnd` from its timer, so the
     /// core's compute path needs no recording branch.
     work_info: Vec<Vec<(usize, TaskRole)>>,
+    /// Death declarations emitted by the cores' lease checks this event,
+    /// arbitrated after the event unwinds (one recovery per actual loss).
+    pending_dead: Vec<usize>,
+    /// Scheduled-but-unprocessed events that are *not* failure-detector
+    /// chatter (heartbeat messages, heartbeat/lease timers). Zero means
+    /// the run is quiescent apart from the detector — which is how a
+    /// recovery-enabled run (whose timer chain never lets the queue
+    /// drain) detects the capacity-deferral deadlock and genuine stalls.
+    live_events: i64,
+    /// Messages addressed to dormant (not yet joined) processors, parked
+    /// until the join and delivered then.
+    buffered: Vec<Vec<(usize, Msg)>>,
+    /// Processors fail-stopped so far (fault schedule or made-real
+    /// spurious declarations), in kill order.
+    dead: Vec<usize>,
+    /// Factor-share obligation record (which processors were routed a
+    /// slave task or type-3 share of which node), maintained only on
+    /// membership runs — a dead share holder forces its nodes into the
+    /// recompute set even when the node's owner survived.
+    ledger: crate::recovery::ObligationLedger,
+    /// Whether to maintain `ledger` (membership orchestration active).
+    track_obligations: bool,
+    /// All fronts are done; the run only keeps going to drain in-flight
+    /// live traffic (so the makespan matches the recovery-off run), and
+    /// the failure detector stops re-arming so its chain dies out.
+    finishing: bool,
 }
 
 impl<'a> SimDriver<'a> {
@@ -128,7 +168,19 @@ impl<'a> SimDriver<'a> {
             metrics: RunMetrics::new(cfg.nprocs),
             rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
             work_info: if cfg.record_events { vec![Vec::new(); cfg.nprocs] } else { Vec::new() },
+            pending_dead: Vec::new(),
+            live_events: 0,
+            buffered: vec![Vec::new(); cfg.nprocs],
+            dead: Vec::new(),
+            ledger: Default::default(),
+            track_obligations: false,
+            finishing: false,
         }
+    }
+
+    /// True once the fault model's network kill threshold was crossed.
+    fn partitioned(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.partitioned())
     }
 
     /// Records an event when the recorder is enabled.
@@ -142,6 +194,15 @@ impl<'a> SimDriver<'a> {
 
     fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
         debug_assert_ne!(from, to, "self-sends are handled inside the core");
+        if self.track_obligations {
+            // Recorded at send time: a share routed toward a processor
+            // that dies in flight is as lost as one that arrived.
+            match msg {
+                Msg::SlaveTask { node, .. } => self.ledger.slave(node, to),
+                Msg::Type3Share { node, .. } => self.ledger.share(node, to),
+                _ => {}
+            }
+        }
         self.messages += 1;
         match msg.class() {
             MsgClass::Control => {
@@ -153,12 +214,19 @@ impl<'a> SimDriver<'a> {
                 self.metrics.status_bytes += bytes;
             }
         }
+        let live = !matches!(msg, Msg::Heartbeat);
         match &mut self.fault {
-            None => self.net.send(&mut self.sim, from, to, msg, bytes),
+            None => {
+                self.net.send(&mut self.sim, from, to, msg, bytes);
+                self.live_events += live as i64;
+            }
             Some(inj) => {
                 let base = self.net.transfer_time(bytes);
                 match inj.route(base, msg.class()) {
-                    Some(t) => self.sim.schedule(t, EventPayload::Message { from, to, msg }),
+                    Some(t) => {
+                        self.sim.schedule(t, EventPayload::Message { from, to, msg });
+                        self.live_events += live as i64;
+                    }
                     None => {
                         self.metrics.dropped_status += 1;
                         self.record(|| CompactEvent::fault_drop(from, to));
@@ -182,6 +250,7 @@ impl<'a> SimDriver<'a> {
             self.messages += n;
             self.metrics.status_msgs += n;
             self.metrics.status_bytes += n * bytes;
+            self.live_events += n as i64;
             self.net.broadcast(&mut self.sim, from, self.cfg.nprocs, msg, bytes);
             return;
         }
@@ -253,8 +322,20 @@ impl<'a> SimDriver<'a> {
                     }
                     let duration = self.duration_of(p, flops);
                     self.metrics.procs[p].busy_ticks += duration;
+                    self.live_events += 1;
                     self.sim.schedule_timer(p, duration, key);
                 }
+                Effect::Arm { key, after } => {
+                    // A partitioned network starves the detector too:
+                    // refusing to re-arm lets the run drain and fail with
+                    // a typed `Partitioned` instead of spinning forever.
+                    // Same once all fronts are done: the detector chain
+                    // dies out and the queue drains.
+                    if !self.partitioned() && !self.finishing {
+                        self.sim.schedule_timer(p, after, key);
+                    }
+                }
+                Effect::DeclareDead { proc } => self.pending_dead.push(proc),
                 Effect::Alloc { node, area, entries } => {
                     self.record(|| CompactEvent::mem_alloc(p, node, area, entries));
                 }
@@ -278,10 +359,17 @@ impl<'a> SimDriver<'a> {
 /// activation so the factorization completes (degrading memory, never
 /// correctness). Returns the forced processor, or `None` when there is
 /// nothing to force (a genuine stall).
-fn force_one_deferred(drv: &mut SimDriver<'_>, cores: &mut [SchedulerCore<'_>]) -> Option<usize> {
+fn force_one_deferred(
+    drv: &mut SimDriver<'_>,
+    cores: &mut [SchedulerCore<'_>],
+    ms: Option<&Membership>,
+) -> Option<usize> {
     drv.cfg.capacity?;
     let mut best: Option<(u64, usize, usize)> = None; // (cost, proc, node)
     for core in cores.iter() {
+        if ms.is_some_and(|m| !m.alive[core.id()] || !m.joined[core.id()]) {
+            continue; // forcing work onto a dead processor helps nobody
+        }
         if let Some((cost, v)) = core.cheapest_deferred() {
             let cand = (cost, core.id(), v);
             if best.is_none_or(|b| cand < b) {
@@ -293,6 +381,188 @@ fn force_one_deferred(drv: &mut SimDriver<'_>, cores: &mut [SchedulerCore<'_>]) 
     let now = drv.sim.now();
     drv.step(&mut cores[p], now, Input::Force { node: v });
     Some(p)
+}
+
+/// No-progress error for the current state: a crossed network-kill
+/// threshold is a `Partitioned`, anything else a generic `Stalled`.
+fn stall_error(drv: &SimDriver<'_>, diag: RunDiagnostics) -> SimError {
+    let diag = Box::new(diag);
+    if drv.partitioned() {
+        let after = drv.cfg.fault.as_ref().and_then(|f| f.kill_network_after).unwrap_or(0);
+        SimError::Partitioned { after, diag }
+    } else {
+        SimError::Stalled { diag }
+    }
+}
+
+/// Fail-stops processor `d`: snapshots the dying core (the last coherent
+/// view of what dies with it) and marks it dead. Detection and recovery
+/// happen later, through the lease protocol.
+fn kill_proc(drv: &mut SimDriver<'_>, cores: &[SchedulerCore<'_>], ms: &mut Membership, d: usize) {
+    if !ms.alive[d] {
+        return;
+    }
+    let snap = if ms.joined[d] {
+        cores[d].snapshot()
+    } else {
+        RecoverySnapshot { proc: d, ..Default::default() }
+    };
+    ms.note_kill(d, snap);
+    drv.dead.push(d);
+    drv.metrics.recovery.kills_observed += 1;
+}
+
+/// Arbitrates the death declarations the cores' lease checks emitted:
+/// deduplicates (every survivor typically declares the same loss), makes
+/// a spurious declaration real (fail-stop semantics — a processor the
+/// machine gave up on cannot be half-alive), builds one recovery plan
+/// per actual loss, and feeds it to every reachable core in processor
+/// order.
+fn process_deaths(
+    drv: &mut SimDriver<'_>,
+    cores: &mut [SchedulerCore<'_>],
+    ms: &mut Membership,
+    tree: &AssemblyTree,
+    n: usize,
+) -> Result<(), SimError> {
+    while !drv.pending_dead.is_empty() {
+        let pend = std::mem::take(&mut drv.pending_dead);
+        for d in pend {
+            if ms.recovered_deaths[d] {
+                continue;
+            }
+            kill_proc(drv, cores, ms, d);
+            if !ms.adopters_exist(d) {
+                let diag = diagnostics(drv, cores, n);
+                return Err(stall_error(drv, diag));
+            }
+            let snaps: Vec<RecoverySnapshot> = (0..drv.cfg.nprocs)
+                .map(|p| {
+                    if ms.alive[p] {
+                        cores[p].snapshot()
+                    } else {
+                        ms.dead_snaps[p]
+                            .clone()
+                            .unwrap_or(RecoverySnapshot { proc: p, ..Default::default() })
+                    }
+                })
+                .collect();
+            let plan = ms.plan_loss(tree, drv.cfg.capacity, d, &snaps, &mut drv.ledger);
+            drv.metrics.recovery.subtrees_reassigned += plan.roots.len() as u64;
+            drv.metrics.recovery.nodes_recomputed += plan.recompute.len() as u64;
+            drv.metrics.recovery.orphaned_cb_entries += plan.dead_stack_entries;
+            drv.record(|| CompactEvent::proc_lost(d, plan.recompute.len()));
+            for &(root, adopter) in &plan.roots {
+                drv.record(|| CompactEvent::subtree_reassigned(root, d, adopter));
+            }
+            let now = drv.sim.now();
+            for p in 0..drv.cfg.nprocs {
+                if ms.alive[p] && ms.joined[p] {
+                    drv.step(&mut cores[p], now, Input::Recover { plan: Box::new(plan.clone()) });
+                    if let Some(v) = cores[p].take_violation() {
+                        return Err(error_of(drv, cores, n, v));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Brings processor `q` into the machine: announces the join to every
+/// reachable core, replays the membership log so the joiner's overlays
+/// match the survivors', delivers the traffic parked while it was
+/// dormant, and rebalances by migrating up to two ready upper tasks
+/// from the fullest surviving pool.
+#[allow(clippy::too_many_arguments)]
+fn join_proc(
+    drv: &mut SimDriver<'_>,
+    cores: &mut [SchedulerCore<'_>],
+    ms: &mut Membership,
+    tree: &AssemblyTree,
+    map: &crate::mapping::StaticMapping,
+    n: usize,
+    q: usize,
+) -> Result<(), SimError> {
+    if !ms.alive[q] || ms.joined[q] {
+        return Ok(());
+    }
+    ms.note_join(q);
+    drv.metrics.recovery.joins_observed += 1;
+    let now = drv.sim.now();
+    for p in 0..drv.cfg.nprocs {
+        if ms.alive[p] && ms.joined[p] {
+            drv.step(&mut cores[p], now, Input::Join { proc: q });
+            if let Some(v) = cores[p].take_violation() {
+                return Err(error_of(drv, cores, n, v));
+            }
+        }
+    }
+    for ch in ms.log.clone() {
+        let input = match ch {
+            MembershipChange::Recover(plan) => Input::Recover { plan: Box::new(plan) },
+            MembershipChange::Migrate(m) => Input::Migrate { m: Box::new(m) },
+        };
+        drv.step(&mut cores[q], now, input);
+        if let Some(v) = cores[q].take_violation() {
+            return Err(error_of(drv, cores, n, v));
+        }
+    }
+    drv.step(&mut cores[q], now, Input::Tick);
+    if let Some(v) = cores[q].take_violation() {
+        return Err(error_of(drv, cores, n, v));
+    }
+    for (from, msg) in std::mem::take(&mut drv.buffered[q]) {
+        if ms.alive[from] {
+            drv.step(&mut cores[q], now, Input::Deliver { from, msg });
+            if let Some(v) = cores[q].take_violation() {
+                return Err(error_of(drv, cores, n, v));
+            }
+        }
+    }
+    // Memory-aware rebalancing: the fullest surviving pool donates up to
+    // two of its largest ready upper tasks to the idle joiner. Pool
+    // tasks are safe to move: readiness means every child completion and
+    // piece notification already arrived at the donor.
+    let donor = (0..drv.cfg.nprocs)
+        .filter(|&p| p != q && ms.alive[p] && ms.joined[p])
+        .map(|p| (cores[p].proc_diag().pool.len(), p))
+        .filter(|&(len, _)| len > 0)
+        .min_by_key(|&(len, p)| (std::cmp::Reverse(len), p))
+        .map(|(_, p)| p);
+    let mut migrated = 0usize;
+    if let Some(d) = donor {
+        let snap = cores[d].snapshot();
+        let mut cands: Vec<usize> = snap
+            .pool
+            .iter()
+            .copied()
+            .filter(|&v| map.subtree_of[v].is_none() || ms.recovered[v])
+            .collect();
+        cands.sort_by_key(|&v| (std::cmp::Reverse(tree.flops(v)), v));
+        for node in cands.into_iter().take(2) {
+            let pieces: Vec<(usize, u64, usize)> = snap
+                .registered
+                .iter()
+                .filter(|&&(parent, ..)| parent == node)
+                .map(|&(_, h, e, c)| (h, e, c))
+                .collect();
+            let mg = Migration { node, from: d, to: q, flops: tree.flops(node), pieces };
+            ms.note_migration(&mg);
+            drv.metrics.recovery.rebalance_migrations += 1;
+            for p in 0..drv.cfg.nprocs {
+                if ms.alive[p] && ms.joined[p] {
+                    drv.step(&mut cores[p], now, Input::Migrate { m: Box::new(mg.clone()) });
+                    if let Some(v) = cores[p].take_violation() {
+                        return Err(error_of(drv, cores, n, v));
+                    }
+                }
+            }
+            migrated += 1;
+        }
+    }
+    drv.record(|| CompactEvent::proc_joined(q, migrated));
+    Ok(())
 }
 
 fn diagnostics(
@@ -311,6 +581,7 @@ fn diagnostics(
         nodes_done: cores.iter().map(|c| c.nodes_done()).sum(),
         total_nodes,
         dropped_messages: drv.fault.as_ref().map_or(0, |f| f.dropped()),
+        dead: drv.dead.clone(),
         metrics: Box::new(metrics),
         procs: cores.iter().map(|c| c.proc_diag()).collect(),
     }
@@ -322,7 +593,7 @@ fn error_of(
     total_nodes: usize,
     v: Violation,
 ) -> SimError {
-    let diag = diagnostics(drv, cores, total_nodes);
+    let diag = Box::new(diagnostics(drv, cores, total_nodes));
     match v {
         Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
         Violation::Protocol { detail } => SimError::Protocol { detail, diag },
@@ -345,41 +616,155 @@ pub fn run(
     let mut cores: Vec<SchedulerCore<'_>> =
         (0..cfg.nprocs).map(|p| SchedulerCore::new(p, tree, map, cfg, &load0)).collect();
     let mut drv = SimDriver::new(cfg);
+    // Membership orchestration only on runs that need it — the quiet
+    // path takes none of the branches below.
+    let mut membership = Membership::needed(cfg.recovery.is_some(), cfg.fault.as_ref())
+        .then(|| Membership::new(cfg.nprocs, map.owner.clone(), cfg.fault.as_ref()));
+    drv.track_obligations = membership.is_some();
 
     for p in 0..cfg.nprocs {
+        if membership.as_ref().is_some_and(|m| !m.joined[p]) {
+            continue; // dormant until its scheduled join
+        }
         drv.step(&mut cores[p], 0, Input::Tick);
         if let Some(v) = cores[p].take_violation() {
             return Err(error_of(&drv, &cores, n, v));
         }
     }
-    loop {
+    'run: loop {
         while let Some(Event { at, payload }) = drv.sim.next() {
+            if let Some(ms) = membership.as_mut() {
+                // The fault schedule is keyed on delivered-event indices:
+                // scheduled kills and joins fire before the event they
+                // precede is processed.
+                ms.delivered += 1;
+                let idx = ms.delivered;
+                while let Some(d) = ms.take_due_kill(idx) {
+                    kill_proc(&mut drv, &cores, ms, d);
+                }
+                while let Some(q) = ms.take_due_join(idx) {
+                    join_proc(&mut drv, &mut cores, ms, tree, map, n, q)?;
+                }
+            }
+            // Quiescence accounting: everything except failure-detector
+            // chatter counts as a live event.
+            match &payload {
+                EventPayload::Message { msg, .. } if !matches!(msg, Msg::Heartbeat) => {
+                    drv.live_events -= 1;
+                }
+                EventPayload::Timer { key, .. } if *key < TIMER_LEASE => drv.live_events -= 1,
+                _ => {}
+            }
             let (p, input) = match payload {
-                EventPayload::Message { from, to, msg } => (to, Input::Deliver { from, msg }),
-                EventPayload::Timer { proc, key } => (proc, Input::TimerFired { key }),
+                EventPayload::Message { from, to, msg } => {
+                    if let Some(ms) = membership.as_ref() {
+                        if !ms.alive[from] || !ms.alive[to] {
+                            continue; // a dead endpoint: the message is lost
+                        }
+                        if !ms.joined[to] {
+                            drv.buffered[to].push((from, msg));
+                            continue; // parked until the join
+                        }
+                    }
+                    (to, Input::Deliver { from, msg })
+                }
+                EventPayload::Timer { proc, key } => {
+                    if let Some(ms) = membership.as_ref() {
+                        if !ms.alive[proc] || !ms.joined[proc] {
+                            continue; // a dead processor's timers are void
+                        }
+                    }
+                    (proc, Input::TimerFired { key })
+                }
             };
             drv.step(&mut cores[p], at, input);
             if let Some(v) = cores[p].take_violation() {
                 return Err(error_of(&drv, &cores, n, v));
             }
+            if let Some(ms) = membership.as_mut() {
+                if !drv.pending_dead.is_empty() {
+                    process_deaths(&mut drv, &mut cores, ms, tree, n)?;
+                }
+            } else {
+                debug_assert!(drv.pending_dead.is_empty(), "DeclareDead without recovery");
+            }
             if let Some(limit) = cfg.time_limit {
                 if drv.sim.now() > limit {
-                    let diag = diagnostics(&drv, &cores, n);
+                    let diag = Box::new(diagnostics(&drv, &cores, n));
                     return Err(SimError::TimeLimit { limit, diag });
                 }
             }
+            if let Some(ms) = membership.as_mut() {
+                // Membership-aware termination: with recovery configured
+                // the detector's timer chain never lets the queue drain,
+                // so completion is checked per event — over the survivors
+                // only (a dead processor's completions were recomputed
+                // elsewhere and must not double-count).
+                let done: usize =
+                    (0..cfg.nprocs).filter(|&p| ms.alive[p]).map(|p| cores[p].nodes_done()).sum();
+                if done >= n {
+                    // Keep draining in-flight live traffic so the final
+                    // time matches the recovery-off run exactly; the
+                    // detector stops re-arming and its chain dies out.
+                    drv.finishing = true;
+                    if drv.live_events == 0 {
+                        break 'run;
+                    }
+                    continue;
+                }
+                if drv.live_events == 0 && cfg.recovery.is_some() {
+                    // Quiescent apart from detector chatter. Progress can
+                    // still arrive from the fault schedule (indices keep
+                    // advancing on detector events) or from a lease about
+                    // to expire; otherwise this is the same situation as
+                    // a drained queue — run the degradation ladder.
+                    if ms.schedule_pending() || ms.undeclared_dead() || !drv.pending_dead.is_empty()
+                    {
+                        continue;
+                    }
+                    match force_one_deferred(&mut drv, &mut cores, Some(&*ms)) {
+                        Some(p) => {
+                            if let Some(v) = cores[p].take_violation() {
+                                return Err(error_of(&drv, &cores, n, v));
+                            }
+                        }
+                        None => {
+                            let diag = diagnostics(&drv, &cores, n);
+                            return Err(stall_error(&drv, diag));
+                        }
+                    }
+                }
+            }
         }
-        let nodes_done: usize = cores.iter().map(|c| c.nodes_done()).sum();
+        // The queue drained (the recovery-off path — with recovery on it
+        // only happens once a partitioned driver stops re-arming the
+        // detector).
+        let nodes_done: usize = match membership.as_ref() {
+            Some(ms) => {
+                (0..cfg.nprocs).filter(|&p| ms.alive[p]).map(|p| cores[p].nodes_done()).sum()
+            }
+            None => cores.iter().map(|c| c.nodes_done()).sum(),
+        };
         if nodes_done >= n {
             break;
+        }
+        // A scheduled join whose event index was never reached fires now:
+        // the joiner may hold the only way forward.
+        if let Some(ms) = membership.as_mut() {
+            if let Some(q) = ms.take_next_join() {
+                join_proc(&mut drv, &mut cores, ms, tree, map, n, q)?;
+                continue;
+            }
         }
         // Drained queue with unfinished fronts. Under a hard capacity the
         // deadlock may be self-inflicted (every idle processor deferring
         // every task): force the globally cheapest deferred task and keep
         // going — degrading memory, never correctness. Otherwise it is a
-        // genuine stall (e.g. a dead network): report it.
-        let Some(p) = force_one_deferred(&mut drv, &mut cores) else {
-            return Err(SimError::Stalled { diag: diagnostics(&drv, &cores, n) });
+        // genuine stall (a dead processor nobody can detect, a dead
+        // network): report it.
+        let Some(p) = force_one_deferred(&mut drv, &mut cores, membership.as_ref()) else {
+            let diag = diagnostics(&drv, &cores, n);
+            return Err(stall_error(&drv, diag));
         };
         if let Some(v) = cores[p].take_violation() {
             return Err(error_of(&drv, &cores, n, v));
@@ -403,6 +788,12 @@ pub fn run(
         // recording is in-bounds and non-overlapping.
         rec.debug_validate();
     }
+    let alive = |p: usize| membership.as_ref().is_none_or(|m| m.alive[p]);
+    let factor_digest = digest_factors(
+        (0..cfg.nprocs).filter(|&p| alive(p)).map(|p| cores[p].factors_by_node()),
+        n,
+    );
+    let nodes_done = (0..cfg.nprocs).filter(|&p| alive(p)).map(|p| cores[p].nodes_done()).sum();
     Ok(RunResult {
         total_peaks,
         factor_entries,
@@ -413,7 +804,7 @@ pub fn run(
         traces: cfg
             .record_traces
             .then(|| mems.iter().map(|m| m.trace().cloned().unwrap_or_default()).collect()),
-        nodes_done: cores.iter().map(|c| c.nodes_done()).sum(),
+        nodes_done,
         total_nodes: n,
         dropped_messages: drv.fault.as_ref().map_or(0, |f| f.dropped()),
         forced_activations: cores.iter().map(|c| c.forced()).sum(),
@@ -422,6 +813,8 @@ pub fn run(
         metrics,
         recording: drv.rec,
         peaks,
+        factor_digest,
+        dead: drv.dead,
     })
 }
 
@@ -710,10 +1103,11 @@ mod tests {
     }
 
     #[test]
-    fn watchdog_reports_stall_when_network_dies() {
+    fn watchdog_reports_partition_when_network_dies() {
         // Kill the network early: some Complete/SlaveTask message is lost
         // and the factorization can never finish — the watchdog must
-        // return a diagnosable Stalled error instead of hanging.
+        // return a typed Partitioned error instead of hanging (and name
+        // the partition as such, not as a generic stall).
         let tree = tree_for(24);
         let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
         let map = compute_mapping(&tree, &cfg0);
@@ -725,15 +1119,162 @@ mod tests {
             ..cfg0
         };
         match run(&tree, &map, &cfg) {
-            Err(SimError::Stalled { diag }) => {
+            Err(SimError::Partitioned { after, diag }) => {
+                assert_eq!(after, 10);
                 assert!(diag.nodes_done < diag.total_nodes);
                 assert_eq!(diag.procs.len(), 4);
                 assert!(diag.dropped_messages > 0);
+                assert!(diag.dead.is_empty(), "a partition kills no processor");
                 // The snapshot names what every processor held.
                 assert!(diag.procs.iter().any(|p| !p.pool.is_empty() || p.active > 0));
             }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_layer_off_is_bit_identical() {
+        // With recovery configured but no fault, the detector arms and
+        // heartbeats flow, but the factorization itself must be exactly
+        // the quiet run's (same peaks, same makespan, same digest).
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        // Aggressive detector periods so heartbeat traffic actually flows
+        // within this short run.
+        let rc = crate::config::RecoveryConfig { heartbeat_every: 20, lease_timeout: 120 };
+        let cfg = SolverConfig { recovery: Some(rc), ..cfg0 };
+        let r = run(&tree, &map, &cfg).unwrap();
+        assert_eq!(r.peaks, plain.peaks);
+        assert_eq!(r.makespan, plain.makespan);
+        assert_eq!(r.factor_digest, plain.factor_digest);
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert!(r.dead.is_empty());
+        assert!(r.messages > plain.messages, "heartbeats must flow");
+    }
+
+    #[test]
+    fn killed_processor_recovers_with_identical_factors() {
+        let tree = tree_for(20);
+        for cfg0 in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) },
+        ] {
+            let map = compute_mapping(&tree, &cfg0);
+            let plain = run(&tree, &map, &cfg0).unwrap();
+            for victim in 0..4 {
+                for kill_idx in [1u64, 64, 512, 2000] {
+                    let cfg = SolverConfig {
+                        recovery: Some(crate::config::RecoveryConfig::default()),
+                        fault: Some(mf_sim::FaultModel {
+                            kill_at: vec![(kill_idx, victim)],
+                            ..mf_sim::FaultModel::quiet(1)
+                        }),
+                        ..cfg0.clone()
+                    };
+                    let r = run(&tree, &map, &cfg).unwrap_or_else(|e| {
+                        panic!("victim {victim} at {kill_idx}: {e}");
+                    });
+                    assert_eq!(r.nodes_done, r.total_nodes, "victim {victim} at {kill_idx}");
+                    assert_eq!(
+                        r.factor_digest, plain.factor_digest,
+                        "victim {victim} at {kill_idx}: factors diverged"
+                    );
+                    if r.dead.is_empty() {
+                        // The run finished before the scheduled event index
+                        // was reached: the kill never happened.
+                        assert_eq!(r.metrics.recovery.kills_observed, 0);
+                        continue;
+                    }
+                    assert_eq!(r.dead, vec![victim], "victim {victim} at {kill_idx}");
+                    assert_eq!(r.metrics.recovery.kills_observed, 1);
+                    // Entry conservation on the survivors: every stacked
+                    // contribution block was consumed or reclaimed.
+                    for (p, &a) in r.final_active.iter().enumerate() {
+                        if p != victim {
+                            assert_eq!(a, 0, "survivor {p} leaked {a} entries");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kill_without_recovery_stalls_promptly_and_names_the_dead() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let cfg = SolverConfig {
+            fault: Some(mf_sim::FaultModel {
+                kill_at: vec![(8, 2)],
+                ..mf_sim::FaultModel::quiet(1)
+            }),
+            ..cfg0
+        };
+        match run(&tree, &map, &cfg) {
+            Err(SimError::Stalled { diag }) => {
+                assert_eq!(diag.dead, vec![2], "the stall must name the dead processor");
+                assert!(diag.nodes_done < diag.total_nodes);
+            }
             other => panic!("expected Stalled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn joined_processor_takes_work_and_factors_stay_identical() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        // Processor 3 starts dormant and joins mid-run.
+        let cfg = SolverConfig {
+            recovery: Some(crate::config::RecoveryConfig::default()),
+            fault: Some(mf_sim::FaultModel {
+                join_at: vec![(64, 3)],
+                ..mf_sim::FaultModel::quiet(1)
+            }),
+            ..cfg0
+        };
+        let r = run(&tree, &map, &cfg).unwrap();
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert_eq!(r.factor_digest, plain.factor_digest);
+        assert_eq!(r.metrics.recovery.joins_observed, 1);
+        assert!(r.dead.is_empty());
+        assert!(r.final_active.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn kill_then_join_rebalances_and_completes() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        let cfg = SolverConfig {
+            recovery: Some(crate::config::RecoveryConfig::default()),
+            fault: Some(mf_sim::FaultModel {
+                kill_at: vec![(128, 1)],
+                join_at: vec![(256, 4)],
+                ..mf_sim::FaultModel::quiet(1)
+            }),
+            nprocs: 5,
+            ..cfg0
+        };
+        // Five slots, processor 4 dormant at start: the static mapping is
+        // computed for the full machine and proc 4 contributes only after
+        // its join.
+        let map5 = compute_mapping(&tree, &cfg);
+        let plain5 =
+            run(&tree, &map5, &SolverConfig { recovery: None, fault: None, ..cfg.clone() })
+                .unwrap();
+        assert_eq!(plain5.factor_digest, plain.factor_digest, "digest is partition-invariant");
+        let r = run(&tree, &map5, &cfg).unwrap();
+        assert_eq!(r.nodes_done, r.total_nodes);
+        assert_eq!(r.factor_digest, plain.factor_digest);
+        assert_eq!(r.dead, vec![1]);
+        assert_eq!(r.metrics.recovery.kills_observed, 1);
+        assert_eq!(r.metrics.recovery.joins_observed, 1);
     }
 
     #[test]

@@ -30,12 +30,20 @@ use crate::config::SolverConfig;
 use crate::error::ProcDiag;
 use crate::mapping::{NodeKind, StaticMapping};
 use crate::pool::{TaskCtx, TaskPool, TaskSelector};
+use crate::recovery::{RecoveryPlan, RecoverySnapshot};
 use crate::slavesel::{SlaveAssignment, SlaveCtx, SlaveSelector};
 use crate::views::Views;
 use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
 use mf_sim::{CompactEvent, MsgClass, ProcMemory, RunMetrics, Time};
 use mf_symbolic::AssemblyTree;
 use std::collections::VecDeque;
+
+/// Timer key of the periodic heartbeat emitter (never collides with a
+/// work-ledger key: work keys are ledger indices, far below the top of
+/// the `u64` range).
+pub const TIMER_HEARTBEAT: u64 = u64::MAX;
+/// Timer key of the periodic lease check.
+pub const TIMER_LEASE: u64 = u64::MAX - 1;
 
 /// Inter-processor messages of the scheduling protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +58,10 @@ pub enum Msg {
         holder: usize,
         /// Piece size in entries.
         entries: u64,
+        /// Lifetime of `child` the piece belongs to (see
+        /// [`SchedulerCore`]'s epoch vector): a stale piece notification
+        /// from before a recovery is silently discarded.
+        epoch: u32,
     },
     /// `child`'s elimination finished; `pieces` CB pieces were produced
     /// in total (0 when the CB is empty).
@@ -58,6 +70,8 @@ pub enum Msg {
         child: usize,
         /// CB pieces produced in total.
         pieces: usize,
+        /// Lifetime of `child` the completion belongs to.
+        epoch: u32,
     },
     /// The parent activated: the addressed processor ships its stacked CB
     /// piece of `child` to the parent's workers and frees it.
@@ -66,6 +80,8 @@ pub enum Msg {
         child: usize,
         /// Piece size in entries.
         entries: u64,
+        /// Lifetime of `child` the fetch belongs to.
+        epoch: u32,
     },
     /// A slave task of a type-2 node.
     SlaveTask {
@@ -79,6 +95,8 @@ pub enum Msg {
         factor_share: u64,
         /// Flops delegated with the block.
         flops_share: u64,
+        /// Lifetime of `node` the enrolment belongs to.
+        epoch: u32,
     },
     /// The 2-D root scatters equal shares to every processor.
     Type3Share {
@@ -88,7 +106,14 @@ pub enum Msg {
         entries: u64,
         /// Flops of the share.
         flops_share: u64,
+        /// Lifetime of `node` the share belongs to.
+        epoch: u32,
     },
+    /// Liveness beacon of the lease-based failure detector: sent to every
+    /// reachable peer each `heartbeat_every` ticks when recovery is
+    /// configured. Any delivered message renews the sender's lease; the
+    /// heartbeat guarantees renewal when the protocol itself goes quiet.
+    Heartbeat,
     /// Memory increment of the sender's active memory (Section 4).
     MemDelta {
         /// Signed change in active entries.
@@ -205,6 +230,44 @@ pub enum Input {
         /// The node to activate.
         node: usize,
     },
+    /// A processor died: apply the driver-built recovery plan (cancel and
+    /// garbage-collect everything belonging to recomputed nodes, repair
+    /// readiness counters, take ownership of adopted work). Fed to every
+    /// surviving core in processor order, and replayed to late joiners.
+    Recover {
+        /// The plan (boxed: recovery is rare, the `Input` enum is hot).
+        plan: Box<RecoveryPlan>,
+    },
+    /// Processor `proc` joined the machine: mark it reachable (it now
+    /// receives heartbeats, status traffic, and slave enrolments).
+    Join {
+        /// The joining processor.
+        proc: usize,
+    },
+    /// Rebalancing after a join: move one ready task from its current
+    /// owner to the joiner. Fed to every core so ownership routing stays
+    /// consistent machine-wide.
+    Migrate {
+        /// The migration (boxed like `Recover`).
+        m: Box<Migration>,
+    },
+}
+
+/// One task moved to a joining processor by the rebalancer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// The ready (not yet activated) node that moves.
+    pub node: usize,
+    /// Its current owner.
+    pub from: usize,
+    /// The joining processor that receives it.
+    pub to: usize,
+    /// The node's flops (workload the move transfers).
+    pub flops: u64,
+    /// Contribution blocks registered for the node at the donor, to be
+    /// re-registered at the receiver: `(holder, entries, child)`. The
+    /// pieces themselves stay on their holders' stacks.
+    pub pieces: Vec<(usize, u64, usize)>,
 }
 
 /// What a [`SchedulerCore`] asks its runtime to do. Effects must be
@@ -264,6 +327,26 @@ pub enum Effect {
         area: MemArea,
         /// Release size in entries.
         entries: u64,
+    },
+    /// Arm (or re-arm) a recurring protocol timer: deliver
+    /// [`Input::TimerFired`] with `key` after `after` ticks. Unlike
+    /// [`Effect::StartCompute`] this carries no work and does not occupy
+    /// the compute unit — it drives the heartbeat/lease failure detector.
+    /// A driver whose network is partitioned refuses to re-arm, which is
+    /// what lets a partitioned run drain and fail cleanly.
+    Arm {
+        /// Timer key ([`TIMER_HEARTBEAT`] or [`TIMER_LEASE`]).
+        key: u64,
+        /// Delay until the timer fires, in ticks.
+        after: Time,
+    },
+    /// The lease of `proc` expired at this core: no message from it for
+    /// longer than the configured `lease_timeout`. The driver arbitrates
+    /// (several cores typically declare the same death) and responds with
+    /// [`Input::Recover`] once per actual loss.
+    DeclareDead {
+        /// The silent processor.
+        proc: usize,
     },
     /// A flight-recorder decision event in compact wire form (only
     /// emitted when the core was built with recording enabled,
@@ -358,7 +441,50 @@ pub struct SchedulerCore<'a> {
     cb_pieces: Vec<Vec<(usize, u64, usize)>>,
     started_children: Vec<usize>,
     activated: Vec<bool>,
+    /// Whether each child already counted into its parent's
+    /// `done_children` here (the permanent fire-once guard; recovery
+    /// selectively clears it so a recomputed child counts again).
+    counted: Vec<bool>,
     nodes_done: usize,
+    /// Nodes this core completed as owner (the indicator behind
+    /// `nodes_done`; recovery uncounts recomputed nodes through it).
+    done_by_me: Vec<bool>,
+    /// Factor entries stored here per node, the partition-invariant
+    /// quantity behind [`crate::recovery::digest_factors`].
+    factors_by_node: Vec<u64>,
+    /// Entries of the CB piece this core physically holds per producing
+    /// node (at most one piece per producer per holder). Zero when not
+    /// holding; recovery pops stale pieces through it.
+    held: Vec<u64>,
+    /// Completion flags of the work ledger (parallel to `works`).
+    done_works: Vec<bool>,
+    /// Cancellation flags of the work ledger: a cancelled work's timer
+    /// still fires, but its completion only releases the compute unit.
+    cancelled: Vec<bool>,
+    /// Key of the work currently occupying the compute unit, if any.
+    running: Option<usize>,
+    // ---- membership & failure detection (all-true / idle on runs
+    // without membership faults, keeping the quiet path bit-identical)
+    /// Liveness per processor, updated by recovery plans.
+    alive: Vec<bool>,
+    /// Join state per processor (procs scheduled to join later start
+    /// dormant; dormant procs are unreachable but not dead).
+    joined: Vec<bool>,
+    /// Last time each peer was heard from (any delivered message).
+    last_heard: Vec<Time>,
+    /// Whether the heartbeat/lease timers were armed (once, on the first
+    /// tick of a recovery-configured run).
+    timers_armed: bool,
+    /// Ownership overlay: starts as the static mapping's owner vector,
+    /// updated by recovery plans and migrations.
+    owners: Vec<usize>,
+    /// Nodes re-executed by a recovery plan: their kind degrades to a
+    /// full local front (type-3 roots excepted) and they leave their
+    /// static subtree.
+    recovered: Vec<bool>,
+    /// Per-node lifetime counter, bumped machine-wide when a node enters
+    /// a recompute set; messages from a previous lifetime are discarded.
+    epoch: Vec<u32>,
     /// Count of capacity-degradation events (serialize-on-master
     /// fallbacks plus force-activated deferred tasks).
     forced: u64,
@@ -411,7 +537,31 @@ impl<'a> SchedulerCore<'a> {
             cb_pieces: vec![Vec::new(); n],
             started_children: vec![0; n],
             activated: vec![false; n],
+            counted: vec![false; n],
             nodes_done: 0,
+            done_by_me: vec![false; n],
+            factors_by_node: vec![0; n],
+            held: vec![0; n],
+            done_works: Vec::new(),
+            cancelled: Vec::new(),
+            running: None,
+            alive: vec![true; cfg.nprocs],
+            joined: {
+                let mut j = vec![true; cfg.nprocs];
+                if let Some(f) = &cfg.fault {
+                    for &(_, p) in &f.join_at {
+                        if p < cfg.nprocs {
+                            j[p] = false;
+                        }
+                    }
+                }
+                j
+            },
+            last_heard: vec![0; cfg.nprocs],
+            timers_armed: false,
+            owners: map.owner.clone(),
+            recovered: vec![false; n],
+            epoch: vec![0; n],
             forced: 0,
             violation: None,
             metrics: RunMetrics::new(cfg.nprocs),
@@ -426,10 +576,23 @@ impl<'a> SchedulerCore<'a> {
         debug_assert!(self.out.is_empty(), "effects of the previous input were not drained");
         self.now = now;
         match input {
-            Input::Tick => self.try_start(),
-            Input::Deliver { from, msg } => self.deliver(from, msg),
+            Input::Tick => {
+                self.maybe_arm_detector();
+                self.try_start();
+            }
+            Input::Deliver { from, msg } => {
+                if from != self.id {
+                    self.last_heard[from] = now;
+                }
+                self.deliver(from, msg);
+            }
+            Input::TimerFired { key: TIMER_HEARTBEAT } => self.heartbeat_fired(),
+            Input::TimerFired { key: TIMER_LEASE } => self.lease_fired(),
             Input::TimerFired { key } => self.work_done(key as usize),
             Input::Force { node } => self.force_activate(node),
+            Input::Recover { plan } => self.apply_plan(&plan),
+            Input::Join { proc } => self.apply_join(proc),
+            Input::Migrate { m } => self.apply_migration(&m),
         }
         self.out.drain(..)
     }
@@ -505,6 +668,357 @@ impl<'a> SchedulerCore<'a> {
             queued_slave_tasks: self.slave_queue.len(),
             current_subtree: self.current_subtree,
             underflows: self.mem.underflows(),
+        }
+    }
+
+    /// Per-node factor entries stored on this processor (the digest
+    /// input; all-zero rows for nodes factored elsewhere).
+    pub fn factors_by_node(&self) -> &[u64] {
+        &self.factors_by_node
+    }
+
+    /// Recovery snapshot of this core: everything the driver's plan
+    /// builder needs to know about what lives (or lived) here. Taken
+    /// from survivors at plan time and from a dying core at kill time.
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        let n = self.tree.len();
+        let mut inflight: Vec<usize> = self
+            .works
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| !self.done_works[k] && !self.cancelled[k])
+            .map(|(_, w)| match *w {
+                Work::Elim { node, .. }
+                | Work::MasterPart { node, .. }
+                | Work::Slave { node, .. }
+                | Work::RootShare { node, .. } => node,
+            })
+            .collect();
+        inflight.sort_unstable();
+        inflight.dedup();
+        let mut registered = Vec::new();
+        for (parent, pieces) in self.cb_pieces.iter().enumerate() {
+            for &(holder, entries, child) in pieces {
+                registered.push((parent, holder, entries, child));
+            }
+        }
+        RecoverySnapshot {
+            proc: self.id,
+            done: (0..n).filter(|&v| self.done_by_me[v]).collect(),
+            activated: (0..n).filter(|&v| self.activated[v]).collect(),
+            factors: (0..n)
+                .filter(|&v| self.factors_by_node[v] > 0)
+                .map(|v| (v, self.factors_by_node[v]))
+                .collect(),
+            held: (0..n).filter(|&v| self.held[v] > 0).map(|v| (v, self.held[v])).collect(),
+            inflight,
+            pool: self.pool.as_slice().to_vec(),
+            registered,
+            active: self.mem.active(),
+        }
+    }
+
+    // ---------- membership overlays ----------
+    //
+    // The static mapping stays immutable; recovery layers these three
+    // views over it. On runs without membership faults every overlay
+    // falls through to the mapping, so the quiet path is bit-identical.
+
+    /// Current owner of `v` (static owner + recovery plans + migrations).
+    fn owner_of(&self, v: usize) -> usize {
+        self.owners[v]
+    }
+
+    /// Current kind of `v`: a recomputed node runs as a full local front
+    /// on its adopter whatever its original kind — except a type-3 root,
+    /// which is re-scattered (with dead shares absorbed) to keep its
+    /// `nprocs × share` factor total intact.
+    fn kind_of(&self, v: usize) -> NodeKind {
+        if self.recovered[v] && !matches!(self.map.kind[v], NodeKind::Type3) {
+            NodeKind::Type1
+        } else {
+            self.map.kind[v]
+        }
+    }
+
+    /// Current subtree membership of `v`: a recomputed node leaves its
+    /// static subtree (its re-execution is an upper task of its adopter).
+    fn subtree_of(&self, v: usize) -> Option<usize> {
+        if self.recovered[v] {
+            None
+        } else {
+            self.map.subtree_of[v]
+        }
+    }
+
+    /// A peer this core may talk to and expect answers from: alive and
+    /// joined.
+    fn reachable(&self, q: usize) -> bool {
+        self.alive[q] && self.joined[q]
+    }
+
+    // ---------- failure detection (heartbeats and leases) ----------
+
+    /// Arms the heartbeat and lease timers once, on the first tick of a
+    /// recovery-configured run. Runs without recovery never arm them, so
+    /// their event streams are untouched.
+    fn maybe_arm_detector(&mut self) {
+        let Some(rc) = &self.cfg.recovery else { return };
+        if self.timers_armed {
+            return;
+        }
+        self.timers_armed = true;
+        let now = self.now;
+        for p in 0..self.cfg.nprocs {
+            self.last_heard[p] = now;
+        }
+        self.out.push(Effect::Arm { key: TIMER_HEARTBEAT, after: rc.heartbeat_every });
+        self.out.push(Effect::Arm { key: TIMER_LEASE, after: rc.heartbeat_every });
+    }
+
+    /// Periodic heartbeat: renew this core's lease at every reachable
+    /// peer, then re-arm.
+    fn heartbeat_fired(&mut self) {
+        let Some(rc) = &self.cfg.recovery else { return };
+        let every = rc.heartbeat_every;
+        for q in 0..self.cfg.nprocs {
+            if q != self.id && self.reachable(q) {
+                self.out.push(Effect::Send { to: q, msg: Msg::Heartbeat, bytes: 8 });
+            }
+        }
+        self.out.push(Effect::Arm { key: TIMER_HEARTBEAT, after: every });
+    }
+
+    /// Periodic lease check: declare any reachable peer unheard-from for
+    /// longer than the lease timeout, then re-arm.
+    fn lease_fired(&mut self) {
+        let Some(rc) = &self.cfg.recovery else { return };
+        let (every, timeout) = (rc.heartbeat_every, rc.lease_timeout);
+        for q in 0..self.cfg.nprocs {
+            if q != self.id
+                && self.reachable(q)
+                && self.now.saturating_sub(self.last_heard[q]) > timeout
+            {
+                self.out.push(Effect::DeclareDead { proc: q });
+            }
+        }
+        self.out.push(Effect::Arm { key: TIMER_LEASE, after: every });
+    }
+
+    // ---------- recovery (plan application) ----------
+
+    /// Applies a recovery plan. Every surviving core runs this with the
+    /// same plan in processor order, so the membership overlays stay
+    /// consistent machine-wide; each core additionally repairs its own
+    /// slice of the distributed state (cancelled works, stale pieces,
+    /// readiness counters, adopted installs).
+    fn apply_plan(&mut self, plan: &RecoveryPlan) {
+        let n = self.tree.len();
+        self.alive[plan.dead] = false;
+        let mut in_r = vec![false; n];
+        for pn in &plan.recompute {
+            in_r[pn.node] = true;
+        }
+
+        // 1. Cancel unfinished works on recomputed nodes: release their
+        // front memory and workload now; a running work's timer will
+        // still fire and only then releases the compute unit.
+        for key in 0..self.works.len() {
+            if self.done_works[key] || self.cancelled[key] {
+                continue;
+            }
+            let (node, front, flops) = match self.works[key] {
+                Work::Elim { node, flops } => (node, self.tree.front_entries(node), flops),
+                Work::MasterPart { node, flops, .. } => {
+                    (node, self.tree.master_entries(node), flops)
+                }
+                Work::Slave { node, entries, flops, .. } => (node, entries, flops),
+                Work::RootShare { node, entries, flops, .. } => (node, entries, flops),
+            };
+            if !in_r[node] {
+                continue;
+            }
+            self.cancelled[key] = true;
+            self.mem_free_front(node, front);
+            self.load_change(-(flops as i64));
+            self.slave_queue.retain(|&k| k != key);
+            if self.running == Some(key) {
+                // Leave a subtree whose in-progress node was cancelled so
+                // Algorithm 2's projected peak does not linger.
+                if let Some(s) = self.current_subtree {
+                    if self.map.subtree_of[node] == Some(s) {
+                        self.current_subtree = None;
+                        if self.cfg.use_subtree_info {
+                            self.views.subtree[self.id] = 0;
+                            self.broadcast(Msg::SubtreePeak { peak: 0 }, 16);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Per-node resets, at every core.
+        for pn in &plan.recompute {
+            let v = pn.node;
+            self.epoch[v] = self.epoch[v].wrapping_add(1);
+            let was_mine = self.owners[v] == self.id;
+            let was_upper = self.subtree_of(v).is_none();
+            self.owners[v] = pn.owner;
+            self.recovered[v] = true;
+            if self.done_by_me[v] {
+                self.done_by_me[v] = false;
+                self.nodes_done -= 1;
+            }
+            let f = self.factors_by_node[v];
+            if f > 0 {
+                self.factors_by_node[v] = 0;
+                if self.cfg.out_of_core.is_none() && !self.mem.forget_factors(self.now, f) {
+                    self.flag(Violation::Accounting { proc: self.id, area: "factors" });
+                }
+            }
+            self.activated[v] = false;
+            self.pieces_expected[v] = None;
+            self.pieces_got[v] = 0;
+            self.child_complete[v] = false;
+            self.started_children[v] = 0;
+            if self.soon.remove(&v).is_some() && self.cfg.use_prediction {
+                self.rebroadcast_prediction();
+            }
+            if was_mine && self.pool.remove_task(v) && was_upper {
+                // An upper task's flops entered the load at readiness;
+                // losing the task takes them out again.
+                self.load_change(-(self.tree.flops(v) as i64));
+            }
+            if self.held[v] > 0 {
+                // The piece this core produced for v's parent is stale:
+                // v's new life will reproduce it.
+                let e = self.held[v];
+                self.held[v] = 0;
+                self.mem_pop_cb(v, e);
+                self.metrics.recovery.orphaned_cb_entries += e;
+            }
+            self.cb_pieces[v].clear();
+            if pn.was_activated {
+                // v's previous life consumed its children's pieces at
+                // activation, but the consume may have died half way: a
+                // `FetchCb` the old master sent a surviving holder is
+                // lost if the master was the dead processor. The new
+                // life re-executes standalone and will never release
+                // them, so release local stale pieces now and bump the
+                // children's epochs so a `FetchCb` still in flight (from
+                // a surviving master) becomes a no-op instead of a
+                // double free.
+                for &c in &self.tree.nodes[v].children {
+                    if in_r[c] {
+                        continue; // reset by its own plan entry
+                    }
+                    self.epoch[c] = self.epoch[c].wrapping_add(1);
+                    if self.held[c] > 0 {
+                        let e = self.held[c];
+                        self.held[c] = 0;
+                        self.mem_pop_cb(c, e);
+                        self.metrics.recovery.orphaned_cb_entries += e;
+                    }
+                }
+            }
+            // Parent-side counter repair: if the parent survives
+            // unactivated, v must count again when its new life
+            // completes; if the parent already activated (it consumed
+            // everything), the stale count stands as the fire-once guard.
+            if let Some(p) = self.tree.nodes[v].parent {
+                if !in_r[p] && self.activated[p] {
+                    // keep `counted[v]` as the permanent guard
+                } else {
+                    if self.counted[v] && !in_r[p] {
+                        self.done_children[p] -= 1;
+                    }
+                    self.counted[v] = false;
+                }
+            } else {
+                self.counted[v] = false;
+            }
+        }
+
+        // 3. Registration GC at surviving parents: pieces produced by a
+        // recomputed child are stale, pieces held by the dead are gone.
+        for w in 0..n {
+            if !in_r[w] {
+                self.cb_pieces[w].retain(|&(h, _, c)| !in_r[c] && h != plan.dead);
+            }
+        }
+
+        // 4. Owner-side installs: the (possibly new) owner of each
+        // recomputed node rebuilds its readiness state from the plan.
+        for pn in &plan.recompute {
+            if pn.owner != self.id {
+                continue;
+            }
+            let v = pn.node;
+            if pn.was_activated {
+                // Standalone re-execution: every child was complete and
+                // consumed in the previous life.
+                self.done_children[v] = self.tree.nodes[v].children.len();
+            } else {
+                let mut dc = 0;
+                for cs in &pn.children {
+                    let c = cs.child;
+                    self.counted[c] = cs.done;
+                    self.child_complete[c] = false;
+                    self.pieces_got[c] = cs.pre_got;
+                    self.pieces_expected[c] = if cs.done { Some(cs.pre_got) } else { None };
+                    if cs.done {
+                        dc += 1;
+                    }
+                    for &(h, e) in &cs.installs {
+                        self.cb_pieces[v].push((h, e, c));
+                    }
+                }
+                self.done_children[v] = dc;
+            }
+            if pn.ready {
+                self.pool.push(v);
+                if self.subtree_of(v).is_none() {
+                    self.load_change(self.tree.flops(v) as i64);
+                }
+            }
+        }
+
+        self.try_start();
+    }
+
+    /// Marks `proc` joined. At the joiner itself this also resets every
+    /// lease (its counters date from t=0) — the driver follows up with a
+    /// membership-log replay, buffered deliveries, and a tick.
+    fn apply_join(&mut self, proc: usize) {
+        self.joined[proc] = true;
+        let now = self.now;
+        if proc == self.id {
+            for p in 0..self.cfg.nprocs {
+                self.last_heard[p] = now;
+            }
+        } else {
+            self.last_heard[proc] = now;
+        }
+    }
+
+    /// Applies one rebalancing migration: everyone updates the ownership
+    /// overlay; the donor drops the task (and its registered pieces), the
+    /// receiver adopts both.
+    fn apply_migration(&mut self, m: &Migration) {
+        self.owners[m.node] = m.to;
+        if self.id == m.from {
+            self.pool.remove_task(m.node);
+            self.cb_pieces[m.node].clear();
+            if self.map.subtree_of[m.node].is_none() || self.recovered[m.node] {
+                self.load_change(-(m.flops as i64));
+            }
+        } else if self.id == m.to {
+            self.pool.push(m.node);
+            self.cb_pieces[m.node] = m.pieces.iter().map(|&(h, e, c)| (h, e, c)).collect();
+            if self.map.subtree_of[m.node].is_none() || self.recovered[m.node] {
+                self.load_change(m.flops as i64);
+            }
+            self.try_start();
         }
     }
 
@@ -587,10 +1101,12 @@ impl<'a> SchedulerCore<'a> {
         self.after_mem_change(-(entries as i64));
     }
 
-    /// Stores factor entries: in core they join the factors area; out of
-    /// core they stream to the processor's disk (overlapped with compute,
-    /// tracked only as potential makespan).
-    fn store_factors(&mut self, entries: u64) {
+    /// Stores factor entries of `node`: in core they join the factors
+    /// area; out of core they stream to the processor's disk (overlapped
+    /// with compute, tracked only as potential makespan). Either way the
+    /// per-node total is tracked for the factor digest.
+    fn store_factors(&mut self, node: usize, entries: u64) {
+        self.factors_by_node[node] += entries;
         match self.cfg.out_of_core {
             None => self.mem.store_factors(self.now, entries),
             Some(bw) => {
@@ -653,6 +1169,7 @@ impl<'a> SchedulerCore<'a> {
             };
             self.close_stall();
             self.busy = true;
+            self.running = Some(key);
             self.out.push(Effect::StartCompute { key: key as u64, node, role, flops });
             return;
         }
@@ -660,7 +1177,15 @@ impl<'a> SchedulerCore<'a> {
         let map = self.map;
         let nprocs = self.cfg.nprocs;
         let pieces = &self.cb_pieces;
-        let cost = |v: usize| match map.kind[v] {
+        let recovered = &self.recovered;
+        let kind = |v: usize| {
+            if recovered[v] && !matches!(map.kind[v], NodeKind::Type3) {
+                NodeKind::Type1
+            } else {
+                map.kind[v]
+            }
+        };
+        let cost = |v: usize| match kind(v) {
             NodeKind::Type2 => tree.master_entries(v),
             NodeKind::Type3 => tree.front_entries(v) / nprocs as u64,
             _ => tree.front_entries(v),
@@ -673,17 +1198,17 @@ impl<'a> SchedulerCore<'a> {
         let cap = self.cfg.capacity;
         let active = self.mem.active();
         let id = self.id;
+        let in_subtree = |v: usize| !recovered[v] && map.subtree_of[v].is_some();
         let admissible = |v: usize| match cap {
             None => true,
             Some(c) => {
-                map.subtree_of[v].is_some() || {
+                in_subtree(v) || {
                     let local_release: u64 =
                         pieces[v].iter().filter(|&&(h, _, _)| h == id).map(|&(_, e, _)| e).sum();
                     active + cost(v).saturating_sub(local_release) <= c
                 }
             }
         };
-        let in_subtree = |v: usize| map.subtree_of[v].is_some();
         let released = |v: usize| pieces[v].iter().map(|&(_, e, _)| e).sum::<u64>();
         let ctx = TaskCtx {
             in_subtree: &in_subtree,
@@ -716,7 +1241,7 @@ impl<'a> SchedulerCore<'a> {
     /// Memory an activation of `v` allocates on its owner (the cost used
     /// by Algorithm 2, the capacity check, and the prediction mechanism).
     fn activation_cost(&self, v: usize) -> u64 {
-        match self.map.kind[v] {
+        match self.kind_of(v) {
             NodeKind::Type2 => self.tree.master_entries(v),
             NodeKind::Type3 => self.tree.front_entries(v) / self.cfg.nprocs as u64,
             _ => self.tree.front_entries(v),
@@ -747,13 +1272,13 @@ impl<'a> SchedulerCore<'a> {
     }
 
     fn activate_node(&mut self, v: usize) {
-        debug_assert_eq!(self.map.owner[v], self.id);
+        debug_assert_eq!(self.owner_of(v), self.id);
         debug_assert!(!self.activated[v], "node {v} activated twice");
         self.activated[v] = true;
         self.close_stall();
         self.busy = true;
         self.metrics.procs[self.id].activations += 1;
-        let class = match self.map.kind[v] {
+        let class = match self.kind_of(v) {
             NodeKind::Subtree(_) => FrontClass::Subtree,
             NodeKind::Type1 => FrontClass::Type1,
             NodeKind::Type2 => FrontClass::Type2,
@@ -769,13 +1294,13 @@ impl<'a> SchedulerCore<'a> {
             }
             // Tell the parent's master we started (its readiness predictor).
             if let Some(par) = self.tree.nodes[v].parent {
-                let owner = self.map.owner[par];
+                let owner = self.owner_of(par);
                 self.send(owner, Msg::ChildStarted { node: par }, 16);
             }
         }
 
         // Entering a subtree broadcasts its peak (Section 5.1).
-        if let Some(s) = self.map.subtree_of[v] {
+        if let Some(s) = self.subtree_of(v) {
             if self.current_subtree != Some(s) {
                 self.current_subtree = Some(s);
                 self.subtree_base = self.mem.active();
@@ -789,7 +1314,7 @@ impl<'a> SchedulerCore<'a> {
             }
         }
 
-        match self.map.kind[v] {
+        match self.kind_of(v) {
             NodeKind::Subtree(_) | NodeKind::Type1 => self.start_full_front(v),
             NodeKind::Type2 => self.start_type2(v),
             NodeKind::Type3 => self.start_type3(v),
@@ -828,7 +1353,8 @@ impl<'a> SchedulerCore<'a> {
     fn start_type2(&mut self, v: usize) {
         let nd = &self.tree.nodes[v];
         let (nfront, npiv) = (nd.nfront, nd.npiv);
-        let mut candidates: Vec<usize> = (0..self.cfg.nprocs).filter(|&q| q != self.id).collect();
+        let mut candidates: Vec<usize> =
+            (0..self.cfg.nprocs).filter(|&q| q != self.id && self.reachable(q)).collect();
         let mut rounds = 0u32;
         let mut serialized = false;
         let (assignment, metric) = loop {
@@ -930,9 +1456,10 @@ impl<'a> SchedulerCore<'a> {
             let factor_share = entries - cb_share;
             let flops_share = total_flops * entries / front_entries.max(1);
             delegated += flops_share;
+            let epoch = self.epoch[v];
             self.send(
                 a.proc,
-                Msg::SlaveTask { node: v, entries, cb_share, factor_share, flops_share },
+                Msg::SlaveTask { node: v, entries, cb_share, factor_share, flops_share, epoch },
                 entries * 8,
             );
             // Announce the choice so other masters account for it before
@@ -950,19 +1477,48 @@ impl<'a> SchedulerCore<'a> {
         self.consume_stacked(v);
         let share_entries = (self.tree.front_entries(v) / self.cfg.nprocs as u64).max(1);
         let share_flops = self.tree.flops(v) / self.cfg.nprocs as u64;
+        let epoch = self.epoch[v];
+        let mut absorbed = 0u64;
         for q in 0..self.cfg.nprocs {
-            if q != self.id {
+            if q == self.id {
+                continue;
+            }
+            if self.alive[q] {
+                // Dormant joiners still get their share: the driver
+                // buffers it until the join.
                 self.send(
                     q,
-                    Msg::Type3Share { node: v, entries: share_entries, flops_share: share_flops },
+                    Msg::Type3Share {
+                        node: v,
+                        entries: share_entries,
+                        flops_share: share_flops,
+                        epoch,
+                    },
                     share_entries * 8,
                 );
+            } else {
+                absorbed += 1;
             }
         }
-        // Work scattered to the other processors leaves this workload.
+        // Work scattered to the other processors leaves this workload;
+        // the dead processors' shares are absorbed locally so the root's
+        // `nprocs × share` factor total stays intact.
         let total_flops = self.tree.flops(v);
-        self.load_change(-((total_flops - share_flops) as i64));
+        self.load_change(-((total_flops - share_flops * (1 + absorbed)) as i64));
         self.mem_alloc_front(v, share_entries);
+        for _ in 0..absorbed {
+            self.mem_alloc_front(v, share_entries);
+            let key = self.works.len();
+            self.works.push(Work::RootShare {
+                node: v,
+                entries: share_entries,
+                flops: share_flops,
+                is_master: false,
+            });
+            self.done_works.push(false);
+            self.cancelled.push(false);
+            self.slave_queue.push_back(key);
+        }
         self.schedule_work(Work::RootShare {
             node: v,
             entries: share_entries,
@@ -980,6 +1536,9 @@ impl<'a> SchedulerCore<'a> {
         };
         let key = self.works.len() as u64;
         self.works.push(work);
+        self.done_works.push(false);
+        self.cancelled.push(false);
+        self.running = Some(key as usize);
         self.out.push(Effect::StartCompute { key, node, role, flops });
     }
 
@@ -991,9 +1550,11 @@ impl<'a> SchedulerCore<'a> {
         let pieces = std::mem::take(&mut self.cb_pieces[v]);
         for (holder, entries, child) in pieces {
             if holder == self.id {
+                self.held[child] = 0;
                 self.mem_pop_cb(child, entries);
             } else {
-                self.send(holder, Msg::FetchCb { child, entries }, 16);
+                let epoch = self.epoch[child];
+                self.send(holder, Msg::FetchCb { child, entries, epoch }, 16);
             }
         }
     }
@@ -1007,9 +1568,21 @@ impl<'a> SchedulerCore<'a> {
             });
             return;
         };
+        if self.running == Some(key) {
+            self.running = None;
+        }
+        if self.cancelled[key] {
+            // A recovery plan cancelled this work while it was running:
+            // its memory and workload were released at cancellation; the
+            // completion only returns the compute unit.
+            self.busy = false;
+            self.try_start();
+            return;
+        }
+        self.done_works[key] = true;
         match work {
             Work::Elim { node, flops } => {
-                self.store_factors(self.tree.factor_entries(node));
+                self.store_factors(node, self.tree.factor_entries(node));
                 self.mem_free_front(node, self.tree.front_entries(node));
                 let cb = self.tree.cb_entries(node);
                 let pieces = if cb > 0 && self.tree.nodes[node].parent.is_some() { 1 } else { 0 };
@@ -1019,12 +1592,12 @@ impl<'a> SchedulerCore<'a> {
                 self.finish_node(node, pieces, flops);
             }
             Work::MasterPart { node, pieces, flops } => {
-                self.store_factors(self.tree.master_entries(node));
+                self.store_factors(node, self.tree.master_entries(node));
                 self.mem_free_front(node, self.tree.master_entries(node));
                 self.finish_node(node, pieces, flops);
             }
             Work::Slave { node, entries, cb_share, factor_share, flops } => {
-                self.store_factors(factor_share);
+                self.store_factors(node, factor_share);
                 self.mem_free_front(node, entries);
                 if cb_share > 0 && self.tree.nodes[node].parent.is_some() {
                     self.produce_cb_piece(node, cb_share);
@@ -1034,7 +1607,7 @@ impl<'a> SchedulerCore<'a> {
                 self.try_start();
             }
             Work::RootShare { node, entries, flops, is_master } => {
-                self.store_factors(entries);
+                self.store_factors(node, entries);
                 self.mem_free_front(node, entries);
                 self.load_change(-(flops as i64));
                 if is_master {
@@ -1042,6 +1615,7 @@ impl<'a> SchedulerCore<'a> {
                     // share completes the node.
                     debug_assert!(self.tree.nodes[node].parent.is_none());
                     self.nodes_done += 1;
+                    self.done_by_me[node] = true;
                 }
                 self.busy = false;
                 self.try_start();
@@ -1053,8 +1627,9 @@ impl<'a> SchedulerCore<'a> {
     /// leave any finished subtree, account the work, count the node.
     fn finish_node(&mut self, node: usize, pieces: usize, flops: u64) {
         if let Some(par) = self.tree.nodes[node].parent {
-            let owner = self.map.owner[par];
-            self.send(owner, Msg::Complete { child: node, pieces }, 16);
+            let owner = self.owner_of(par);
+            let epoch = self.epoch[node];
+            self.send(owner, Msg::Complete { child: node, pieces, epoch }, 16);
         }
         self.load_change(-(flops as i64));
         if let Some(s) = self.current_subtree {
@@ -1067,6 +1642,7 @@ impl<'a> SchedulerCore<'a> {
             }
         }
         self.nodes_done += 1;
+        self.done_by_me[node] = true;
         self.busy = false;
         self.try_start();
     }
@@ -1074,6 +1650,7 @@ impl<'a> SchedulerCore<'a> {
     /// A CB piece of `child` was produced here: it stays on this stack
     /// until the parent activates; the parent's master is informed.
     fn produce_cb_piece(&mut self, child: usize, entries: u64) {
+        self.held[child] = entries;
         self.mem_push_cb(child, entries);
         let Some(parent) = self.tree.nodes[child].parent else {
             self.flag(Violation::Protocol {
@@ -1081,8 +1658,9 @@ impl<'a> SchedulerCore<'a> {
             });
             return;
         };
-        let dest = self.map.owner[parent];
-        self.send(dest, Msg::PieceDone { child, holder: self.id, entries }, 16);
+        let dest = self.owner_of(parent);
+        let epoch = self.epoch[child];
+        self.send(dest, Msg::PieceDone { child, holder: self.id, entries, epoch }, 16);
     }
 
     // ---------- message handling ----------
@@ -1090,7 +1668,10 @@ impl<'a> SchedulerCore<'a> {
     fn deliver(&mut self, from: usize, msg: Msg) {
         let to = self.id;
         match msg {
-            Msg::PieceDone { child, holder, entries } => {
+            Msg::PieceDone { child, holder, entries, epoch } => {
+                if epoch != self.epoch[child] {
+                    return; // a previous life of `child`: already repaired
+                }
                 let Some(parent) = self.tree.nodes[child].parent else {
                     self.flag(Violation::Protocol {
                         detail: format!("PieceDone for parentless node {child}"),
@@ -1100,13 +1681,14 @@ impl<'a> SchedulerCore<'a> {
                 // If the parent already activated, release immediately.
                 if self.activated[parent] {
                     if holder == to {
+                        self.held[child] = 0;
                         self.mem_pop_cb(child, entries);
                         // Freed memory may admit a deferred task.
                         if self.cfg.capacity.is_some() {
                             self.try_start();
                         }
                     } else {
-                        self.send(holder, Msg::FetchCb { child, entries }, 16);
+                        self.send(holder, Msg::FetchCb { child, entries, epoch }, 16);
                     }
                 } else {
                     self.cb_pieces[parent].push((holder, entries, child));
@@ -1114,7 +1696,11 @@ impl<'a> SchedulerCore<'a> {
                 self.pieces_got[child] += 1;
                 self.check_child_done(child);
             }
-            Msg::FetchCb { child, entries } => {
+            Msg::FetchCb { child, entries, epoch } => {
+                if epoch != self.epoch[child] {
+                    return; // stale fetch: the piece was GC'd by recovery
+                }
+                self.held[child] = 0;
                 self.mem_pop_cb(child, entries);
                 // Freed memory may admit a deferred task (only meaningful
                 // under a hard capacity; without one, nothing was ever
@@ -1123,12 +1709,18 @@ impl<'a> SchedulerCore<'a> {
                     self.try_start();
                 }
             }
-            Msg::Complete { child, pieces } => {
+            Msg::Complete { child, pieces, epoch } => {
+                if epoch != self.epoch[child] {
+                    return; // a previous life of `child`
+                }
                 self.pieces_expected[child] = Some(pieces);
                 self.child_complete[child] = true;
                 self.check_child_done(child);
             }
-            Msg::SlaveTask { node, entries, cb_share, factor_share, flops_share } => {
+            Msg::SlaveTask { node, entries, cb_share, factor_share, flops_share, epoch } => {
+                if epoch != self.epoch[node] {
+                    return; // enrolment from before the node's recovery
+                }
                 // "Slave tasks are activated as soon as they are received":
                 // the memory is allocated now, the CPU when free. No
                 // increment is broadcast — the master's Assigned message
@@ -1148,10 +1740,15 @@ impl<'a> SchedulerCore<'a> {
                     factor_share,
                     flops: flops_share,
                 });
+                self.done_works.push(false);
+                self.cancelled.push(false);
                 self.slave_queue.push_back(key);
                 self.try_start();
             }
-            Msg::Type3Share { node, entries, flops_share } => {
+            Msg::Type3Share { node, entries, flops_share, epoch } => {
+                if epoch != self.epoch[node] {
+                    return; // share from before the root's recovery
+                }
                 self.mem_alloc_front(node, entries);
                 self.load_change(flops_share as i64);
                 let key = self.works.len();
@@ -1161,6 +1758,8 @@ impl<'a> SchedulerCore<'a> {
                     flops: flops_share,
                     is_master: false,
                 });
+                self.done_works.push(false);
+                self.cancelled.push(false);
                 self.slave_queue.push_back(key);
                 self.try_start();
             }
@@ -1205,8 +1804,8 @@ impl<'a> SchedulerCore<'a> {
             Msg::ChildStarted { node } => {
                 self.started_children[node] += 1;
                 if self.started_children[node] == self.tree.nodes[node].children.len()
-                    && self.map.owner[node] == to
-                    && self.map.subtree_of[node].is_none()
+                    && self.owner_of(node) == to
+                    && self.subtree_of(node).is_none()
                     && !self.activated[node]
                 {
                     let cost = self.activation_cost(node);
@@ -1214,16 +1813,22 @@ impl<'a> SchedulerCore<'a> {
                     self.rebroadcast_prediction();
                 }
             }
+            Msg::Heartbeat => {
+                // Lease renewal happened at delivery (`handle` stamps
+                // `last_heard` for every delivered message).
+            }
         }
     }
 
     fn check_child_done(&mut self, child: usize) {
-        if !self.child_complete[child]
+        if self.counted[child]
+            || !self.child_complete[child]
             || Some(self.pieces_got[child]) != self.pieces_expected[child]
         {
             return;
         }
         self.child_complete[child] = false; // fire once
+        self.counted[child] = true;
         let Some(parent) = self.tree.nodes[child].parent else {
             self.flag(Violation::Protocol {
                 detail: format!("completion tracked for parentless node {child}"),
@@ -1237,11 +1842,11 @@ impl<'a> SchedulerCore<'a> {
     }
 
     fn node_ready(&mut self, v: usize) {
-        debug_assert_eq!(self.map.owner[v], self.id);
+        debug_assert_eq!(self.owner_of(v), self.id);
         self.pool.push(v);
         // Upper tasks enter the workload when they become ready; subtree
         // work was counted in the initial loads (Section 3).
-        if self.map.subtree_of[v].is_none() {
+        if self.subtree_of(v).is_none() {
             self.load_change(self.tree.flops(v) as i64);
         }
         self.try_start();

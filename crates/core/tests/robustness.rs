@@ -4,12 +4,13 @@
 //! unperturbed factorization; a capacity-capped run must stay under its
 //! cap on every processor.
 
-use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
 use mf_core::mapping::compute_mapping;
 use mf_core::parsim;
 use mf_order::OrderingKind;
 use mf_sim::FaultModel;
 use mf_sparse::gen::grid::{grid2d, Stencil};
+use mf_sparse::gen::paper::ALL_PAPER_MATRICES;
 use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
 use mf_symbolic::{AmalgamationOptions, AssemblyTree};
 use proptest::prelude::*;
@@ -103,6 +104,171 @@ proptest! {
         prop_assert!(r.peaks.iter().all(|&pk| pk <= cap),
             "peaks {:?} exceed capacity {}", r.peaks, cap);
         prop_assert!(r.final_active.iter().all(|&a| a == 0));
+    }
+}
+
+proptest! {
+    // Membership-fault cases replay the whole lease/recovery machinery;
+    // keep the count moderate.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random kill schedules recover to the exact fault-free factors:
+    /// whatever the victim, the event index, and the strategy, the run
+    /// terminates, the factor digest matches the unperturbed run, and
+    /// every survivor's stack drains to zero (orphaned contribution
+    /// blocks are reclaimed, re-executed subtrees are consumed).
+    #[test]
+    fn random_kill_schedules_recover_with_identical_factors(
+        seed in any::<u64>(),
+        kill_idx in 0u64..4000,
+        victim_pick in any::<usize>(),
+        strategy in 0usize..3,
+        nprocs in 3usize..6,
+        nx in 12usize..17,
+    ) {
+        let tree = tree_for(nx);
+        let cfg0 = strategy_cfg(strategy, nprocs);
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = parsim::run(&tree, &map, &cfg0).unwrap();
+        let victim = victim_pick % nprocs;
+        let cfg = SolverConfig {
+            recovery: Some(RecoveryConfig::default()),
+            fault: Some(FaultModel {
+                kill_at: vec![(kill_idx, victim)],
+                ..FaultModel::quiet(seed)
+            }),
+            ..cfg0
+        };
+        let r = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert_eq!(r.factor_digest, plain.factor_digest,
+            "victim {} at event {}: factors diverged", victim, kill_idx);
+        if r.dead.is_empty() {
+            // The run finished before the kill index was reached.
+            prop_assert_eq!(r.metrics.recovery.kills_observed, 0);
+        } else {
+            prop_assert_eq!(&r.dead, &vec![victim]);
+            prop_assert_eq!(r.metrics.recovery.kills_observed, 1);
+            for (p, &a) in r.final_active.iter().enumerate() {
+                if p != victim {
+                    prop_assert_eq!(a, 0, "survivor {} leaked {} entries", p, a);
+                }
+            }
+        }
+    }
+
+    /// Random join schedules: a dormant processor entering mid-run takes
+    /// migrated work without perturbing the factors, and the rebalance
+    /// leaves every stack empty at completion.
+    #[test]
+    fn random_join_schedules_preserve_factors(
+        seed in any::<u64>(),
+        join_idx in 0u64..4000,
+        strategy in 0usize..3,
+        nprocs in 3usize..6,
+        nx in 12usize..17,
+    ) {
+        let tree = tree_for(nx);
+        let cfg0 = strategy_cfg(strategy, nprocs);
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = parsim::run(&tree, &map, &cfg0).unwrap();
+        let joiner = nprocs - 1;
+        let cfg = SolverConfig {
+            recovery: Some(RecoveryConfig::default()),
+            fault: Some(FaultModel {
+                join_at: vec![(join_idx, joiner)],
+                ..FaultModel::quiet(seed)
+            }),
+            ..cfg0
+        };
+        let r = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert_eq!(r.factor_digest, plain.factor_digest);
+        prop_assert!(r.dead.is_empty());
+        prop_assert!(r.final_active.iter().all(|&a| a == 0));
+        prop_assert!(r.metrics.recovery.joins_observed <= 1);
+    }
+
+    /// Caps hold through recovery: with a hard per-processor capacity,
+    /// a mid-run kill re-executes the orphaned subtree on survivors
+    /// without any peak ever exceeding the cap — capacity-aware adopter
+    /// selection and the serialize-on-master fallback must keep the
+    /// invariant, not merely the happy path.
+    #[test]
+    fn capped_runs_survive_kills_within_cap(
+        seed in any::<u64>(),
+        kill_idx in 0u64..3000,
+        victim_pick in any::<usize>(),
+        strategy in 0usize..3,
+        nprocs in 3usize..6,
+    ) {
+        let tree = tree_for(14);
+        let cfg0 = strategy_cfg(strategy, nprocs);
+        let map = compute_mapping(&tree, &cfg0);
+        let free = parsim::run(&tree, &map, &cfg0).unwrap();
+        let cap = free.max_peak + free.max_peak / 2;
+        let victim = victim_pick % nprocs;
+        let cfg = SolverConfig {
+            capacity: Some(cap),
+            recovery: Some(RecoveryConfig::default()),
+            fault: Some(FaultModel {
+                kill_at: vec![(kill_idx, victim)],
+                ..FaultModel::quiet(seed)
+            }),
+            ..cfg0
+        };
+        let r = parsim::run(&tree, &map, &cfg).unwrap();
+        prop_assert_eq!(r.nodes_done, r.total_nodes);
+        prop_assert_eq!(r.factor_digest, free.factor_digest);
+        prop_assert!(r.peaks.iter().all(|&pk| pk <= cap),
+            "peaks {:?} exceed capacity {} during recovery", r.peaks, cap);
+    }
+}
+
+/// The full paper suite under single kills, both memory strategies:
+/// kills at several event indices on each of the eight matrices must
+/// reproduce the fault-free factor digest. Runs in the release suite
+/// (`cargo test --release`); too slow for the debug tier.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release suite: run with --release")]
+fn single_kills_on_all_paper_matrices_reproduce_factors() {
+    const NPROCS: usize = 8;
+    for m in ALL_PAPER_MATRICES {
+        let a = m.instantiate_scaled(0.05);
+        let p = OrderingKind::Metis.compute(&a);
+        let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+        apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+        let tree = s.tree;
+        for strategy in [1usize, 2] {
+            let cfg0 = strategy_cfg(strategy, NPROCS);
+            let map = compute_mapping(&tree, &cfg0);
+            let plain = parsim::run(&tree, &map, &cfg0).unwrap();
+            for (kill_idx, victim) in [(1u64, 0usize), (200, 3), (1500, 7)] {
+                let cfg = SolverConfig {
+                    recovery: Some(RecoveryConfig::default()),
+                    fault: Some(FaultModel {
+                        kill_at: vec![(kill_idx, victim)],
+                        ..FaultModel::quiet(7)
+                    }),
+                    ..cfg0.clone()
+                };
+                let r = parsim::run(&tree, &map, &cfg)
+                    .unwrap_or_else(|e| panic!("{}: victim {victim} at {kill_idx}: {e}", m.name()));
+                assert_eq!(r.nodes_done, r.total_nodes, "{}", m.name());
+                assert_eq!(
+                    r.factor_digest,
+                    plain.factor_digest,
+                    "{}: victim {victim} at {kill_idx}: factors diverged",
+                    m.name()
+                );
+                for (q, &act) in r.final_active.iter().enumerate() {
+                    if r.dead.contains(&q) {
+                        continue;
+                    }
+                    assert_eq!(act, 0, "{}: survivor {q} leaked", m.name());
+                }
+            }
+        }
     }
 }
 

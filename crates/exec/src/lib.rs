@@ -25,11 +25,18 @@ use mf_core::config::SolverConfig;
 use mf_core::error::{RunDiagnostics, SimError};
 use mf_core::mapping::StaticMapping;
 use mf_core::parsim::RunResult;
-use mf_core::proto::{initial_loads, Effect, Input, Msg, SchedulerCore, Violation};
+use mf_core::proto::{
+    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_LEASE,
+};
+use mf_core::recovery::{
+    digest_factors, Membership, MembershipChange, ObligationLedger, RecoverySnapshot,
+};
 use mf_core::ProcDiag;
 use mf_sim::recorder::MemArea;
 use mf_sim::recorder::TaskRole;
-use mf_sim::{CompactEvent, MsgClass, NetworkModel, Recording, RunMetrics, Time, Trace};
+use mf_sim::{
+    CompactEvent, FaultInjector, MsgClass, NetworkModel, Recording, RunMetrics, Time, Trace,
+};
 use mf_symbolic::AssemblyTree;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -105,6 +112,8 @@ enum Cmd {
     Input { now: Time, input: Input },
     /// Report the cheapest deferred ready task (stall-breaker support).
     CheapestDeferred,
+    /// Report a recovery snapshot of the core's current state.
+    Snapshot,
     /// Report the final per-processor state and exit.
     Finish,
 }
@@ -113,6 +122,7 @@ enum Cmd {
 enum Reply {
     Effects { effects: Vec<Effect>, nodes_done: usize, violation: Option<Violation> },
     Deferred(Option<(u64, usize)>),
+    Snapshot(Box<RecoverySnapshot>),
     Final(Box<WorkerFinal>),
 }
 
@@ -135,6 +145,8 @@ struct WorkerFinal {
     ledger_peak: u64,
     /// First Free that exceeded its outstanding allocation, if any.
     ledger_fault: Option<String>,
+    /// Per-node factor entries this processor holds (digest input).
+    factors_by_node: Vec<u64>,
 }
 
 /// The per-worker physical memory ledger, re-derived purely from the
@@ -221,6 +233,11 @@ fn worker(
                     return;
                 }
             }
+            Cmd::Snapshot => {
+                if tx.send((p, Reply::Snapshot(Box::new(core.snapshot())))).is_err() {
+                    return;
+                }
+            }
             Cmd::Finish => {
                 let mem = core.memory();
                 let fin = WorkerFinal {
@@ -238,6 +255,7 @@ fn worker(
                     ledger_active: ledger.active,
                     ledger_peak: ledger.peak,
                     ledger_fault: ledger.fault.take(),
+                    factors_by_node: core.factors_by_node().to_vec(),
                 };
                 let _ = tx.send((p, Reply::Final(Box::new(fin))));
                 return;
@@ -266,9 +284,35 @@ struct Coordinator {
     work_info: Vec<Vec<(usize, TaskRole)>>,
     flops_per_tick: u64,
     nodes_done: Vec<usize>,
+    /// Message-quiet fault injector (membership faults, stragglers and
+    /// the network-kill threshold) — same routing as the simulator's.
+    fault: Option<FaultInjector>,
+    /// Death declarations from the cores' lease checks, arbitrated after
+    /// the event unwinds.
+    pending_dead: Vec<usize>,
+    /// Scheduled-but-unprocessed events that are not failure-detector
+    /// chatter (see the simulator backend for the full rationale).
+    live_events: i64,
+    /// Messages addressed to dormant (not yet joined) processors.
+    buffered: Vec<Vec<(usize, Msg)>>,
+    /// Processors fail-stopped so far, in kill order.
+    dead: Vec<usize>,
+    /// Factor-share obligation record, maintained only on membership runs.
+    ledger: ObligationLedger,
+    /// Whether to maintain `ledger` (membership orchestration active).
+    track_obligations: bool,
+    /// All fronts are done; the run only keeps going to drain in-flight
+    /// live traffic (so the makespan matches the recovery-off run), and
+    /// the failure detector stops re-arming so its chain dies out.
+    finishing: bool,
 }
 
 impl Coordinator {
+    /// True once the fault model's network kill threshold was crossed.
+    fn partitioned(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.partitioned())
+    }
+
     fn record(&mut self, build: impl FnOnce() -> CompactEvent) {
         if let Some(rec) = self.rec.as_mut() {
             rec.record(self.now, build());
@@ -283,6 +327,15 @@ impl Coordinator {
 
     fn send(&mut self, from: usize, to: usize, msg: Msg, bytes: u64) {
         debug_assert_ne!(from, to, "self-sends are handled inside the core");
+        if self.track_obligations {
+            // Recorded at send time: a share routed toward a processor
+            // that dies in flight is as lost as one that arrived.
+            match msg {
+                Msg::SlaveTask { node, .. } => self.ledger.slave(node, to),
+                Msg::Type3Share { node, .. } => self.ledger.share(node, to),
+                _ => {}
+            }
+        }
         self.messages += 1;
         match msg.class() {
             MsgClass::Control => {
@@ -294,8 +347,24 @@ impl Coordinator {
                 self.metrics.status_bytes += bytes;
             }
         }
-        let at = self.now + self.net.transfer_time(bytes);
-        self.push(at, Item::Msg { from, to, msg });
+        let live = !matches!(msg, Msg::Heartbeat);
+        let base = self.net.transfer_time(bytes);
+        match &mut self.fault {
+            None => {
+                self.push(self.now + base, Item::Msg { from, to, msg });
+                self.live_events += live as i64;
+            }
+            Some(inj) => match inj.route(base, msg.class()) {
+                Some(t) => {
+                    self.push(self.now + t, Item::Msg { from, to, msg });
+                    self.live_events += live as i64;
+                }
+                None => {
+                    self.metrics.dropped_status += 1;
+                    self.record(|| CompactEvent::fault_drop(from, to));
+                }
+            },
+        }
     }
 
     fn broadcast(&mut self, from: usize, msg: Msg, bytes: u64) {
@@ -305,16 +374,27 @@ impl Coordinator {
             }
         }
         debug_assert!(matches!(msg.class(), MsgClass::Status), "broadcast is status-only");
-        let n = self.nprocs.saturating_sub(1) as u64;
-        self.messages += n;
-        self.metrics.status_msgs += n;
-        self.metrics.status_bytes += n * bytes;
-        // Targets in ascending order with consecutive sequence numbers:
-        // exactly the delivery order of the simulator's broadcast entry.
-        let at = self.now + self.net.transfer_time(bytes);
+        if self.fault.is_none() {
+            let n = self.nprocs.saturating_sub(1) as u64;
+            self.messages += n;
+            self.metrics.status_msgs += n;
+            self.metrics.status_bytes += n * bytes;
+            self.live_events += n as i64;
+            // Targets in ascending order with consecutive sequence numbers:
+            // exactly the delivery order of the simulator's broadcast entry.
+            let at = self.now + self.net.transfer_time(bytes);
+            for to in 0..self.nprocs {
+                if to != from {
+                    self.push(at, Item::Msg { from, to, msg: msg.clone() });
+                }
+            }
+            return;
+        }
+        // Under fault every target is routed independently, exactly as in
+        // the simulator backend.
         for to in 0..self.nprocs {
             if to != from {
-                self.push(at, Item::Msg { from, to, msg: msg.clone() });
+                self.send(from, to, msg.clone(), bytes);
             }
         }
     }
@@ -335,11 +415,33 @@ impl Coordinator {
                         }
                         info[k] = (node, role);
                     }
-                    let duration = (flops / self.flops_per_tick.max(1)).max(1);
+                    let exact = (flops / self.flops_per_tick.max(1)).max(1);
+                    // Straggler processors compute slower by their speed
+                    // factor (the only duration noise this backend
+                    // accepts; jitter is rejected up front).
+                    let duration = match &self.fault {
+                        Some(f) if f.speed_factor(p) > 1.0 => {
+                            ((exact as f64 * f.speed_factor(p)).round() as Time).max(1)
+                        }
+                        _ => exact,
+                    };
                     self.metrics.procs[p].busy_ticks += duration;
+                    self.live_events += 1;
                     let at = self.now + duration;
                     self.push(at, Item::Timer { proc: p, key });
                 }
+                Effect::Arm { key, after } => {
+                    // A partitioned network starves the detector too:
+                    // refusing to re-arm lets the run drain and fail with
+                    // a typed `Partitioned` instead of spinning forever.
+                    // Same once all fronts are done: the detector chain
+                    // dies out and the queue drains.
+                    if !self.partitioned() && !self.finishing {
+                        let at = self.now + after;
+                        self.push(at, Item::Timer { proc: p, key });
+                    }
+                }
+                Effect::DeclareDead { proc } => self.pending_dead.push(proc),
                 Effect::Alloc { node, area, entries } => {
                     self.record(|| CompactEvent::mem_alloc(p, node, area, entries));
                 }
@@ -413,10 +515,224 @@ fn diagnostics(co: &Coordinator, finals: &[WorkerFinal], total_nodes: usize) -> 
         in_flight: co.heap.len(),
         nodes_done: finals.iter().map(|f| f.nodes_done).sum(),
         total_nodes,
-        dropped_messages: 0,
+        dropped_messages: co.fault.as_ref().map_or(0, |f| f.dropped()),
+        dead: co.dead.clone(),
         metrics: Box::new(metrics),
         procs: finals.iter().map(|f| f.diag.clone()).collect(),
     }
+}
+
+/// No-progress error for the current state: a crossed network-kill
+/// threshold is a `Partitioned`, anything else a generic `Stalled`.
+fn stall_error(co: &Coordinator, cfg: &SolverConfig, diag: RunDiagnostics) -> SimError {
+    let diag = Box::new(diag);
+    if co.partitioned() {
+        let after = cfg.fault.as_ref().and_then(|f| f.kill_network_after).unwrap_or(0);
+        SimError::Partitioned { after, diag }
+    } else {
+        SimError::Stalled { diag }
+    }
+}
+
+/// Asks worker `p` for a recovery snapshot of its core.
+fn snapshot_of(
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    p: usize,
+) -> Result<RecoverySnapshot, ExecError> {
+    cmds[p].send(Cmd::Snapshot).map_err(|_| worker_died(p))?;
+    match replies.recv() {
+        Ok((q, Reply::Snapshot(s))) => {
+            debug_assert_eq!(q, p);
+            Ok(*s)
+        }
+        _ => Err(worker_died(p)),
+    }
+}
+
+/// Fail-stops processor `d`: snapshots the dying core (its worker thread
+/// stays parked, it is simply never dispatched to again) and marks it
+/// dead. Detection and recovery happen later, through the lease protocol.
+fn kill_proc(
+    co: &mut Coordinator,
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    ms: &mut Membership,
+    d: usize,
+) -> Result<(), ExecError> {
+    if !ms.alive[d] {
+        return Ok(());
+    }
+    let snap = if ms.joined[d] {
+        snapshot_of(cmds, replies, d)?
+    } else {
+        RecoverySnapshot { proc: d, ..Default::default() }
+    };
+    ms.note_kill(d, snap);
+    co.dead.push(d);
+    co.metrics.recovery.kills_observed += 1;
+    Ok(())
+}
+
+/// Arbitrates the death declarations the cores' lease checks emitted —
+/// the threaded mirror of the simulator backend's recovery sequence, in
+/// the same order so the two backends stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn process_deaths(
+    co: &mut Coordinator,
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    ms: &mut Membership,
+    tree: &AssemblyTree,
+    cfg: &SolverConfig,
+    n: usize,
+) -> Result<(), ExecError> {
+    while !co.pending_dead.is_empty() {
+        let pend = std::mem::take(&mut co.pending_dead);
+        for d in pend {
+            if ms.recovered_deaths[d] {
+                continue;
+            }
+            kill_proc(co, cmds, replies, ms, d)?;
+            if !ms.adopters_exist(d) {
+                let finals = collect_finals(cmds, replies, cfg.nprocs)?;
+                let diag = diagnostics(co, &finals, n);
+                return Err(ExecError::Sim(stall_error(co, cfg, diag)));
+            }
+            let mut snaps = Vec::with_capacity(cfg.nprocs);
+            for p in 0..cfg.nprocs {
+                snaps.push(if ms.alive[p] {
+                    snapshot_of(cmds, replies, p)?
+                } else {
+                    ms.dead_snaps[p]
+                        .clone()
+                        .unwrap_or(RecoverySnapshot { proc: p, ..Default::default() })
+                });
+            }
+            let plan = ms.plan_loss(tree, cfg.capacity, d, &snaps, &mut co.ledger);
+            co.metrics.recovery.subtrees_reassigned += plan.roots.len() as u64;
+            co.metrics.recovery.nodes_recomputed += plan.recompute.len() as u64;
+            co.metrics.recovery.orphaned_cb_entries += plan.dead_stack_entries;
+            co.record(|| CompactEvent::proc_lost(d, plan.recompute.len()));
+            for &(root, adopter) in &plan.roots {
+                co.record(|| CompactEvent::subtree_reassigned(root, d, adopter));
+            }
+            for p in 0..cfg.nprocs {
+                if ms.alive[p] && ms.joined[p] {
+                    let input = Input::Recover { plan: Box::new(plan.clone()) };
+                    if let Some(v) = dispatch(co, cmds, replies, p, input)? {
+                        let finals = collect_finals(cmds, replies, cfg.nprocs)?;
+                        return Err(ExecError::Sim(violation_error(
+                            v,
+                            diagnostics(co, &finals, n),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Brings processor `q` into the machine — the threaded mirror of the
+/// simulator backend's join sequence (announce, log replay, buffered
+/// delivery, then memory-aware rebalancing from the fullest pool).
+#[allow(clippy::too_many_arguments)]
+fn join_proc(
+    co: &mut Coordinator,
+    cmds: &[mpsc::Sender<Cmd>],
+    replies: &mpsc::Receiver<(usize, Reply)>,
+    ms: &mut Membership,
+    tree: &AssemblyTree,
+    map: &StaticMapping,
+    cfg: &SolverConfig,
+    n: usize,
+    q: usize,
+) -> Result<(), ExecError> {
+    if !ms.alive[q] || ms.joined[q] {
+        return Ok(());
+    }
+    ms.note_join(q);
+    co.metrics.recovery.joins_observed += 1;
+    let fail = |co: &mut Coordinator, cmds, replies, v| -> Result<(), ExecError> {
+        let finals = collect_finals(cmds, replies, cfg.nprocs)?;
+        Err(ExecError::Sim(violation_error(v, diagnostics(co, &finals, n))))
+    };
+    for p in 0..cfg.nprocs {
+        if ms.alive[p] && ms.joined[p] {
+            if let Some(v) = dispatch(co, cmds, replies, p, Input::Join { proc: q })? {
+                return fail(co, cmds, replies, v);
+            }
+        }
+    }
+    for ch in ms.log.clone() {
+        let input = match ch {
+            MembershipChange::Recover(plan) => Input::Recover { plan: Box::new(plan) },
+            MembershipChange::Migrate(m) => Input::Migrate { m: Box::new(m) },
+        };
+        if let Some(v) = dispatch(co, cmds, replies, q, input)? {
+            return fail(co, cmds, replies, v);
+        }
+    }
+    if let Some(v) = dispatch(co, cmds, replies, q, Input::Tick)? {
+        return fail(co, cmds, replies, v);
+    }
+    for (from, msg) in std::mem::take(&mut co.buffered[q]) {
+        if ms.alive[from] {
+            if let Some(v) = dispatch(co, cmds, replies, q, Input::Deliver { from, msg })? {
+                return fail(co, cmds, replies, v);
+            }
+        }
+    }
+    // Memory-aware rebalancing: the fullest surviving pool donates up to
+    // two of its largest ready upper tasks to the idle joiner.
+    let mut donor: Option<(usize, usize)> = None; // (len, proc)
+    for p in 0..cfg.nprocs {
+        if p != q && ms.alive[p] && ms.joined[p] {
+            let len = snapshot_of(cmds, replies, p)?.pool.len();
+            if len > 0 {
+                let cand = (len, p);
+                let better =
+                    donor.is_none_or(|(bl, bp)| (Reverse(cand.0), cand.1) < (Reverse(bl), bp));
+                if better {
+                    donor = Some(cand);
+                }
+            }
+        }
+    }
+    let mut migrated = 0usize;
+    if let Some((_, d)) = donor {
+        let snap = snapshot_of(cmds, replies, d)?;
+        let mut cands: Vec<usize> = snap
+            .pool
+            .iter()
+            .copied()
+            .filter(|&v| map.subtree_of[v].is_none() || ms.recovered[v])
+            .collect();
+        cands.sort_by_key(|&v| (Reverse(tree.flops(v)), v));
+        for node in cands.into_iter().take(2) {
+            let pieces: Vec<(usize, u64, usize)> = snap
+                .registered
+                .iter()
+                .filter(|&&(parent, ..)| parent == node)
+                .map(|&(_, h, e, c)| (h, e, c))
+                .collect();
+            let mg = Migration { node, from: d, to: q, flops: tree.flops(node), pieces };
+            ms.note_migration(&mg);
+            co.metrics.recovery.rebalance_migrations += 1;
+            for p in 0..cfg.nprocs {
+                if ms.alive[p] && ms.joined[p] {
+                    let input = Input::Migrate { m: Box::new(mg.clone()) };
+                    if let Some(v) = dispatch(co, cmds, replies, p, input)? {
+                        return fail(co, cmds, replies, v);
+                    }
+                }
+            }
+            migrated += 1;
+        }
+    }
+    co.record(|| CompactEvent::proc_joined(q, migrated));
+    Ok(())
 }
 
 /// Runs the parallel factorization on real OS threads: one worker per
@@ -436,7 +752,10 @@ pub fn run_threads(
     if cfg.jitter.is_some() {
         return Err(ExecError::Unsupported("duration jitter (simulator-only noise)".into()));
     }
-    if cfg.fault.as_ref().is_some_and(|m| !m.is_quiet()) {
+    // Membership faults (kills, joins, a network kill, stragglers) are
+    // deterministic and fully supported; only per-message noise (jitter,
+    // delays, drops) remains simulator-only.
+    if cfg.fault.as_ref().is_some_and(|m| !m.is_message_quiet()) {
         return Err(ExecError::Unsupported("fault perturbations (simulator-only noise)".into()));
     }
     let n = tree.len();
@@ -467,22 +786,111 @@ pub fn run_threads(
             work_info: if cfg.record_events { vec![Vec::new(); cfg.nprocs] } else { Vec::new() },
             flops_per_tick: cfg.flops_per_tick,
             nodes_done: vec![0; cfg.nprocs],
+            // Quiet models perturb nothing: keep the exact fast paths so
+            // such runs stay bit-identical (same filter as the simulator).
+            fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
+            pending_dead: Vec::new(),
+            live_events: 0,
+            buffered: vec![Vec::new(); cfg.nprocs],
+            dead: Vec::new(),
+            ledger: ObligationLedger::default(),
+            track_obligations: false,
+            finishing: false,
         };
+        // Membership orchestration only on runs that need it — the quiet
+        // path takes none of the branches below.
+        let mut membership = Membership::needed(cfg.recovery.is_some(), cfg.fault.as_ref())
+            .then(|| Membership::new(cfg.nprocs, map.owner.clone(), cfg.fault.as_ref()));
+        co.track_obligations = membership.is_some();
+
+        // Reports a forced-activation candidate over the reachable
+        // processors, mirroring the simulator's `force_one_deferred`.
+        fn cheapest_deferred(
+            cmds: &[mpsc::Sender<Cmd>],
+            replies: &mpsc::Receiver<(usize, Reply)>,
+            ms: Option<&Membership>,
+            capacity: Option<u64>,
+        ) -> Result<Option<(usize, usize)>, ExecError> {
+            if capacity.is_none() {
+                return Ok(None);
+            }
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (p, tx) in cmds.iter().enumerate() {
+                if ms.is_some_and(|m| !m.alive[p] || !m.joined[p]) {
+                    continue; // forcing work onto a dead processor helps nobody
+                }
+                tx.send(Cmd::CheapestDeferred).map_err(|_| worker_died(p))?;
+                match replies.recv() {
+                    Ok((q, Reply::Deferred(d))) => {
+                        debug_assert_eq!(q, p);
+                        if let Some((cost, v)) = d {
+                            let cand = (cost, p, v);
+                            if best.is_none_or(|b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    _ => return Err(worker_died(p)),
+                }
+            }
+            Ok(best.map(|(_, p, v)| (p, v)))
+        }
 
         for p in 0..cfg.nprocs {
+            if membership.as_ref().is_some_and(|m| !m.joined[p]) {
+                continue; // dormant until its scheduled join
+            }
             if let Some(v) = dispatch(&mut co, &cmds, &replies, p, Input::Tick)? {
                 let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
                 return Err(ExecError::Sim(violation_error(v, diagnostics(&co, &finals, n))));
             }
         }
-        loop {
+        'run: loop {
             while let Some(Reverse(QEntry { at, item, .. })) = co.heap.pop() {
                 debug_assert!(at >= co.now, "event queue must be causal");
                 co.now = at;
                 co.delivered += 1;
+                if let Some(ms) = membership.as_mut() {
+                    // The fault schedule is keyed on delivered-event
+                    // indices: scheduled kills and joins fire before the
+                    // event they precede is processed.
+                    ms.delivered += 1;
+                    let idx = ms.delivered;
+                    while let Some(d) = ms.take_due_kill(idx) {
+                        kill_proc(&mut co, &cmds, &replies, ms, d)?;
+                    }
+                    while let Some(jq) = ms.take_due_join(idx) {
+                        join_proc(&mut co, &cmds, &replies, ms, tree, map, cfg, n, jq)?;
+                    }
+                }
+                // Quiescence accounting: everything except failure-detector
+                // chatter counts as a live event.
+                match &item {
+                    Item::Msg { msg, .. } if !matches!(msg, Msg::Heartbeat) => {
+                        co.live_events -= 1;
+                    }
+                    Item::Timer { key, .. } if *key < TIMER_LEASE => co.live_events -= 1,
+                    _ => {}
+                }
                 let (p, input) = match item {
-                    Item::Msg { from, to, msg } => (to, Input::Deliver { from, msg }),
+                    Item::Msg { from, to, msg } => {
+                        if let Some(ms) = membership.as_ref() {
+                            if !ms.alive[from] || !ms.alive[to] {
+                                continue; // a dead endpoint: the message is lost
+                            }
+                            if !ms.joined[to] {
+                                co.buffered[to].push((from, msg));
+                                continue; // parked until the join
+                            }
+                        }
+                        (to, Input::Deliver { from, msg })
+                    }
                     Item::Timer { proc, key } => {
+                        if let Some(ms) = membership.as_ref() {
+                            if !ms.alive[proc] || !ms.joined[proc] {
+                                continue; // a dead processor's timers are void
+                            }
+                        }
                         if co.rec.is_some() {
                             // A fired timer is a compute completion: record
                             // ComputeEnd before the worker's effects (exactly
@@ -499,48 +907,104 @@ pub fn run_threads(
                     let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
                     return Err(ExecError::Sim(violation_error(v, diagnostics(&co, &finals, n))));
                 }
+                if let Some(ms) = membership.as_mut() {
+                    if !co.pending_dead.is_empty() {
+                        process_deaths(&mut co, &cmds, &replies, ms, tree, cfg, n)?;
+                    }
+                } else {
+                    debug_assert!(co.pending_dead.is_empty(), "DeclareDead without recovery");
+                }
                 if let Some(limit) = cfg.time_limit {
                     if co.now > limit {
                         let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
-                        let diag = diagnostics(&co, &finals, n);
+                        let diag = Box::new(diagnostics(&co, &finals, n));
                         return Err(ExecError::Sim(SimError::TimeLimit { limit, diag }));
                     }
                 }
-            }
-            if co.nodes_done.iter().sum::<usize>() >= n {
-                break;
-            }
-            // Same degradation ladder as the simulator backend: force the
-            // globally cheapest deferred task, or report a genuine stall.
-            if cfg.capacity.is_none() {
-                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
-                let diag = diagnostics(&co, &finals, n);
-                return Err(ExecError::Sim(SimError::Stalled { diag }));
-            }
-            let mut best: Option<(u64, usize, usize)> = None;
-            for (p, tx) in cmds.iter().enumerate() {
-                tx.send(Cmd::CheapestDeferred).map_err(|_| worker_died(p))?;
-                match replies.recv() {
-                    Ok((q, Reply::Deferred(d))) => {
-                        debug_assert_eq!(q, p);
-                        if let Some((cost, v)) = d {
-                            let cand = (cost, p, v);
-                            if best.is_none_or(|b| cand < b) {
-                                best = Some(cand);
+                if let Some(ms) = membership.as_mut() {
+                    // Membership-aware termination over the survivors only
+                    // (see the simulator backend for the full rationale).
+                    let done: usize =
+                        (0..cfg.nprocs).filter(|&p| ms.alive[p]).map(|p| co.nodes_done[p]).sum();
+                    if done >= n {
+                        // Keep draining in-flight live traffic so the
+                        // final time matches the recovery-off run exactly;
+                        // the detector stops re-arming and dies out.
+                        co.finishing = true;
+                        if co.live_events == 0 {
+                            break 'run;
+                        }
+                        continue;
+                    }
+                    if co.live_events == 0 && cfg.recovery.is_some() {
+                        // Quiescent apart from detector chatter: progress
+                        // can still arrive from the fault schedule or a
+                        // lease about to expire; otherwise run the same
+                        // degradation ladder as a drained queue.
+                        if ms.schedule_pending()
+                            || ms.undeclared_dead()
+                            || !co.pending_dead.is_empty()
+                        {
+                            continue;
+                        }
+                        match cheapest_deferred(&cmds, &replies, Some(&*ms), cfg.capacity)? {
+                            Some((p, v)) => {
+                                let input = Input::Force { node: v };
+                                if let Some(viol) = dispatch(&mut co, &cmds, &replies, p, input)? {
+                                    let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                                    return Err(ExecError::Sim(violation_error(
+                                        viol,
+                                        diagnostics(&co, &finals, n),
+                                    )));
+                                }
+                            }
+                            None => {
+                                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                                let diag = diagnostics(&co, &finals, n);
+                                return Err(ExecError::Sim(stall_error(&co, cfg, diag)));
                             }
                         }
                     }
-                    _ => return Err(worker_died(p)),
                 }
             }
-            let Some((_, p, v)) = best else {
-                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
-                let diag = diagnostics(&co, &finals, n);
-                return Err(ExecError::Sim(SimError::Stalled { diag }));
+            // The queue drained (the recovery-off path — with recovery on
+            // it only happens once a partitioned coordinator stops
+            // re-arming the detector).
+            let done: usize = match membership.as_ref() {
+                Some(ms) => {
+                    (0..cfg.nprocs).filter(|&p| ms.alive[p]).map(|p| co.nodes_done[p]).sum()
+                }
+                None => co.nodes_done.iter().sum(),
             };
-            if let Some(viol) = dispatch(&mut co, &cmds, &replies, p, Input::Force { node: v })? {
-                let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
-                return Err(ExecError::Sim(violation_error(viol, diagnostics(&co, &finals, n))));
+            if done >= n {
+                break;
+            }
+            // A scheduled join whose event index was never reached fires
+            // now: the joiner may hold the only way forward.
+            if let Some(ms) = membership.as_mut() {
+                if let Some(jq) = ms.take_next_join() {
+                    join_proc(&mut co, &cmds, &replies, ms, tree, map, cfg, n, jq)?;
+                    continue;
+                }
+            }
+            // Same degradation ladder as the simulator backend: force the
+            // globally cheapest deferred task, or report a genuine stall.
+            match cheapest_deferred(&cmds, &replies, membership.as_ref(), cfg.capacity)? {
+                Some((p, v)) => {
+                    let input = Input::Force { node: v };
+                    if let Some(viol) = dispatch(&mut co, &cmds, &replies, p, input)? {
+                        let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                        return Err(ExecError::Sim(violation_error(
+                            viol,
+                            diagnostics(&co, &finals, n),
+                        )));
+                    }
+                }
+                None => {
+                    let finals = collect_finals(&cmds, &replies, cfg.nprocs)?;
+                    let diag = diagnostics(&co, &finals, n);
+                    return Err(ExecError::Sim(stall_error(&co, cfg, diag)));
+                }
             }
         }
 
@@ -583,6 +1047,11 @@ pub fn run_threads(
             // recording is in-bounds and non-overlapping.
             rec.debug_validate();
         }
+        let alive = |p: usize| membership.as_ref().is_none_or(|m| m.alive[p]);
+        let factor_digest = digest_factors(
+            (0..cfg.nprocs).filter(|&p| alive(p)).map(|p| finals[p].factors_by_node.as_slice()),
+            n,
+        );
         Ok(RunResult {
             total_peaks: finals.iter().map(|f| f.total_peak).collect(),
             factor_entries: finals.iter().map(|f| f.factors).collect(),
@@ -593,20 +1062,23 @@ pub fn run_threads(
             traces: cfg
                 .record_traces
                 .then(|| finals.iter().map(|f| f.trace.clone().unwrap_or_default()).collect()),
-            nodes_done: finals.iter().map(|f| f.nodes_done).sum(),
+            nodes_done: (0..cfg.nprocs).filter(|&p| alive(p)).map(|p| finals[p].nodes_done).sum(),
             total_nodes: n,
-            dropped_messages: 0,
+            dropped_messages: co.fault.as_ref().map_or(0, |f| f.dropped()),
             forced_activations: finals.iter().map(|f| f.forced).sum(),
             final_active: finals.iter().map(|f| f.active).collect(),
             underflows: finals.iter().map(|f| f.underflows).collect(),
             metrics,
             recording: co.rec,
             peaks,
+            factor_digest,
+            dead: co.dead,
         })
     })
 }
 
 fn violation_error(v: Violation, diag: RunDiagnostics) -> SimError {
+    let diag = Box::new(diag);
     match v {
         Violation::Accounting { proc, area } => SimError::Accounting { proc, area, diag },
         Violation::Protocol { detail } => SimError::Protocol { detail, diag },
@@ -700,6 +1172,67 @@ mod tests {
         let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
         let thr = run_threads(&tree, &map, &cfg).unwrap();
         assert_eq!(thr.peaks, sim.peaks);
+    }
+
+    #[test]
+    fn membership_faults_match_simulator_exactly() {
+        // Kill and join schedules are deterministic membership faults:
+        // the threaded backend must reproduce the simulator's recovery
+        // bit for bit — same peaks, same makespan, same digest, same
+        // recovery counters.
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let faults = [
+            mf_sim::FaultModel { kill_at: vec![(64, 1)], ..mf_sim::FaultModel::quiet(1) },
+            mf_sim::FaultModel { join_at: vec![(64, 3)], ..mf_sim::FaultModel::quiet(1) },
+            mf_sim::FaultModel {
+                kill_at: vec![(256, 2)],
+                join_at: vec![(32, 3)],
+                ..mf_sim::FaultModel::quiet(1)
+            },
+        ];
+        for fault in faults {
+            let cfg = SolverConfig {
+                recovery: Some(mf_core::config::RecoveryConfig::default()),
+                fault: Some(fault),
+                ..cfg0.clone()
+            };
+            let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
+            let thr = run_threads(&tree, &map, &cfg).unwrap();
+            assert_eq!(thr.peaks, sim.peaks);
+            assert_eq!(thr.makespan, sim.makespan);
+            assert_eq!(thr.messages, sim.messages);
+            assert_eq!(thr.factor_digest, sim.factor_digest);
+            assert_eq!(thr.dead, sim.dead);
+            assert_eq!(thr.nodes_done, sim.nodes_done);
+            assert_eq!(thr.metrics.recovery, sim.metrics.recovery);
+        }
+    }
+
+    #[test]
+    fn network_kill_reports_partitioned() {
+        // The same typed error as the simulator backend: a crossed
+        // network-kill threshold is a Partitioned, not a hang.
+        let tree = tree_for(24);
+        let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+        let map = compute_mapping(&tree, &cfg0);
+        let cfg = SolverConfig {
+            fault: Some(mf_sim::FaultModel {
+                kill_network_after: Some(10),
+                ..mf_sim::FaultModel::quiet(1)
+            }),
+            ..cfg0
+        };
+        match run_threads(&tree, &map, &cfg) {
+            Err(ExecError::Sim(SimError::Partitioned { after, diag })) => {
+                assert_eq!(after, 10);
+                assert!(diag.nodes_done < diag.total_nodes);
+                assert!(diag.dropped_messages > 0);
+                assert!(diag.dead.is_empty(), "a partition kills no processor");
+            }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
     }
 
     #[test]

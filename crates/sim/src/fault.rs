@@ -58,8 +58,20 @@ pub struct FaultModel {
     pub stragglers: Vec<(usize, f64)>,
     /// Testing hook: after this many routed messages the network goes
     /// silent and drops **everything**, control included. Used to inject
-    /// an artificial deadlock for watchdog tests; leave `None` otherwise.
+    /// an artificial partition for watchdog tests; leave `None` otherwise.
     pub kill_network_after: Option<u64>,
+    /// Processor-loss schedule: `(delivered-event index, proc)` pairs.
+    /// When the driver's delivered-event counter reaches the index, the
+    /// processor fail-stops: its pending and future events are discarded
+    /// and (on the threads backend) its worker thread dies. Keyed by
+    /// event index rather than time so both backends kill at the exact
+    /// same point of the causal order.
+    pub kill_at: Vec<(u64, usize)>,
+    /// Processor-join schedule: `(delivered-event index, proc)` pairs.
+    /// The processor exists from the start of the run but stays dormant
+    /// (not believed alive, receives nothing) until the index is reached,
+    /// then boots and is rebalanced into the pool.
+    pub join_at: Vec<(u64, usize)>,
 }
 
 impl FaultModel {
@@ -73,6 +85,8 @@ impl FaultModel {
             drop_status_prob: 0.0,
             stragglers: Vec::new(),
             kill_network_after: None,
+            kill_at: Vec::new(),
+            join_at: Vec::new(),
         }
     }
 
@@ -89,16 +103,29 @@ impl FaultModel {
             drop_status_prob: (0.125 * level).min(0.6),
             stragglers: if level >= 3.0 { vec![(1, 1.0 + 0.5 * level)] } else { Vec::new() },
             kill_network_after: None,
+            kill_at: Vec::new(),
+            join_at: Vec::new(),
         }
     }
 
     /// True when the model cannot change any run (every knob neutral).
     pub fn is_quiet(&self) -> bool {
+        self.is_message_quiet()
+            && self.kill_network_after.is_none()
+            && self.kill_at.is_empty()
+            && self.join_at.is_empty()
+    }
+
+    /// True when *per-message* perturbations are all neutral: no jitter,
+    /// delay, status loss, or stragglers. Membership faults (`kill_at`,
+    /// `join_at`, `kill_network_after`) are allowed — they are discrete,
+    /// deterministic schedule points rather than per-message noise, which
+    /// is what the threads backend can execute faithfully.
+    pub fn is_message_quiet(&self) -> bool {
         self.latency_jitter == 0.0
             && self.max_extra_delay == 0
             && self.drop_status_prob == 0.0
             && self.stragglers.iter().all(|&(_, f)| f <= 1.0)
-            && self.kill_network_after.is_none()
     }
 
     /// Compute slowdown of processor `proc` (`1.0` when not a straggler).
@@ -131,6 +158,14 @@ impl FaultInjector {
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// True once the `kill_network_after` budget is exhausted: every
+    /// subsequent message (control included) is being dropped, so the run
+    /// is partitioned and can only end in
+    /// `SimError::Partitioned`-style diagnostics.
+    pub fn partitioned(&self) -> bool {
+        self.model.kill_network_after.is_some_and(|k| self.routed > k)
     }
 
     /// Next value of the counter-based stream in `[0, 1)`
@@ -231,9 +266,26 @@ mod tests {
         let model = FaultModel { kill_network_after: Some(5), ..FaultModel::quiet(1) };
         let mut inj = FaultInjector::new(model);
         for i in 0..10u64 {
+            let was_partitioned = inj.partitioned();
+            assert_eq!(was_partitioned, i > 5, "before message {i}");
             let routed = inj.route(20, MsgClass::Control).is_some();
             assert_eq!(routed, i < 5, "message {i}");
         }
+        assert!(inj.partitioned());
+    }
+
+    #[test]
+    fn membership_schedules_break_quietness_but_not_message_quietness() {
+        let mut m = FaultModel::quiet(3);
+        assert!(m.is_quiet() && m.is_message_quiet());
+        m.kill_at = vec![(100, 2)];
+        assert!(!m.is_quiet(), "a kill schedule changes the run");
+        assert!(m.is_message_quiet(), "but perturbs no individual message");
+        let mut j = FaultModel::quiet(3);
+        j.join_at = vec![(50, 1)];
+        assert!(!j.is_quiet() && j.is_message_quiet());
+        let noisy = FaultModel::intensity(3, 2.0);
+        assert!(!noisy.is_message_quiet());
     }
 
     #[test]

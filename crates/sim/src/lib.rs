@@ -39,7 +39,7 @@ pub use attribution::{active_before, attribute_peaks, LiveItem, PeakAttribution}
 pub use engine::{Event, EventPayload, Sim, Time};
 pub use fault::{FaultInjector, FaultModel, MsgClass};
 pub use memory::ProcMemory;
-pub use metrics::{Histogram, ProcMetrics, RunMetrics};
+pub use metrics::{Histogram, ProcMetrics, RecoveryCounters, RunMetrics};
 pub use network::NetworkModel;
 pub use perfetto::write_chrome_trace;
 pub use recorder::{

@@ -88,6 +88,22 @@ impl ProcMemory {
         self.bump(at);
     }
 
+    /// Removes factor entries again (crash recovery: a node whose factors
+    /// must be recomputed elsewhere forgets its stale share, so the final
+    /// per-node factor accounting stays exactly-once). Returns `false` on
+    /// underflow with the same saturate-and-count semantics as
+    /// [`Self::free_front`]; peaks keep their history.
+    #[must_use = "an underflow is an accounting bug the caller must surface"]
+    pub fn forget_factors(&mut self, at: Time, entries: u64) -> bool {
+        let ok = self.factors >= entries;
+        if !ok {
+            self.underflows += 1;
+        }
+        self.factors = self.factors.saturating_sub(entries);
+        self.bump(at);
+        ok
+    }
+
     /// Current active memory (stack + fronts).
     pub fn active(&self) -> u64 {
         self.stack + self.fronts
@@ -148,6 +164,18 @@ mod tests {
         m.push_cb(1, 10);
         assert_eq!(m.active_peak(), 10);
         assert_eq!(m.total_peak(), 1010);
+    }
+
+    #[test]
+    fn forget_factors_reverses_store_but_keeps_peaks() {
+        let mut m = ProcMemory::new(false);
+        m.store_factors(0, 500);
+        assert!(m.forget_factors(1, 200));
+        assert_eq!(m.factors(), 300);
+        assert_eq!(m.total_peak(), 500, "peaks keep their history");
+        assert!(!m.forget_factors(2, 400), "over-forgetting underflows");
+        assert_eq!(m.factors(), 0);
+        assert_eq!(m.underflows(), 1);
     }
 
     #[test]

@@ -118,6 +118,76 @@ pub struct ProcMetrics {
     pub slave_tasks: u64,
 }
 
+/// Counters of the failure-recovery machinery (processor loss/join).
+/// All zero on a run without membership faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Processor deaths observed (declared by the lease protocol or
+    /// scheduled by the fault model).
+    pub kills_observed: u64,
+    /// Processors that joined mid-run.
+    pub joins_observed: u64,
+    /// Orphaned subtree roots reassigned to an adopter.
+    pub subtrees_reassigned: u64,
+    /// Fronts whose elimination was re-executed (lost factors or lost
+    /// contribution blocks).
+    pub nodes_recomputed: u64,
+    /// Pool tasks migrated by join-time rebalancing rounds.
+    pub rebalance_migrations: u64,
+    /// Orphaned contribution-block entries garbage-collected from
+    /// surviving stacks during recovery.
+    pub orphaned_cb_entries: u64,
+}
+
+impl RecoveryCounters {
+    /// True when no recovery machinery fired.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryCounters::default()
+    }
+
+    /// Folds another set of counters into this one.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.kills_observed += other.kills_observed;
+        self.joins_observed += other.joins_observed;
+        self.subtrees_reassigned += other.subtrees_reassigned;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.rebalance_migrations += other.rebalance_migrations;
+        self.orphaned_cb_entries += other.orphaned_cb_entries;
+    }
+
+    /// One-line human summary (empty when nothing fired).
+    pub fn summary(&self) -> String {
+        if self.is_zero() {
+            return String::new();
+        }
+        format!(
+            "recovery: {} kills, {} joins, {} subtrees reassigned, {} nodes recomputed, \
+             {} migrations, {} orphaned CB entries reclaimed",
+            self.kills_observed,
+            self.joins_observed,
+            self.subtrees_reassigned,
+            self.nodes_recomputed,
+            self.rebalance_migrations,
+            self.orphaned_cb_entries
+        )
+    }
+
+    fn json_into(&self, out: &mut String) {
+        write!(
+            out,
+            "{{ \"kills_observed\": {}, \"joins_observed\": {}, \"subtrees_reassigned\": {}, \
+             \"nodes_recomputed\": {}, \"rebalance_migrations\": {}, \"orphaned_cb_entries\": {} }}",
+            self.kills_observed,
+            self.joins_observed,
+            self.subtrees_reassigned,
+            self.nodes_recomputed,
+            self.rebalance_migrations,
+            self.orphaned_cb_entries
+        )
+        .unwrap();
+    }
+}
+
 /// Run-wide aggregates, indexed where relevant by processor.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -143,6 +213,8 @@ pub struct RunMetrics {
     pub view_staleness: Histogram,
     /// Ready-pool depth observed at each pool decision.
     pub pool_depth: Histogram,
+    /// Failure-recovery counters (all zero without membership faults).
+    pub recovery: RecoveryCounters,
     /// Per-processor counters.
     pub procs: Vec<ProcMetrics>,
 }
@@ -203,6 +275,7 @@ impl RunMetrics {
         self.forced_activations += other.forced_activations;
         self.view_staleness.merge(&other.view_staleness);
         self.pool_depth.merge(&other.pool_depth);
+        self.recovery.merge(&other.recovery);
         for (p, o) in self.procs.iter_mut().zip(&other.procs) {
             p.busy_ticks += o.busy_ticks;
             p.stalled_ticks += o.stalled_ticks;
@@ -241,6 +314,8 @@ impl RunMetrics {
         self.view_staleness.json_into(&mut out);
         out.push_str(",\n      \"pool_depth\": ");
         self.pool_depth.json_into(&mut out);
+        out.push_str(",\n      \"recovery\": ");
+        self.recovery.json_into(&mut out);
         out.push_str(",\n      \"procs\": [\n");
         for (i, p) in self.procs.iter().enumerate() {
             let sep = if i + 1 == self.procs.len() { "" } else { "," };
@@ -297,5 +372,25 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"idle_ticks\": 60"));
         assert!(j.contains("\"control_msgs\": 3"));
+        assert!(j.contains("\"kills_observed\": 0"));
+    }
+
+    #[test]
+    fn recovery_counters_merge_and_summarize() {
+        let mut a = RecoveryCounters::default();
+        assert!(a.is_zero());
+        assert_eq!(a.summary(), "");
+        let b = RecoveryCounters {
+            kills_observed: 1,
+            subtrees_reassigned: 2,
+            nodes_recomputed: 7,
+            orphaned_cb_entries: 640,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.nodes_recomputed, 14);
+        let s = a.summary();
+        assert!(s.contains("2 kills") && s.contains("1280 orphaned CB entries"), "{s}");
     }
 }

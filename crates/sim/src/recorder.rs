@@ -237,6 +237,9 @@ enum Kind {
     StatusApply = 9,
     FaultDrop = 10,
     Forced = 11,
+    ProcLost = 12,
+    ProcJoined = 13,
+    SubtreeReassigned = 14,
 }
 
 impl Kind {
@@ -253,7 +256,10 @@ impl Kind {
             8 => Kind::StatusSend,
             9 => Kind::StatusApply,
             10 => Kind::FaultDrop,
-            _ => Kind::Forced,
+            11 => Kind::Forced,
+            12 => Kind::ProcLost,
+            13 => Kind::ProcJoined,
+            _ => Kind::SubtreeReassigned,
         }
     }
 }
@@ -425,6 +431,28 @@ impl CompactEvent {
     pub fn forced(proc: usize, node: usize, cost: u64) -> Self {
         Self::pod(Kind::Forced, 0, id32(proc), id32(node), 0, cost as i64)
     }
+
+    /// Processor `proc` fail-stopped (killed by the fault schedule or
+    /// declared dead by the lease protocol); `nodes_lost` of its nodes
+    /// must be re-executed.
+    #[inline]
+    pub fn proc_lost(proc: usize, nodes_lost: usize) -> Self {
+        Self::pod(Kind::ProcLost, 0, id32(proc), 0, 0, nodes_lost as i64)
+    }
+
+    /// Processor `proc` joined the running computation and received
+    /// `migrated` rebalanced tasks.
+    #[inline]
+    pub fn proc_joined(proc: usize, migrated: usize) -> Self {
+        Self::pod(Kind::ProcJoined, 0, id32(proc), 0, 0, migrated as i64)
+    }
+
+    /// Recovery reassigned the orphaned subtree rooted at `root` from the
+    /// dead `from` to the adopting `to`.
+    #[inline]
+    pub fn subtree_reassigned(root: usize, from: usize, to: usize) -> Self {
+        Self::pod(Kind::SubtreeReassigned, 0, id32(from), id32(root), id32(to), 0)
+    }
 }
 
 /// One structured scheduling event in owned form — the builder/output
@@ -567,6 +595,29 @@ pub enum SchedEvent {
         /// Its activation cost (entries).
         cost: u64,
     },
+    /// A processor fail-stopped and recovery reclaimed its work.
+    ProcLost {
+        /// The dead processor.
+        proc: usize,
+        /// Nodes whose (re-)execution the recovery plan scheduled.
+        nodes_lost: usize,
+    },
+    /// A processor joined the running computation.
+    ProcJoined {
+        /// The joining processor.
+        proc: usize,
+        /// Ready tasks migrated to it by the rebalancer.
+        migrated: usize,
+    },
+    /// Recovery reassigned an orphaned subtree to a surviving adopter.
+    SubtreeReassigned {
+        /// Root of the reassigned subtree.
+        root: usize,
+        /// The dead previous owner.
+        from: usize,
+        /// The adopting survivor.
+        to: usize,
+    },
 }
 
 impl From<&SchedEvent> for CompactEvent {
@@ -610,6 +661,11 @@ impl From<&SchedEvent> for CompactEvent {
             }
             SchedEvent::FaultDrop { from, to } => CompactEvent::fault_drop(from, to),
             SchedEvent::Forced { proc, node, cost } => CompactEvent::forced(proc, node, cost),
+            SchedEvent::ProcLost { proc, nodes_lost } => CompactEvent::proc_lost(proc, nodes_lost),
+            SchedEvent::ProcJoined { proc, migrated } => CompactEvent::proc_joined(proc, migrated),
+            SchedEvent::SubtreeReassigned { root, from, to } => {
+                CompactEvent::subtree_reassigned(root, from, to)
+            }
         }
     }
 }
@@ -709,6 +765,12 @@ pub enum EventRef<'a> {
     FaultDrop { from: usize, to: usize },
     /// See [`SchedEvent::Forced`].
     Forced { proc: usize, node: usize, cost: u64 },
+    /// See [`SchedEvent::ProcLost`].
+    ProcLost { proc: usize, nodes_lost: usize },
+    /// See [`SchedEvent::ProcJoined`].
+    ProcJoined { proc: usize, migrated: usize },
+    /// See [`SchedEvent::SubtreeReassigned`].
+    SubtreeReassigned { root: usize, from: usize, to: usize },
 }
 
 impl EventRef<'_> {
@@ -760,6 +822,11 @@ impl EventRef<'_> {
             }
             EventRef::FaultDrop { from, to } => SchedEvent::FaultDrop { from, to },
             EventRef::Forced { proc, node, cost } => SchedEvent::Forced { proc, node, cost },
+            EventRef::ProcLost { proc, nodes_lost } => SchedEvent::ProcLost { proc, nodes_lost },
+            EventRef::ProcJoined { proc, migrated } => SchedEvent::ProcJoined { proc, migrated },
+            EventRef::SubtreeReassigned { root, from, to } => {
+                SchedEvent::SubtreeReassigned { root, from, to }
+            }
         }
     }
 }
@@ -1007,6 +1074,17 @@ impl Recording {
             Kind::Forced => {
                 EventRef::Forced { proc: r.a as usize, node: r.b as usize, cost: r.value as u64 }
             }
+            Kind::ProcLost => {
+                EventRef::ProcLost { proc: r.a as usize, nodes_lost: r.value as usize }
+            }
+            Kind::ProcJoined => {
+                EventRef::ProcJoined { proc: r.a as usize, migrated: r.value as usize }
+            }
+            Kind::SubtreeReassigned => EventRef::SubtreeReassigned {
+                root: r.b as usize,
+                from: r.a as usize,
+                to: r.c as usize,
+            },
         }
     }
 
@@ -1190,6 +1268,9 @@ mod tests {
             },
             SchedEvent::FaultDrop { from: 1, to: 2 },
             SchedEvent::Forced { proc: 3, node: 8, cost: 999 },
+            SchedEvent::ProcLost { proc: 5, nodes_lost: 14 },
+            SchedEvent::ProcJoined { proc: 6, migrated: 2 },
+            SchedEvent::SubtreeReassigned { root: 33, from: 5, to: 1 },
         ];
         let mut r = Recording::new(None);
         for (t, e) in originals.iter().enumerate() {
