@@ -1,0 +1,65 @@
+//! Temporary review probe: kill scheduled in the finishing-drain window.
+
+use mf_core::config::{RecoveryConfig, SolverConfig};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim;
+use mf_order::OrderingKind;
+use mf_sim::FaultModel;
+use mf_sparse::gen::grid::{grid2d, Stencil};
+use mf_symbolic::seqstack::{apply_liu_order, AssemblyDiscipline};
+use mf_symbolic::{AmalgamationOptions, AssemblyTree};
+
+fn tree_for(nx: usize) -> AssemblyTree {
+    let a = grid2d(nx, nx, Stencil::Star);
+    let p = OrderingKind::Metis.compute(&a);
+    let mut s = mf_symbolic::analyze(&a, &p, &AmalgamationOptions::default());
+    apply_liu_order(&mut s.tree, AssemblyDiscipline::FrontThenFree);
+    s.tree
+}
+
+#[test]
+fn probe_drain_window_kills() {
+    let tree = tree_for(14);
+    let cfg0 = SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) };
+    let map = compute_mapping(&tree, &cfg0);
+    let plain = parsim::run(&tree, &map, &cfg0).unwrap();
+    // Rough upper bound on delivered events: total messages + timers.
+    let hi = plain.messages * 3;
+    let mut failures = Vec::new();
+    let mut never_killed = 0usize;
+    let mut recovered = 0usize;
+    // Scan a dense band of late kill indices looking for the drain window.
+    let mut idx = hi / 2;
+    while idx < hi * 2 {
+        for victim in 0..4usize {
+            let cfg = SolverConfig {
+                recovery: Some(RecoveryConfig::default()),
+                fault: Some(FaultModel {
+                    kill_at: vec![(idx, victim)],
+                    ..FaultModel::quiet(1)
+                }),
+                ..cfg0.clone()
+            };
+            match parsim::run(&tree, &map, &cfg) {
+                Ok(r) => {
+                    if r.dead.is_empty() {
+                        never_killed += 1;
+                    } else {
+                        recovered += 1;
+                        assert_eq!(r.factor_digest, plain.factor_digest);
+                    }
+                }
+                Err(e) => failures.push((idx, victim, format!("{e}"))),
+            }
+        }
+        idx += 25;
+    }
+    println!(
+        "recovered={recovered} never_killed={never_killed} failures={}",
+        failures.len()
+    );
+    for (i, v, e) in failures.iter().take(10) {
+        println!("  kill_at=({i},{v}): {e}");
+    }
+    assert!(failures.is_empty(), "drain-window kills failed");
+}
