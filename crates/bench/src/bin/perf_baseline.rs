@@ -30,11 +30,20 @@
 //!    to <=5x the disabled time (plus the same noise floor) and reported
 //!    both as overhead_percent and as amortized ns/event. Both paths
 //!    must agree peak-for-peak.
+//! 5. **sampler overhead** — the same discipline for the telemetry
+//!    sampler (`sample_every` the only difference between arms):
+//!    schedules must be bit-identical and the end-to-end cost is
+//!    guarded to <=3% at the default interval. Afterwards the whole
+//!    artifact is diffed against the prior `BENCH_sweep.json` and every
+//!    metric that moved is named (the trajectory report).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mf_bench::sweep::{sweep_cell, sweep_cell_recorded, sweep_cells, CellResult, CellSpec};
+use mf_bench::sweep::{
+    sweep_cell, sweep_cell_recorded, sweep_cell_sampled, sweep_cells, CellResult, CellSpec,
+    DEFAULT_SAMPLE_INTERVAL,
+};
 use mf_frontal::dense::{partial_lu_blocked_mt, DenseMat};
 use mf_frontal::gemm;
 use mf_order::OrderingKind;
@@ -231,19 +240,21 @@ fn prior_json_number(path: &str, key: &str) -> Option<f64> {
 
 fn main() {
     let specs = subset();
-    // Read before this run overwrites the file.
+    // Read before this run overwrites the file (the full text is kept
+    // for the end-of-run trajectory diff).
+    let prior_text = std::fs::read_to_string("BENCH_sweep.json").ok();
     let prior_warm_ms = prior_json_number("BENCH_sweep.json", "warm_cache_ms");
     let prior_enabled_ms = prior_json_number("BENCH_sweep.json", "recorder_enabled_ms");
     let prior_overhead_percent = prior_json_number("BENCH_sweep.json", "overhead_percent");
     let prior_lu: Vec<Option<(f64, f64)>> =
         [256usize, 512, 1024].iter().map(|&f| prior_lu_stats("BENCH_sweep.json", f)).collect();
 
-    eprintln!("[1/4] sweep subset, {} cells, sequential + uncached ...", specs.len());
+    eprintln!("[1/5] sweep subset, {} cells, sequential + uncached ...", specs.len());
     let start = Instant::now();
     let slow: Vec<CellResult> = specs.iter().map(uncached_cell).collect();
     let sequential_uncached_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    eprintln!("[2/4] sweep subset, parallel + shared artifact cache ...");
+    eprintln!("[2/5] sweep subset, parallel + shared artifact cache ...");
     let start = Instant::now();
     let fast = sweep_cells(&specs);
     let parallel_cached_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -266,7 +277,7 @@ fn main() {
     assert_eq!(warm.len(), fast.len());
     let speedup = sequential_uncached_ms / parallel_cached_ms;
 
-    eprintln!("[3/4] event queue + LU kernel + packed GEMM ...");
+    eprintln!("[3/5] event queue + LU kernel + packed GEMM ...");
     let eq_depth = 10_000;
     let eq_events = 2_000_000u64;
     let eq_ns = event_queue_ns(eq_depth, eq_events);
@@ -338,7 +349,7 @@ fn main() {
         );
     }
 
-    eprintln!("[4/4] recorder overhead: identical cells, same process, off vs on ...");
+    eprintln!("[4/5] recorder overhead: identical cells, same process, off vs on ...");
     // Both arms run the identical spec list through the same warm cache
     // with the same parallel driver; `record_events` is the *only*
     // difference, so the timing delta is the recorder's cost and nothing
@@ -392,6 +403,55 @@ fn main() {
     eprintln!(
         "recorder-on guard: {recorder_enabled_ms:.1} ms vs disabled {recorder_disabled_ms:.1} ms \
          (<=5x + floor, {ns_per_event:.0} ns/event) OK"
+    );
+
+    eprintln!("[5/5] sampler overhead: identical cells, sampler off vs on ...");
+    // Same discipline as the recorder arms: the identical spec list,
+    // `sample_every` the only difference, best of alternating rounds.
+    // The sampler is a timer chain through the cores' own protocol, so
+    // beyond never perturbing the schedule it must also be nearly free:
+    // the acceptance guard is <=3% end-to-end at the default interval
+    // (plus the usual noise floor for tiny absolute times).
+    let mut sampler_off_ms = f64::INFINITY;
+    let mut sampler_on_ms = f64::INFINITY;
+    let mut unsampled = Vec::new();
+    let mut sampled = Vec::new();
+    for _ in 0..REC_ROUNDS {
+        let start = Instant::now();
+        unsampled = sweep_cells(&specs);
+        sampler_off_ms = sampler_off_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        sampled = specs
+            .par_iter()
+            .map(|&(m, k, nprocs, split, _)| {
+                sweep_cell_sampled(m, k, nprocs, split, DEFAULT_SAMPLE_INTERVAL)
+            })
+            .collect();
+        sampler_on_ms = sampler_on_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    // Sampling must observe, never perturb: same schedule either way.
+    for (a, b) in unsampled.iter().zip(&sampled) {
+        assert_eq!(a.baseline.peaks, b.baseline.peaks, "sampler changed baseline peaks");
+        assert_eq!(a.memory.peaks, b.memory.peaks, "sampler changed memory peaks");
+        assert_eq!(a.baseline.makespan, b.baseline.makespan, "sampler moved baseline time");
+        assert_eq!(a.memory.makespan, b.memory.makespan, "sampler moved memory time");
+    }
+    let samples_total: usize = sampled
+        .iter()
+        .flat_map(|c| [&c.baseline.timeseries, &c.memory.timeseries])
+        .map(|ts| ts.as_ref().map_or(0, |t| t.total_len() + t.total_dropped() as usize))
+        .sum();
+    assert!(samples_total > 0, "sampled sweep produced no samples");
+    let sampler_overhead_percent = 100.0 * (sampler_on_ms / sampler_off_ms.max(1e-9) - 1.0);
+    let sampler_allowed = sampler_off_ms * 1.03 + 250.0;
+    assert!(
+        sampler_on_ms <= sampler_allowed,
+        "sampler-on sweep exceeded its overhead budget: {sampler_on_ms:.1} ms vs off \
+         {sampler_off_ms:.1} ms (allowed {sampler_allowed:.1} ms = off x1.03 + 250 ms noise floor)"
+    );
+    eprintln!(
+        "sampler guard: {sampler_on_ms:.1} ms vs off {sampler_off_ms:.1} ms \
+         ({sampler_overhead_percent:+.1}%, {samples_total} samples, <=3% + floor) OK"
     );
 
     // Regression guard for the disabled path: the recorder hooks must be
@@ -470,6 +530,21 @@ fn main() {
     writeln!(json, "    \"enabled_overhead_guard\": \"<=5x disabled + 250 ms floor\",").unwrap();
     writeln!(json, "    \"schedule_unperturbed\": true").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"sampler_overhead\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"measurement\": \"identical cell set, same process; arms differ only in \
+         sample_every\","
+    )
+    .unwrap();
+    writeln!(json, "    \"sample_interval_ticks\": {DEFAULT_SAMPLE_INTERVAL},").unwrap();
+    writeln!(json, "    \"sampler_off_ms\": {sampler_off_ms:.1},").unwrap();
+    writeln!(json, "    \"sampler_on_ms\": {sampler_on_ms:.1},").unwrap();
+    writeln!(json, "    \"overhead_percent\": {sampler_overhead_percent:.1},").unwrap();
+    writeln!(json, "    \"samples_total\": {samples_total},").unwrap();
+    writeln!(json, "    \"overhead_guard\": \"<=3% of sampler-off + 250 ms floor\",").unwrap();
+    writeln!(json, "    \"schedule_unperturbed\": true").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"event_queue\": {{").unwrap();
     writeln!(json, "    \"queue_depth\": {eq_depth},").unwrap();
     writeln!(json, "    \"events\": {eq_events},").unwrap();
@@ -518,6 +593,33 @@ fn main() {
     mf_bench::obs::validate_json(&json).expect("BENCH_sweep.json must be well-formed");
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");
+
+    // Trajectory diff against the file this run replaced: every shared
+    // metric that moved, named by its JSON path, largest movement first
+    // (the same comparison `mf-obs diff sweeps` offers across commits).
+    if let Some(prior) = &prior_text {
+        let old_nums = mf_bench::obs::json_numbers(prior);
+        let new_nums = mf_bench::obs::json_numbers(&json);
+        let old_map: std::collections::HashMap<&str, f64> =
+            old_nums.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let mut moved: Vec<(&str, f64, f64, f64)> = new_nums
+            .iter()
+            .filter_map(|(k, nv)| {
+                let ov = *old_map.get(k.as_str())?;
+                let pct = if ov == 0.0 { 0.0 } else { 100.0 * (nv - ov) / ov.abs() };
+                (pct.abs() >= 1.0).then_some((k.as_str(), ov, *nv, pct))
+            })
+            .collect();
+        moved.sort_by(|x, y| y.3.abs().total_cmp(&x.3.abs()));
+        eprintln!(
+            "trajectory vs prior BENCH_sweep.json: {} shared metric(s), {} moved >=1%",
+            new_nums.iter().filter(|(k, _)| old_map.contains_key(k.as_str())).count(),
+            moved.len()
+        );
+        for (k, ov, nv, pct) in moved.iter().take(12) {
+            eprintln!("  {k}: {ov} -> {nv} ({pct:+.1}%)");
+        }
+    }
     eprintln!(
         "sweep subset: {sequential_uncached_ms:.0} ms -> {parallel_cached_ms:.0} ms \
          ({speedup:.1}x; warm cache {warm_cache_ms:.0} ms); \

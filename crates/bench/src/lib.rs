@@ -11,7 +11,10 @@
 //! * `table6` — factorization-time loss of the memory strategies;
 //! * `figures` — scenario reproductions of Figures 4, 5, 6 and 8;
 //! * `probe` — quick timing/shape scan of all matrix × ordering cells;
-//! * `explain` — flight-recorder peak-attribution report (see [`obs`]).
+//! * `explain` — flight-recorder peak-attribution report (see [`obs`]);
+//! * `mf-obs` — protocol audit of recordings, cross-run diffing
+//!   (backends, strategies, sweep artifacts), and sampled telemetry
+//!   timelines.
 //!
 //! The library part holds the shared experiment-sweep machinery so the
 //! binaries stay thin and the sweeps are testable.
@@ -24,6 +27,7 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use sweep::{
-    paper_scale_config, render_percent_table, split_threshold_for, sweep_cell, sweep_cell_captured,
-    sweep_cells, CellResult, CellSpec,
+    paper_scale_config, render_percent_table, sample_every_from_env, split_threshold_for,
+    sweep_cell, sweep_cell_captured, sweep_cell_sampled, sweep_cells, CellResult, CellSpec,
+    DEFAULT_SAMPLE_INTERVAL,
 };

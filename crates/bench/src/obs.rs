@@ -103,9 +103,14 @@ pub fn cell_summary_json(c: &CellResult) -> String {
 }
 
 /// Exports whatever a cell carries into `obs_dir()`, if set: always the
-/// summary (`<label>.summary.json`), plus a Perfetto trace per recorded
-/// strategy (`<label>.<strategy>.trace.json`). No-op without an obs dir.
-/// Returns the number of files written.
+/// summary (`<label>.summary.json`) and a Prometheus exposition of each
+/// strategy's metrics registry (`<label>.<strategy>.metrics.prom`,
+/// recovery counters included); plus, per recorded strategy, a Perfetto
+/// trace (`<label>.<strategy>.trace.json`, with sampled counter tracks
+/// overlaid when the cell ran with the telemetry sampler); plus, per
+/// sampled strategy, the time series as JSONL and Prometheus text
+/// (`<label>.<strategy>.timeseries.{jsonl,prom}`). No-op without an obs
+/// dir. Returns the number of files written.
 pub fn maybe_export_cell(c: &CellResult) -> usize {
     let Some(dir) = obs_dir() else { return 0 };
     std::fs::create_dir_all(&dir).expect("create obs dir");
@@ -116,13 +121,29 @@ pub fn maybe_export_cell(c: &CellResult) -> usize {
     std::fs::write(dir.join(format!("{label}.summary.json")), summary).expect("write run summary");
     written += 1;
     for (strategy, run) in [("baseline", &c.baseline), ("memory", &c.memory)] {
+        std::fs::write(
+            dir.join(format!("{label}.{strategy}.metrics.prom")),
+            run.metrics.to_prometheus(run.makespan),
+        )
+        .expect("write metrics exposition");
+        written += 1;
         if let Some(rec) = &run.recording {
             let nprocs = run.peaks.len();
             let path = dir.join(format!("{label}.{strategy}.trace.json"));
             let file = std::fs::File::create(&path).expect("create trace file");
             let mut w = std::io::BufWriter::new(file);
-            mf_sim::write_chrome_trace(&mut w, nprocs, rec).expect("write Perfetto trace");
+            mf_sim::write_chrome_trace_with_series(&mut w, nprocs, rec, run.timeseries.as_ref())
+                .expect("write Perfetto trace");
             written += 1;
+        }
+        if let Some(ts) = &run.timeseries {
+            let path = dir.join(format!("{label}.{strategy}.timeseries.jsonl"));
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create"));
+            ts.write_jsonl(&mut w).expect("write timeseries JSONL");
+            let path = dir.join(format!("{label}.{strategy}.timeseries.prom"));
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create"));
+            ts.write_prometheus(&mut w).expect("write timeseries exposition");
+            written += 2;
         }
     }
     written
@@ -293,6 +314,115 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts every numeric leaf of a JSON document as
+/// (dotted-path, value) pairs in document order: object members append
+/// `.key`, array elements append `[i]` — e.g.
+/// `sweep_subset.warm_cache_ms` or `lu_kernel_blocked[1].gflops`.
+///
+/// This powers cross-run artifact diffing (`mf-obs diff sweeps`, the
+/// `perf_baseline` trajectory report): two runs of the same harness
+/// yield the same paths, so a regression is named by the exact metric
+/// that moved. Input is expected to be well-formed (validate with
+/// [`validate_json`] first); on malformed input the pairs collected up
+/// to the defect are returned.
+pub fn json_numbers(s: &str) -> Vec<(String, f64)> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let mut path = String::new();
+    skip_ws(b, &mut pos);
+    let _ = collect_numbers(b, &mut pos, &mut path, &mut out);
+    out
+}
+
+fn collect_numbers(
+    b: &[u8],
+    pos: &mut usize,
+    path: &mut String,
+    out: &mut Vec<(String, f64)>,
+) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                let key_start = *pos + 1;
+                string(b, pos)?;
+                let key =
+                    std::str::from_utf8(&b[key_start..*pos - 1]).map_err(|e| e.to_string())?;
+                let key = key.to_string();
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let depth = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&key);
+                collect_numbers(b, pos, path, out)?;
+                path.truncate(depth);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            let mut i = 0usize;
+            loop {
+                let depth = path.len();
+                path.push_str(&format!("[{i}]"));
+                collect_numbers(b, pos, path, out)?;
+                path.truncate(depth);
+                i += 1;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            if let Ok(v) = text.parse::<f64>() {
+                out.push((path.clone(), v));
+            }
+            Ok(())
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
 fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
         *pos += lit.len();
@@ -337,6 +467,21 @@ mod tests {
         ] {
             assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn json_numbers_yields_dotted_paths_in_order() {
+        let doc = r#"{ "a": 1, "b": { "c": 2.5, "d": [10, {"e": -3}] }, "f": null, "g": "x" }"#;
+        let nums = json_numbers(doc);
+        assert_eq!(
+            nums,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b.c".to_string(), 2.5),
+                ("b.d[0]".to_string(), 10.0),
+                ("b.d[1].e".to_string(), -3.0),
+            ]
+        );
     }
 
     #[test]

@@ -90,15 +90,46 @@ impl CellResult {
     }
 }
 
+/// Default telemetry sampling interval (virtual ticks) used by the
+/// `timeline` tooling and the sampler-overhead guard when no explicit
+/// interval is given. Paper-scale makespans run to a few hundred
+/// thousand ticks, so this yields on the order of a hundred samples per
+/// processor — dense enough for memory-evolution plots, sparse enough
+/// that the sampler's cost (one timer event per processor per interval,
+/// ~350 ns each of event-queue churn) stays within the perf guard's 3%
+/// budget.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
+
+/// Telemetry sampling interval from the `MF_SAMPLE_EVERY` environment
+/// variable (virtual ticks; unset or `0` disables the sampler). Panics
+/// on a non-integer value — silently ignoring it would make a CI
+/// sampler-invariance check vacuous. The sampler never perturbs
+/// schedules (pinned by `mf_core`'s
+/// `sampler_is_schedule_invariant_and_absent_when_disabled`), so every
+/// table binary renders byte-identical stdout with this set or not.
+pub fn sample_every_from_env() -> Option<u64> {
+    match std::env::var("MF_SAMPLE_EVERY") {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(0) => None,
+            Ok(t) => Some(t),
+            Err(_) => panic!("MF_SAMPLE_EVERY must be an integer tick count, got {v:?}"),
+        },
+        Err(_) => None,
+    }
+}
+
 /// Base configuration at reproduction scale: 32 processors like the
 /// paper, SP-like network, type-2 threshold fitting the reduced front
-/// sizes.
+/// sizes. The telemetry sampler is wired through here (see
+/// [`sample_every_from_env`]), so every sweep cell of every binary
+/// produces time series when `MF_SAMPLE_EVERY` is set.
 pub fn paper_scale_config(nprocs: usize) -> SolverConfig {
     SolverConfig {
         nprocs,
         type2_front_min: 150,
         type3_front_min: 500,
         min_rows_per_slave: 12,
+        sample_every: sample_every_from_env(),
         ..SolverConfig::mumps_baseline(nprocs)
     }
 }
@@ -212,6 +243,43 @@ pub fn sweep_cell_recorded(
     let tree = build_tree(matrix, ordering, split);
     let observed =
         SolverConfig { record_events: true, event_capacity: None, ..paper_scale_config(nprocs) };
+    let base_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Workload,
+        task_selection: TaskSelection::Lifo,
+        use_subtree_info: false,
+        use_prediction: false,
+        ..observed.clone()
+    };
+    let mem_cfg = SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        ..observed
+    };
+    let map = compute_mapping(&tree, &base_cfg);
+    let backend = Backend::from_env();
+    let baseline = backend.run(&tree, &map, &base_cfg);
+    let memory = backend.run(&tree, &map, &mem_cfg);
+    CellResult { matrix, ordering, split, stats: tree.stats(), baseline, memory }
+}
+
+/// Runs one cell exactly like [`sweep_cell`] (traces and recorder off),
+/// but with the telemetry sampler armed at the given interval on both
+/// strategies. This is the sampler-overhead arm of `perf_baseline`: the
+/// *only* difference from `sweep_cell(.., false)` is `sample_every`, so
+/// timing the two isolates the sampler's end-to-end cost — and the
+/// schedule-invariance contract means peaks and makespans must agree
+/// bit-exactly with the unsampled run.
+pub fn sweep_cell_sampled(
+    matrix: PaperMatrix,
+    ordering: OrderingKind,
+    nprocs: usize,
+    split: Option<u64>,
+    every: u64,
+) -> CellResult {
+    let tree = build_tree(matrix, ordering, split);
+    let observed = SolverConfig { sample_every: Some(every), ..paper_scale_config(nprocs) };
     let base_cfg = SolverConfig {
         slave_selection: SlaveSelection::Workload,
         task_selection: TaskSelection::Lifo,

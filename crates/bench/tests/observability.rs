@@ -171,6 +171,123 @@ fn compact_recording_round_trips_through_owned_events() {
     }
 }
 
+/// The Prometheus exposition (run metrics + sampled time-series) is
+/// pinned by a committed golden file: renaming a metric family, a
+/// label, or a bucket edge is a deliberate, reviewed diff (regenerate
+/// with `UPDATE_GOLDEN=1 cargo test -p mf-bench`).
+#[test]
+fn golden_prometheus_exposition_is_stable() {
+    use mf_sim::{RunMetrics, RunTimeseries, SampleRow};
+    const GOLDEN_PROM: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+
+    let mut m = RunMetrics::new(2);
+    m.control_msgs = 3;
+    m.control_bytes = 480;
+    m.status_msgs = 5;
+    m.status_bytes = 200;
+    m.reselect_rounds = 2;
+    m.forced_activations = 1;
+    m.view_staleness.observe(0);
+    m.view_staleness.observe(9);
+    m.pool_depth.observe(4);
+    m.procs[0].busy_ticks = 70;
+    m.procs[0].activations = 3;
+    m.procs[1].busy_ticks = 40;
+    m.procs[1].stalled_ticks = 10;
+    m.procs[1].slave_tasks = 2;
+    m.recovery.kills_observed = 1;
+    m.recovery.subtrees_reassigned = 2;
+
+    let mut ts = RunTimeseries::new(2, 50, 16);
+    let row = |at, active, stack, pool_depth, queued, busy, stalled, cm, sm| SampleRow {
+        at,
+        active,
+        stack,
+        pool_depth,
+        queued,
+        busy,
+        stalled,
+        control_msgs: cm,
+        status_msgs: sm,
+    };
+    ts.push(0, row(50, 120, 30, 2, 0, true, false, 1, 2));
+    ts.push(1, row(50, 0, 0, 0, 1, false, true, 1, 2));
+    ts.push(0, row(100, 90, 60, 1, 0, true, false, 3, 5));
+
+    let mut buf = m.to_prometheus(100).into_bytes();
+    ts.write_prometheus(&mut buf).expect("in-memory export cannot fail");
+    let s = String::from_utf8(buf).expect("exposition is ASCII");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PROM, &s).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PROM).expect("golden file is committed");
+    assert_eq!(s, golden, "Prometheus exposition drifted from the golden file");
+}
+
+/// Turning the sampler on is pure observation at bench scale: the
+/// recorded event stream, peaks, makespan, and metrics of both strategy
+/// arms are identical with and without `sample_every`, and the
+/// paper-style percent table rendered from the runs is byte-identical.
+#[test]
+fn sampler_on_recordings_and_tables_are_byte_identical() {
+    use mf_bench::render_percent_table;
+    use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+
+    let nprocs = 8;
+    let tree = mf_bench::sweep::build_tree(PaperMatrix::TwoTone, OrderingKind::Amd, None);
+    let arm = |memory: bool, sample_every: Option<u64>| {
+        let observed = SolverConfig {
+            record_events: true,
+            event_capacity: None,
+            sample_every,
+            ..mf_bench::paper_scale_config(nprocs)
+        };
+        let cfg = if memory {
+            observed
+        } else {
+            SolverConfig {
+                slave_selection: SlaveSelection::Workload,
+                task_selection: TaskSelection::Lifo,
+                use_subtree_info: false,
+                use_prediction: false,
+                ..observed
+            }
+        };
+        let map = mf_core::mapping::compute_mapping(&tree, &cfg);
+        mf_core::parsim::run(&tree, &map, &cfg).expect("run completes")
+    };
+
+    let table = |base_peak: u64, mem_peak: u64| {
+        let gain = 100.0 * (base_peak as f64 - mem_peak as f64) / base_peak as f64;
+        render_percent_table("sampler identity", &[("TWOTONE", [gain; 4])], None)
+    };
+
+    for memory in [false, true] {
+        let off = arm(memory, None);
+        let on = arm(memory, Some(500));
+        assert!(off.recording == on.recording, "memory={memory}: sampler on/off recordings differ");
+        assert_eq!(off.peaks, on.peaks, "memory={memory}: peaks differ");
+        assert_eq!(off.makespan, on.makespan, "memory={memory}: makespan differs");
+        assert!(off.metrics == on.metrics, "memory={memory}: metrics differ");
+        assert!(off.timeseries.is_none(), "sampler off must not allocate series");
+        let ts = on.timeseries.as_ref().expect("sampler on must produce a series");
+        assert!(ts.total_len() > 0, "sampler on must retain samples");
+    }
+
+    let base_off = arm(false, None);
+    let mem_off = arm(true, None);
+    let base_on = arm(false, Some(500));
+    let mem_on = arm(true, Some(500));
+    let max = |peaks: &[u64]| peaks.iter().copied().max().unwrap_or(0);
+    assert_eq!(
+        table(max(&base_off.peaks), max(&mem_off.peaks)),
+        table(max(&base_on.peaks), max(&mem_on.peaks)),
+        "rendered paper table must not depend on the sampler"
+    );
+}
+
 /// Flight recordings are part of the deterministic contract: sweeping
 /// the same cells under different rayon pool widths must produce
 /// byte-identical recordings, not just identical peaks.

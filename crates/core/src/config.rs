@@ -234,6 +234,15 @@ pub struct SolverConfig {
     /// virtual time passes this many ticks (runaway guard). `None`
     /// disables the check.
     pub time_limit: Option<Time>,
+    /// Telemetry sampling interval in virtual ticks: every `sample_every`
+    /// ticks each core snapshots its stack/active memory, pool depth and
+    /// busy/stalled state read-only into the run's time series (see
+    /// `mf_sim::timeseries`). The sampler rides the same typed timer
+    /// protocol as the recovery heartbeat (`TIMER_SAMPLE`), so both
+    /// backends sample identically and sampling never perturbs the
+    /// schedule. `None` keeps the sampler off and the event stream
+    /// byte-identical to a build without it.
+    pub sample_every: Option<Time>,
     /// Thread budget for the trailing update *inside* each front when a
     /// numeric driver executes this configuration (the malleable-tasks
     /// axis of Guermouche–Marchal–Simon–Vivien: a front is a task whose
@@ -271,6 +280,7 @@ impl Default for SolverConfig {
             recovery: None,
             capacity: None,
             time_limit: None,
+            sample_every: None,
             cores_per_front: 1,
         }
     }

@@ -14,13 +14,13 @@
 use crate::config::SolverConfig;
 use crate::error::{RunDiagnostics, SimError};
 use crate::proto::{
-    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_LEASE,
+    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_SAMPLE,
 };
 use crate::recovery::{digest_factors, Membership, MembershipChange, RecoverySnapshot};
 use mf_sim::recorder::TaskRole;
 use mf_sim::{
     CompactEvent, Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory,
-    Recording, RunMetrics, Sim, Time, Trace,
+    Recording, RunMetrics, RunTimeseries, SampleRow, Sim, Time, Trace, DEFAULT_SERIES_CAPACITY,
 };
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
@@ -72,6 +72,9 @@ pub struct RunResult {
     pub metrics: RunMetrics,
     /// The flight recording when [`SolverConfig::record_events`] was set.
     pub recording: Option<Recording>,
+    /// The sampled telemetry trajectory when
+    /// [`SolverConfig::sample_every`] was set (see `mf_sim::timeseries`).
+    pub timeseries: Option<RunTimeseries>,
     /// Partition-invariant digest of the per-node factor totals over the
     /// surviving processors ([`digest_factors`]): a recovered run must
     /// reproduce the fault-free run's digest exactly.
@@ -152,6 +155,9 @@ struct SimDriver<'a> {
     /// live traffic (so the makespan matches the recovery-off run), and
     /// the failure detector stops re-arming so its chain dies out.
     finishing: bool,
+    /// Sampled telemetry series; `None` = sampling disabled (the
+    /// zero-cost path: cores never arm the sampling timer).
+    ts: Option<RunTimeseries>,
 }
 
 impl<'a> SimDriver<'a> {
@@ -175,6 +181,9 @@ impl<'a> SimDriver<'a> {
             ledger: Default::default(),
             track_obligations: false,
             finishing: false,
+            ts: cfg
+                .sample_every
+                .map(|every| RunTimeseries::new(cfg.nprocs, every, DEFAULT_SERIES_CAPACITY)),
         }
     }
 
@@ -346,6 +355,31 @@ impl<'a> SimDriver<'a> {
                     let now = self.sim.now();
                     if let Some(rec) = self.rec.as_mut() {
                         rec.record(now, ev);
+                    }
+                }
+                Effect::Sample { active, stack, pool_depth, queued, busy, stalled } => {
+                    // The driver stamps the snapshot with the virtual time
+                    // and its cumulative traffic counters — accounted
+                    // identically by both backends, so the series are
+                    // bit-identical across them.
+                    let at = self.sim.now();
+                    let (control_msgs, status_msgs) =
+                        (self.metrics.control_msgs, self.metrics.status_msgs);
+                    if let Some(ts) = self.ts.as_mut() {
+                        ts.push(
+                            p,
+                            SampleRow {
+                                at,
+                                active,
+                                stack,
+                                pool_depth,
+                                queued,
+                                busy,
+                                stalled,
+                                control_msgs,
+                                status_msgs,
+                            },
+                        );
                     }
                 }
             }
@@ -652,7 +686,7 @@ pub fn run(
                 EventPayload::Message { msg, .. } if !matches!(msg, Msg::Heartbeat) => {
                     drv.live_events -= 1;
                 }
-                EventPayload::Timer { key, .. } if *key < TIMER_LEASE => drv.live_events -= 1,
+                EventPayload::Timer { key, .. } if *key < TIMER_SAMPLE => drv.live_events -= 1,
                 _ => {}
             }
             let (p, input) = match payload {
@@ -734,6 +768,21 @@ pub fn run(
                         }
                     }
                 }
+            } else if cfg.sample_every.is_some() {
+                // Sampler-aware termination: without membership the
+                // sampler's self-re-arming timer chain never lets the
+                // queue drain, so completion is checked per event. Once
+                // every front is done the sampler stops re-arming
+                // (`finishing`) and the run breaks the moment the last
+                // live event is processed — the clock never advances
+                // past the sampler-off makespan.
+                let done: usize = cores.iter().map(|c| c.nodes_done()).sum();
+                if done >= n {
+                    drv.finishing = true;
+                    if drv.live_events == 0 {
+                        break 'run;
+                    }
+                }
             }
         }
         // The queue drained (the recovery-off path — with recovery on it
@@ -812,6 +861,7 @@ pub fn run(
         underflows: mems.iter().map(|m| m.underflows()).collect(),
         metrics,
         recording: drv.rec,
+        timeseries: drv.ts,
         peaks,
         factor_digest,
         dead: drv.dead,
@@ -992,6 +1042,40 @@ mod tests {
         assert_eq!(r1.peaks, plain.peaks);
         assert_eq!(r1.makespan, plain.makespan);
         assert_eq!(r1.messages, plain.messages);
+    }
+
+    #[test]
+    fn sampler_is_schedule_invariant_and_absent_when_disabled() {
+        let tree = tree_for(20);
+        let cfg0 = SolverConfig {
+            type2_front_min: 24,
+            record_events: true,
+            ..SolverConfig::memory_based(4)
+        };
+        let map = compute_mapping(&tree, &cfg0);
+        let plain = run(&tree, &map, &cfg0).unwrap();
+        assert!(plain.timeseries.is_none());
+        let cfg = SolverConfig { sample_every: Some(50), ..cfg0 };
+        let r1 = run(&tree, &map, &cfg).unwrap();
+        let r2 = run(&tree, &map, &cfg).unwrap();
+        // Sampling must never perturb the schedule: identical peaks,
+        // makespan, messages, and a bit-identical decision recording.
+        assert_eq!(r1.peaks, plain.peaks);
+        assert_eq!(r1.makespan, plain.makespan);
+        assert_eq!(r1.messages, plain.messages);
+        assert_eq!(r1.recording, plain.recording, "recorded decisions must not move");
+        // The series itself is deterministic, covers every processor,
+        // stays within the run, and reflects real memory state.
+        let ts = r1.timeseries.as_ref().unwrap();
+        assert_eq!(r2.timeseries.as_ref().unwrap(), ts);
+        assert_eq!(ts.nprocs(), 4);
+        assert!(ts.total_len() > 0, "a {}-tick run must yield samples", r1.makespan);
+        for p in 0..4 {
+            for row in ts.proc(p).iter() {
+                assert!(row.at <= r1.makespan);
+            }
+        }
+        assert!((0..4).any(|p| ts.proc(p).iter().any(|r| r.active > 0 || r.stack > 0)));
     }
 
     #[test]
@@ -1198,6 +1282,39 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recordings_audit_clean_including_recovery_runs() {
+        let tree = tree_for(20);
+        for cfg0 in [
+            SolverConfig { type2_front_min: 24, ..SolverConfig::mumps_baseline(4) },
+            SolverConfig { type2_front_min: 24, ..SolverConfig::memory_based(4) },
+        ] {
+            let map = compute_mapping(&tree, &cfg0);
+            // Fault-free.
+            let cfg = SolverConfig { record_events: true, ..cfg0.clone() };
+            let r = run(&tree, &map, &cfg).unwrap();
+            let rec = r.recording.as_ref().unwrap();
+            let f = mf_sim::audit_recording(4, rec);
+            assert!(f.is_empty(), "fault-free findings: {f:?}");
+            // Kill mid-run with recovery: re-execution and reclamation
+            // must still satisfy every invariant the audit checks.
+            let cfg = SolverConfig {
+                record_events: true,
+                recovery: Some(crate::config::RecoveryConfig::default()),
+                fault: Some(mf_sim::FaultModel {
+                    kill_at: vec![(128, 1)],
+                    ..mf_sim::FaultModel::quiet(1)
+                }),
+                ..cfg0.clone()
+            };
+            let r = run(&tree, &map, &cfg).unwrap();
+            assert_eq!(r.dead, vec![1]);
+            let rec = r.recording.as_ref().unwrap();
+            let f = mf_sim::audit_recording(4, rec);
+            assert!(f.is_empty(), "kill-run findings: {f:?}");
         }
     }
 

@@ -44,6 +44,10 @@ use std::collections::VecDeque;
 pub const TIMER_HEARTBEAT: u64 = u64::MAX;
 /// Timer key of the periodic lease check.
 pub const TIMER_LEASE: u64 = u64::MAX - 1;
+/// Timer key of the telemetry sampler (the lowest reserved key: the
+/// drivers' quiescence accounting treats every key at or above it as
+/// protocol chatter rather than live work).
+pub const TIMER_SAMPLE: u64 = u64::MAX - 2;
 
 /// Inter-processor messages of the scheduling protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -335,7 +339,8 @@ pub enum Effect {
     /// A driver whose network is partitioned refuses to re-arm, which is
     /// what lets a partitioned run drain and fail cleanly.
     Arm {
-        /// Timer key ([`TIMER_HEARTBEAT`] or [`TIMER_LEASE`]).
+        /// Timer key ([`TIMER_HEARTBEAT`], [`TIMER_LEASE`] or
+        /// [`TIMER_SAMPLE`]).
         key: u64,
         /// Delay until the timer fires, in ticks.
         after: Time,
@@ -347,6 +352,26 @@ pub enum Effect {
     DeclareDead {
         /// The silent processor.
         proc: usize,
+    },
+    /// A read-only telemetry snapshot taken by the sampling timer
+    /// (only emitted when [`SolverConfig::sample_every`] is set). The
+    /// driver stamps it with the current virtual time and its own
+    /// traffic counters and appends it to the run's time series; the
+    /// core mutates nothing while sampling, which is what keeps
+    /// sampled and unsampled schedules bit-identical.
+    Sample {
+        /// Active (front-area) entries at sample time.
+        active: u64,
+        /// Contribution-block stack entries at sample time.
+        stack: u64,
+        /// Ready tasks in the local pool.
+        pool_depth: u32,
+        /// Slave tasks queued behind the current computation.
+        queued: u32,
+        /// Whether the compute unit was occupied.
+        busy: bool,
+        /// Whether the core was stalled by the capacity check.
+        stalled: bool,
     },
     /// A flight-recorder decision event in compact wire form (only
     /// emitted when the core was built with recording enabled,
@@ -475,6 +500,9 @@ pub struct SchedulerCore<'a> {
     /// Whether the heartbeat/lease timers were armed (once, on the first
     /// tick of a recovery-configured run).
     timers_armed: bool,
+    /// Whether the telemetry sampling timer was armed (once, on the
+    /// first tick of a run with `sample_every` set).
+    sampler_armed: bool,
     /// Ownership overlay: starts as the static mapping's owner vector,
     /// updated by recovery plans and migrations.
     owners: Vec<usize>,
@@ -559,6 +587,7 @@ impl<'a> SchedulerCore<'a> {
             },
             last_heard: vec![0; cfg.nprocs],
             timers_armed: false,
+            sampler_armed: false,
             owners: map.owner.clone(),
             recovered: vec![false; n],
             epoch: vec![0; n],
@@ -578,6 +607,7 @@ impl<'a> SchedulerCore<'a> {
         match input {
             Input::Tick => {
                 self.maybe_arm_detector();
+                self.maybe_arm_sampler();
                 self.try_start();
             }
             Input::Deliver { from, msg } => {
@@ -588,6 +618,7 @@ impl<'a> SchedulerCore<'a> {
             }
             Input::TimerFired { key: TIMER_HEARTBEAT } => self.heartbeat_fired(),
             Input::TimerFired { key: TIMER_LEASE } => self.lease_fired(),
+            Input::TimerFired { key: TIMER_SAMPLE } => self.sample_fired(),
             Input::TimerFired { key } => self.work_done(key as usize),
             Input::Force { node } => self.force_activate(node),
             Input::Recover { plan } => self.apply_plan(&plan),
@@ -774,6 +805,37 @@ impl<'a> SchedulerCore<'a> {
         }
         self.out.push(Effect::Arm { key: TIMER_HEARTBEAT, after: rc.heartbeat_every });
         self.out.push(Effect::Arm { key: TIMER_LEASE, after: rc.heartbeat_every });
+    }
+
+    // ---------- telemetry sampling ----------
+
+    /// Arms the sampling timer once, on the first tick of a run with a
+    /// sampling interval configured. Runs without sampling never arm
+    /// it, preserving their event streams byte for byte.
+    fn maybe_arm_sampler(&mut self) {
+        let Some(every) = self.cfg.sample_every else { return };
+        if self.sampler_armed {
+            return;
+        }
+        self.sampler_armed = true;
+        self.out.push(Effect::Arm { key: TIMER_SAMPLE, after: every });
+    }
+
+    /// Periodic telemetry sample: snapshot the core's observable state
+    /// read-only, emit it, re-arm. This handler must never call
+    /// [`SchedulerCore::try_start`] or touch decision state — schedule
+    /// invariance under sampling depends on it.
+    fn sample_fired(&mut self) {
+        let Some(every) = self.cfg.sample_every else { return };
+        self.out.push(Effect::Sample {
+            active: self.mem.active(),
+            stack: self.mem.stack(),
+            pool_depth: self.pool.len() as u32,
+            queued: self.slave_queue.len() as u32,
+            busy: self.busy,
+            stalled: self.stalled_since.is_some(),
+        });
+        self.out.push(Effect::Arm { key: TIMER_SAMPLE, after: every });
     }
 
     /// Periodic heartbeat: renew this core's lease at every reachable

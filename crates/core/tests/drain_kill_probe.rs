@@ -34,10 +34,7 @@ fn probe_drain_window_kills() {
         for victim in 0..4usize {
             let cfg = SolverConfig {
                 recovery: Some(RecoveryConfig::default()),
-                fault: Some(FaultModel {
-                    kill_at: vec![(idx, victim)],
-                    ..FaultModel::quiet(1)
-                }),
+                fault: Some(FaultModel { kill_at: vec![(idx, victim)], ..FaultModel::quiet(1) }),
                 ..cfg0.clone()
             };
             match parsim::run(&tree, &map, &cfg) {
@@ -54,10 +51,7 @@ fn probe_drain_window_kills() {
         }
         idx += 25;
     }
-    println!(
-        "recovered={recovered} never_killed={never_killed} failures={}",
-        failures.len()
-    );
+    println!("recovered={recovered} never_killed={never_killed} failures={}", failures.len());
     for (i, v, e) in failures.iter().take(10) {
         println!("  kill_at=({i},{v}): {e}");
     }

@@ -88,10 +88,11 @@ fn step(
                 sim.schedule_timer(p, (flops / cfg.flops_per_tick.max(1)).max(1), key)
             }
             Effect::Alloc { .. } | Effect::Free { .. } | Effect::Record(_) => {}
-            // This harness drives quiet runs only: no recovery config, so
-            // the cores never arm the failure detector.
-            Effect::Arm { .. } | Effect::DeclareDead { .. } => {
-                panic!("failure-detector effect in a quiet run")
+            // This harness drives quiet runs only: no recovery config and
+            // no sampling interval, so the cores never arm the failure
+            // detector or the telemetry sampler.
+            Effect::Arm { .. } | Effect::DeclareDead { .. } | Effect::Sample { .. } => {
+                panic!("timer-protocol effect in a quiet run")
             }
         }
     }

@@ -26,7 +26,7 @@ use mf_core::error::{RunDiagnostics, SimError};
 use mf_core::mapping::StaticMapping;
 use mf_core::parsim::RunResult;
 use mf_core::proto::{
-    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_LEASE,
+    initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_SAMPLE,
 };
 use mf_core::recovery::{
     digest_factors, Membership, MembershipChange, ObligationLedger, RecoverySnapshot,
@@ -35,7 +35,8 @@ use mf_core::ProcDiag;
 use mf_sim::recorder::MemArea;
 use mf_sim::recorder::TaskRole;
 use mf_sim::{
-    CompactEvent, FaultInjector, MsgClass, NetworkModel, Recording, RunMetrics, Time, Trace,
+    CompactEvent, FaultInjector, MsgClass, NetworkModel, Recording, RunMetrics, RunTimeseries,
+    SampleRow, Time, Trace, DEFAULT_SERIES_CAPACITY,
 };
 use mf_symbolic::AssemblyTree;
 use std::cmp::Reverse;
@@ -305,6 +306,9 @@ struct Coordinator {
     /// live traffic (so the makespan matches the recovery-off run), and
     /// the failure detector stops re-arming so its chain dies out.
     finishing: bool,
+    /// Sampled telemetry series; `None` = sampling disabled (the
+    /// zero-cost path: cores never arm the sampling timer).
+    ts: Option<RunTimeseries>,
 }
 
 impl Coordinator {
@@ -451,6 +455,31 @@ impl Coordinator {
                 Effect::Record(ev) => {
                     if let Some(rec) = self.rec.as_mut() {
                         rec.record(self.now, ev);
+                    }
+                }
+                Effect::Sample { active, stack, pool_depth, queued, busy, stalled } => {
+                    // Stamped with the virtual time and the coordinator's
+                    // cumulative traffic counters — accounted identically
+                    // by both backends, so the series are bit-identical
+                    // across them.
+                    let at = self.now;
+                    let (control_msgs, status_msgs) =
+                        (self.metrics.control_msgs, self.metrics.status_msgs);
+                    if let Some(ts) = self.ts.as_mut() {
+                        ts.push(
+                            p,
+                            SampleRow {
+                                at,
+                                active,
+                                stack,
+                                pool_depth,
+                                queued,
+                                busy,
+                                stalled,
+                                control_msgs,
+                                status_msgs,
+                            },
+                        );
                     }
                 }
             }
@@ -796,6 +825,9 @@ pub fn run_threads(
             ledger: ObligationLedger::default(),
             track_obligations: false,
             finishing: false,
+            ts: cfg
+                .sample_every
+                .map(|every| RunTimeseries::new(cfg.nprocs, every, DEFAULT_SERIES_CAPACITY)),
         };
         // Membership orchestration only on runs that need it — the quiet
         // path takes none of the branches below.
@@ -869,7 +901,7 @@ pub fn run_threads(
                     Item::Msg { msg, .. } if !matches!(msg, Msg::Heartbeat) => {
                         co.live_events -= 1;
                     }
-                    Item::Timer { key, .. } if *key < TIMER_LEASE => co.live_events -= 1,
+                    Item::Timer { key, .. } if *key < TIMER_SAMPLE => co.live_events -= 1,
                     _ => {}
                 }
                 let (p, input) = match item {
@@ -963,6 +995,22 @@ pub fn run_threads(
                                 let diag = diagnostics(&co, &finals, n);
                                 return Err(ExecError::Sim(stall_error(&co, cfg, diag)));
                             }
+                        }
+                    }
+                } else if cfg.sample_every.is_some() {
+                    // Sampler-aware termination (mirrors the simulator
+                    // backend): without membership the sampler's
+                    // self-re-arming timer chain never lets the queue
+                    // drain, so completion is checked per event. Once
+                    // every front is done the sampler stops re-arming
+                    // (`finishing`) and the run breaks the moment the
+                    // last live event is processed — the clock never
+                    // advances past the sampler-off makespan.
+                    let done: usize = co.nodes_done.iter().sum();
+                    if done >= n {
+                        co.finishing = true;
+                        if co.live_events == 0 {
+                            break 'run;
                         }
                     }
                 }
@@ -1070,6 +1118,7 @@ pub fn run_threads(
             underflows: finals.iter().map(|f| f.underflows).collect(),
             metrics,
             recording: co.rec,
+            timeseries: co.ts,
             peaks,
             factor_digest,
             dead: co.dead,
@@ -1145,6 +1194,28 @@ mod tests {
         for (a, b) in st.iter().zip(&tt) {
             assert_eq!(a.max(), b.max());
         }
+    }
+
+    #[test]
+    fn timeseries_matches_simulator() {
+        let tree = tree_for(20);
+        let cfg = SolverConfig {
+            type2_front_min: 24,
+            sample_every: Some(50),
+            ..SolverConfig::memory_based(4)
+        };
+        let map = compute_mapping(&tree, &cfg);
+        let sim = mf_core::parsim::run(&tree, &map, &cfg).unwrap();
+        let thr = run_threads(&tree, &map, &cfg).unwrap();
+        // Sampling rides the shared timer protocol, so the threaded
+        // backend stays bit-identical with it on — and both backends
+        // sample the same series.
+        assert_eq!(thr.peaks, sim.peaks);
+        assert_eq!(thr.makespan, sim.makespan);
+        assert_eq!(thr.messages, sim.messages);
+        let (st, tt) = (sim.timeseries.unwrap(), thr.timeseries.unwrap());
+        assert!(st.total_len() > 0);
+        assert_eq!(tt, st, "both backends must sample the same series");
     }
 
     #[test]

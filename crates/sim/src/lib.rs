@@ -18,6 +18,10 @@
 //!   events (decisions, memory movements, status traffic);
 //! * [`metrics`] — an always-on registry of run-wide counters and
 //!   histograms;
+//! * [`timeseries`] — columnar ring buffers for the sampling timer's
+//!   periodic telemetry snapshots, with CSV/JSONL/Prometheus export;
+//! * [`audit`] — replays a recording and verifies the protocol's
+//!   conservation and ordering invariants as typed findings;
 //! * [`perfetto`] / [`attribution`] — exporters that turn a recording
 //!   into a Chrome/Perfetto trace and a peak-attribution report.
 //!
@@ -26,6 +30,7 @@
 
 #![warn(missing_docs)]
 pub mod attribution;
+pub mod audit;
 pub mod engine;
 pub mod fault;
 pub mod memory;
@@ -33,17 +38,20 @@ pub mod metrics;
 pub mod network;
 pub mod perfetto;
 pub mod recorder;
+pub mod timeseries;
 pub mod trace;
 
 pub use attribution::{active_before, attribute_peaks, LiveItem, PeakAttribution};
+pub use audit::{audit_recording, Finding};
 pub use engine::{Event, EventPayload, Sim, Time};
 pub use fault::{FaultInjector, FaultModel, MsgClass};
 pub use memory::ProcMemory;
 pub use metrics::{Histogram, ProcMetrics, RecoveryCounters, RunMetrics};
 pub use network::NetworkModel;
-pub use perfetto::write_chrome_trace;
+pub use perfetto::{write_chrome_trace, write_chrome_trace_with_series};
 pub use recorder::{
     CompactEvent, EventRef, EventView, FrontClass, MemArea, ProcList, Recording, SchedEvent,
     SlavePick, SlavePicks, StatusKind, TaskRole,
 };
+pub use timeseries::{ProcSeries, RunTimeseries, SampleRow, DEFAULT_SERIES_CAPACITY};
 pub use trace::{Trace, TraceSample};

@@ -86,6 +86,30 @@ impl Histogram {
         }
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`) from
+    /// the log2 buckets: the upper edge of the bucket where the
+    /// cumulative count crosses `ceil(q · count)`, clamped to the exact
+    /// `[min, max]` range. Returns 0 on an empty histogram — never the
+    /// internal `u64::MAX` min sentinel.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket 0 holds zeros; bucket i (i ≥ 1) holds
+                // [2^(i-1), 2^i), upper edge 2^i − 1.
+                let edge = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return edge.min(self.max).max(self.min_or_zero());
+            }
+        }
+        self.max
+    }
+
     fn json_into(&self, out: &mut String) {
         write!(
             out,
@@ -97,6 +121,25 @@ impl Histogram {
             self.mean()
         )
         .unwrap();
+    }
+
+    /// Writes this histogram in the Prometheus text exposition format:
+    /// cumulative `_bucket{le=…}` lines on the log2 edges (up to the
+    /// highest populated bucket), then `+Inf`, `_sum`, and `_count`.
+    fn prometheus_into(&self, out: &mut String, name: &str, help: &str) {
+        writeln!(out, "# HELP {name} {help}").unwrap();
+        writeln!(out, "# TYPE {name} histogram").unwrap();
+        if let Some(top) = self.buckets.iter().rposition(|&c| c > 0) {
+            let mut cum = 0u64;
+            for (i, &c) in self.buckets.iter().enumerate().take(top + 1) {
+                cum += c;
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}").unwrap();
+            }
+        }
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count).unwrap();
+        writeln!(out, "{name}_sum {}", self.sum).unwrap();
+        writeln!(out, "{name}_count {}", self.count).unwrap();
     }
 }
 
@@ -332,6 +375,164 @@ impl RunMetrics {
         out.push_str("      ]\n    }");
         out
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (trailing newline included): traffic and decision counters, the
+    /// staleness/pool-depth histograms with cumulative log2 buckets,
+    /// the failure-recovery counters, and per-processor time/decision
+    /// gauges. This is the machine-facing counterpart of
+    /// [`RunMetrics::to_json`] — and the only export that surfaces
+    /// [`RecoveryCounters`] outside the JSON blob.
+    pub fn to_prometheus(&self, makespan: Time) -> String {
+        fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+            writeln!(out, "# HELP {name} {help}").unwrap();
+            writeln!(out, "# TYPE {name} counter").unwrap();
+            writeln!(out, "{name} {v}").unwrap();
+        }
+        fn per_proc(out: &mut String, name: &str, help: &str, values: &[u64]) {
+            writeln!(out, "# HELP {name} {help}").unwrap();
+            writeln!(out, "# TYPE {name} gauge").unwrap();
+            for (p, v) in values.iter().enumerate() {
+                writeln!(out, "{name}{{proc=\"{p}\"}} {v}").unwrap();
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "# HELP mf_makespan_ticks Virtual completion time of the run.").unwrap();
+        writeln!(out, "# TYPE mf_makespan_ticks gauge").unwrap();
+        writeln!(out, "mf_makespan_ticks {makespan}").unwrap();
+        counter(
+            &mut out,
+            "mf_control_msgs_total",
+            "Control messages delivered.",
+            self.control_msgs,
+        );
+        counter(
+            &mut out,
+            "mf_control_bytes_total",
+            "Payload bytes of control messages.",
+            self.control_bytes,
+        );
+        counter(
+            &mut out,
+            "mf_status_msgs_total",
+            "Status messages sent (point-to-point count).",
+            self.status_msgs,
+        );
+        counter(
+            &mut out,
+            "mf_status_bytes_total",
+            "Payload bytes of status messages.",
+            self.status_bytes,
+        );
+        counter(
+            &mut out,
+            "mf_dropped_status_total",
+            "Status messages lost to fault injection.",
+            self.dropped_status,
+        );
+        counter(
+            &mut out,
+            "mf_reselect_rounds_total",
+            "Capacity re-selection rounds across all type-2 selections.",
+            self.reselect_rounds,
+        );
+        counter(
+            &mut out,
+            "mf_serialized_fronts_total",
+            "Serialize-on-master fallbacks.",
+            self.serialized_fronts,
+        );
+        counter(
+            &mut out,
+            "mf_forced_activations_total",
+            "Deferred tasks force-activated by the stall-breaker.",
+            self.forced_activations,
+        );
+        self.view_staleness.prometheus_into(
+            &mut out,
+            "mf_view_staleness_ticks",
+            "View staleness observed at each slave-selection decision.",
+        );
+        self.pool_depth.prometheus_into(
+            &mut out,
+            "mf_pool_depth",
+            "Ready-pool depth observed at each pool decision.",
+        );
+        let rc = &self.recovery;
+        counter(
+            &mut out,
+            "mf_recovery_kills_observed_total",
+            "Processor deaths observed (lease protocol or fault schedule).",
+            rc.kills_observed,
+        );
+        counter(
+            &mut out,
+            "mf_recovery_joins_observed_total",
+            "Processors that joined mid-run.",
+            rc.joins_observed,
+        );
+        counter(
+            &mut out,
+            "mf_recovery_subtrees_reassigned_total",
+            "Orphaned subtree roots reassigned to an adopter.",
+            rc.subtrees_reassigned,
+        );
+        counter(
+            &mut out,
+            "mf_recovery_nodes_recomputed_total",
+            "Fronts whose elimination was re-executed.",
+            rc.nodes_recomputed,
+        );
+        counter(
+            &mut out,
+            "mf_recovery_rebalance_migrations_total",
+            "Pool tasks migrated by join-time rebalancing.",
+            rc.rebalance_migrations,
+        );
+        counter(
+            &mut out,
+            "mf_recovery_orphaned_cb_entries_total",
+            "Orphaned contribution-block entries reclaimed during recovery.",
+            rc.orphaned_cb_entries,
+        );
+        let col = |f: fn(&ProcMetrics) -> u64| self.procs.iter().map(f).collect::<Vec<u64>>();
+        per_proc(&mut out, "mf_proc_busy_ticks", "Ticks spent computing.", &col(|p| p.busy_ticks));
+        per_proc(
+            &mut out,
+            "mf_proc_stalled_ticks",
+            "Ticks spent stalled by the capacity verdict.",
+            &col(|p| p.stalled_ticks),
+        );
+        per_proc(
+            &mut out,
+            "mf_proc_idle_ticks",
+            "Derived idle time (makespan - busy - stalled).",
+            &self
+                .procs
+                .iter()
+                .map(|p| makespan.saturating_sub(p.busy_ticks + p.stalled_ticks))
+                .collect::<Vec<u64>>(),
+        );
+        per_proc(
+            &mut out,
+            "mf_proc_activations",
+            "Fronts activated as owner.",
+            &col(|p| p.activations),
+        );
+        per_proc(
+            &mut out,
+            "mf_proc_deferrals",
+            "Pool decisions that deferred every ready task.",
+            &col(|p| p.deferrals),
+        );
+        per_proc(
+            &mut out,
+            "mf_proc_slave_tasks",
+            "Slave blocks computed for remote masters.",
+            &col(|p| p.slave_tasks),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +562,80 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.min_or_zero(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_min_sentinel_never_leaks_into_merges_or_exports() {
+        // The internal min sentinel is u64::MAX; merging empties around
+        // must neither surface it nor corrupt a real min.
+        let mut a = Histogram::default();
+        a.merge(&Histogram::default());
+        assert_eq!(a.min, u64::MAX, "internal sentinel survives empty merges");
+        assert_eq!(a.min_or_zero(), 0);
+        let mut m = RunMetrics::new(1);
+        m.merge(&RunMetrics::new(1));
+        let j = m.to_json(10);
+        assert!(j.contains("\"min\": 0"), "empty min must export as 0: {j}");
+        assert!(!j.contains(&u64::MAX.to_string()), "sentinel leaked: {j}");
+        let prom = m.to_prometheus(10);
+        assert!(!prom.contains(&u64::MAX.to_string()), "sentinel leaked: {prom}");
+        // A real observation after the empty merges keeps exact min/max.
+        a.observe(7);
+        let mut b = Histogram::default();
+        b.merge(&a);
+        assert_eq!((b.min, b.max, b.min_or_zero()), (7, 7, 7));
+    }
+
+    #[test]
+    fn quantile_estimates_from_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        assert_eq!(h.quantile(1.0), 0);
+        for v in [0, 0, 1, 2, 3, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0, "q=0 lands in the zero bucket");
+        // 4 of 7 observations are ≤ 3: the median's bucket edge is 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // The top quantile is clamped to the exact max, not the bucket
+        // edge (1023 for the bucket holding 1000).
+        assert_eq!(h.quantile(1.0), 1000);
+        // A single-value histogram answers that value everywhere.
+        let mut s = Histogram::default();
+        s.observe(42);
+        assert_eq!(s.quantile(0.01), 42);
+        assert_eq!(s.quantile(0.99), 42);
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 1000);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = RunMetrics::new(2);
+        m.control_msgs = 3;
+        m.status_msgs = 5;
+        m.view_staleness.observe(0);
+        m.view_staleness.observe(9);
+        m.procs[1].busy_ticks = 40;
+        m.recovery.kills_observed = 1;
+        let prom = m.to_prometheus(100);
+        assert!(prom.contains("# TYPE mf_control_msgs_total counter"));
+        assert!(prom.contains("mf_control_msgs_total 3"));
+        assert!(prom.contains("mf_makespan_ticks 100"));
+        // Histogram: cumulative buckets on log2 edges plus +Inf/sum/count.
+        assert!(prom.contains("mf_view_staleness_ticks_bucket{le=\"0\"} 1"));
+        assert!(prom.contains("mf_view_staleness_ticks_bucket{le=\"15\"} 2"));
+        assert!(prom.contains("mf_view_staleness_ticks_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("mf_view_staleness_ticks_sum 9"));
+        assert!(prom.contains("mf_view_staleness_ticks_count 2"));
+        // Recovery counters are surfaced (the satellite this pins).
+        assert!(prom.contains("mf_recovery_kills_observed_total 1"));
+        assert!(prom.contains("mf_recovery_joins_observed_total 0"));
+        // Per-proc gauges with derived idle time.
+        assert!(prom.contains("mf_proc_busy_ticks{proc=\"1\"} 40"));
+        assert!(prom.contains("mf_proc_idle_ticks{proc=\"1\"} 60"));
+        assert!(prom.ends_with('\n'));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! order — byte-identical for byte-identical recordings.
 
 use crate::recorder::{EventRef, MemArea, Recording};
+use crate::timeseries::RunTimeseries;
 use std::io::{self, Write};
 
 /// Writes `rec` as Chrome trace-event JSON for an `nprocs`-processor
@@ -19,8 +20,26 @@ use std::io::{self, Write};
 ///
 /// Counter tracks replay the recording's memory events, so they agree
 /// exactly with the solver's accounting (including transient
-/// same-instant peaks that a sampled trace would collapse).
+/// same-instant peaks that a sampled trace would collapse). To overlay
+/// the telemetry sampler's coarser view, use
+/// [`write_chrome_trace_with_series`].
 pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -> io::Result<()> {
+    write_chrome_trace_with_series(w, nprocs, rec, None)
+}
+
+/// Like [`write_chrome_trace`], but when a sampled [`RunTimeseries`] is
+/// supplied it additionally renders per-processor `C` counter tracks
+/// from the telemetry sampler: `sampled memory` (active/stack entries)
+/// and `scheduler load` (pool depth and queued slave tasks). The
+/// event-replayed counters stay exact; the sampled tracks show what an
+/// external monitor polling at the sampling interval would see, so the
+/// two can be compared directly in the viewer.
+pub fn write_chrome_trace_with_series<W: Write>(
+    w: &mut W,
+    nprocs: usize,
+    rec: &Recording,
+    series: Option<&RunTimeseries>,
+) -> io::Result<()> {
     writeln!(w, "{{")?;
     writeln!(w, "  \"displayTimeUnit\": \"ms\",")?;
     writeln!(w, "  \"traceEvents\": [")?;
@@ -121,6 +140,29 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, nprocs: usize, rec: &Recording) -
         }
     }
 
+    // Sampled telemetry overlay: one row per (sample, proc), already in
+    // time order within each processor's series.
+    if let Some(ts) = series {
+        for (proc, row) in ts.merged() {
+            emit(
+                w,
+                &format!(
+                    "{{ \"ph\": \"C\", \"pid\": {proc}, \"ts\": {}, \"name\": \"sampled memory\", \
+                     \"args\": {{ \"active\": {}, \"stack\": {} }} }}",
+                    row.at, row.active, row.stack
+                ),
+            )?;
+            emit(
+                w,
+                &format!(
+                    "{{ \"ph\": \"C\", \"pid\": {proc}, \"ts\": {}, \"name\": \"scheduler load\", \
+                     \"args\": {{ \"pool\": {}, \"queued\": {} }} }}",
+                    row.at, row.pool_depth, row.queued
+                ),
+            )?;
+        }
+    }
+
     writeln!(w)?;
     writeln!(w, "  ]")?;
     writeln!(w, "}}")?;
@@ -155,5 +197,40 @@ mod tests {
         assert!(s.contains("\"front\": 10"));
         assert!(s.contains("\"front\": 0"));
         assert_eq!(s.matches("\"ph\": \"B\"").count(), s.matches("\"ph\": \"E\"").count());
+    }
+
+    #[test]
+    fn sampled_series_adds_counter_tracks() {
+        use crate::timeseries::{RunTimeseries, SampleRow};
+        let rec = Recording::new(None);
+        let mut ts = RunTimeseries::new(2, 25, 16);
+        ts.push(
+            1,
+            SampleRow {
+                at: 25,
+                active: 7,
+                stack: 3,
+                pool_depth: 2,
+                queued: 1,
+                busy: true,
+                stalled: false,
+                control_msgs: 4,
+                status_msgs: 9,
+            },
+        );
+        let mut buf = Vec::new();
+        write_chrome_trace_with_series(&mut buf, 2, &rec, Some(&ts)).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"name\": \"sampled memory\""));
+        assert!(s.contains("\"active\": 7, \"stack\": 3"));
+        assert!(s.contains("\"name\": \"scheduler load\""));
+        assert!(s.contains("\"pool\": 2, \"queued\": 1"));
+
+        // Without a series the output is byte-identical to the plain export.
+        let mut plain = Vec::new();
+        write_chrome_trace(&mut plain, 2, &rec).unwrap();
+        let mut none = Vec::new();
+        write_chrome_trace_with_series(&mut none, 2, &rec, None).unwrap();
+        assert_eq!(plain, none);
     }
 }

@@ -43,7 +43,7 @@
 use crate::engine::Time;
 
 /// Which of the two active-memory areas a movement touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemArea {
     /// Frontal-matrix area (allocated at activation, freed at completion).
     Front,
