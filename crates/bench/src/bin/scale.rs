@@ -1,0 +1,213 @@
+//! Processor-count scaling sweep on full-size synthetic instances —
+//! the workload the lane-sharded event core exists for.
+//!
+//! The paper's tables stop at 32 processors because its matrices do; the
+//! engine itself is sized for three more doublings. This binary runs the
+//! memory-based strategy over a Table-1-scale synthetic nested-dissection
+//! instance (~197k columns, 8191 fronts, 4096 leaf subtrees — see
+//! [`mf_bench::scenarios::SynthConfig`]) at P in {32, 128, 512, 1024}
+//! and writes `BENCH_scale.json` with, per point:
+//!
+//! * wall-clock, delivered events, ns/event and events/sec — the
+//!   engine's end-to-end cost per point;
+//! * makespan, peaks, and the status-coherence traffic (status message
+//!   and byte counts) — how the paper's protocol scales with P;
+//! * the process RSS high-water mark after the point (VmHWM, cumulative
+//!   over the run, so the 1024-processor figure bounds the whole sweep).
+//!
+//! `--smoke` runs one 256-processor cell on the small smoke instance
+//! under a hard wall-clock ceiling and validates the rendered JSON with
+//! `mf_bench::obs` — the CI guard that the full sweep stays runnable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mf_bench::scenarios::{synth_nd_tree, SynthConfig};
+use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::mapping::compute_mapping;
+use mf_core::parsim::{self, RunResult};
+use mf_symbolic::AssemblyTree;
+
+/// The memory-based strategy at scale-sweep settings: the paper's
+/// headline configuration (Algorithm 1 slave selection, Algorithm 2 task
+/// selection, subtree info and prediction on), front-type thresholds as
+/// in the table drivers.
+fn scale_config(nprocs: usize) -> SolverConfig {
+    SolverConfig {
+        nprocs,
+        type2_front_min: 150,
+        type3_front_min: 500,
+        min_rows_per_slave: 12,
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        ..SolverConfig::mumps_baseline(nprocs)
+    }
+}
+
+/// Process RSS high-water mark (kB) from `/proc/self/status`; 0 where
+/// the file is unavailable (non-Linux hosts).
+fn peak_rss_kb() -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    text.lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Point {
+    nprocs: usize,
+    wall_ms: f64,
+    ns_per_event: f64,
+    events_per_sec: f64,
+    rss_hwm_kb: u64,
+    r: RunResult,
+}
+
+fn run_point(tree: &AssemblyTree, nprocs: usize) -> Point {
+    let cfg = scale_config(nprocs);
+    let map = compute_mapping(tree, &cfg);
+    let start = Instant::now();
+    let r = parsim::run(tree, &map, &cfg)
+        .unwrap_or_else(|e| panic!("scale run at P={nprocs} failed: {e}"));
+    let wall = start.elapsed();
+    assert_eq!(r.nodes_done, r.total_nodes, "P={nprocs}: run did not complete");
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events = r.events_delivered.max(1);
+    Point {
+        nprocs,
+        wall_ms,
+        ns_per_event: wall.as_nanos() as f64 / events as f64,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        rss_hwm_kb: peak_rss_kb(),
+        r,
+    }
+}
+
+fn render_json(shape: &SynthConfig, tree: &AssemblyTree, points: &[Point]) -> String {
+    let stats = tree.stats();
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"cargo run --release -p mf-bench --bin scale\",").unwrap();
+    writeln!(json, "  \"instance\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"synth\": {{ \"s0\": {}, \"gamma\": {}, \"depth\": {}, \"beta\": {}, \
+         \"jitter\": {}, \"seed\": {} }},",
+        shape.s0, shape.gamma, shape.depth, shape.beta, shape.jitter, shape.seed
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"n\": {}, \"fronts\": {}, \"leaves\": {}, \"depth\": {}, \
+         \"factor_entries\": {}, \"flops\": {}",
+        tree.n, stats.nodes, stats.leaves, stats.depth, stats.factor_entries, stats.flops
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"strategy\": \"memory-based (Alg 1 + Alg 2, subtree info, prediction)\",")
+        .unwrap();
+    writeln!(json, "  \"points\": [").unwrap();
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let m = &p.r.metrics;
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"nprocs\": {},", p.nprocs).unwrap();
+        writeln!(json, "      \"wall_ms\": {:.1},", p.wall_ms).unwrap();
+        writeln!(json, "      \"events_delivered\": {},", p.r.events_delivered).unwrap();
+        writeln!(json, "      \"ns_per_event\": {:.1},", p.ns_per_event).unwrap();
+        writeln!(json, "      \"events_per_sec\": {:.0},", p.events_per_sec).unwrap();
+        writeln!(json, "      \"makespan\": {},", p.r.makespan).unwrap();
+        writeln!(json, "      \"max_peak\": {},", p.r.max_peak).unwrap();
+        writeln!(json, "      \"sum_peaks\": {},", p.r.peaks.iter().sum::<u64>()).unwrap();
+        writeln!(json, "      \"messages\": {},", p.r.messages).unwrap();
+        writeln!(
+            json,
+            "      \"status_msgs\": {}, \"status_bytes\": {}, \"dropped_status\": {},",
+            m.status_msgs, m.status_bytes, m.dropped_status
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"control_msgs\": {}, \"control_bytes\": {},",
+            m.control_msgs, m.control_bytes
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"status_msgs_per_event\": {:.3},",
+            m.status_msgs as f64 / p.r.events_delivered.max(1) as f64
+        )
+        .unwrap();
+        writeln!(json, "      \"view_staleness_p95\": {},", m.view_staleness.quantile(0.95))
+            .unwrap();
+        writeln!(json, "      \"rss_hwm_kb\": {}", p.rss_hwm_kb).unwrap();
+        writeln!(json, "    }}{sep}").unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    json
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // CI guard: one 256-processor cell on the small instance must
+        // finish comfortably inside the ceiling and render valid JSON
+        // whose numeric leaves are extractable (the artifact-diff path).
+        const CEILING_MS: f64 = 60_000.0;
+        let shape = SynthConfig::smoke(42);
+        let tree = synth_nd_tree(&shape);
+        let start = Instant::now();
+        let p = run_point(&tree, 256);
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        let json = render_json(&shape, &tree, std::slice::from_ref(&p));
+        mf_bench::obs::validate_json(&json).expect("smoke JSON must be well-formed");
+        let nums = mf_bench::obs::json_numbers(&json);
+        assert!(
+            nums.iter().any(|(k, v)| k == "points[0].events_delivered" && *v > 0.0),
+            "smoke JSON must carry delivered-event counts"
+        );
+        assert!(
+            total_ms <= CEILING_MS,
+            "scale smoke exceeded its ceiling: {total_ms:.0} ms > {CEILING_MS:.0} ms"
+        );
+        println!("{json}");
+        eprintln!(
+            "scale smoke OK: P=256, {} events in {:.0} ms ({:.0} ns/event, ceiling {:.0} ms)",
+            p.r.events_delivered, total_ms, p.ns_per_event, CEILING_MS
+        );
+        return;
+    }
+
+    let shape = SynthConfig::paper_scale(42);
+    eprintln!(
+        "synthesizing instance (s0={}, gamma={}, depth={}) ...",
+        shape.s0, shape.gamma, shape.depth
+    );
+    let tree = synth_nd_tree(&shape);
+    let stats = tree.stats();
+    eprintln!("instance: n={}, {} fronts, {} leaves", tree.n, stats.nodes, stats.leaves);
+    let mut points = Vec::new();
+    for nprocs in [32usize, 128, 512, 1024] {
+        eprintln!("P={nprocs} ...");
+        let p = run_point(&tree, nprocs);
+        eprintln!(
+            "  {} events in {:.0} ms: {:.0} ns/event, {:.2e} events/s, \
+             {} status msgs, rss {} MB",
+            p.r.events_delivered,
+            p.wall_ms,
+            p.ns_per_event,
+            p.events_per_sec,
+            p.r.metrics.status_msgs,
+            p.rss_hwm_kb / 1024
+        );
+        points.push(p);
+    }
+    let json = render_json(&shape, &tree, &points);
+    mf_bench::obs::validate_json(&json).expect("BENCH_scale.json must be well-formed");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    print!("{json}");
+}

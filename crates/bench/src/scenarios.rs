@@ -1,10 +1,12 @@
-//! Scripted scenarios reproducing the situations of Figures 4, 5, 6, 8.
+//! Scripted scenarios reproducing the situations of Figures 4, 5, 6, 8,
+//! plus the seeded full-size instance synthesizer behind the `scale`
+//! sweep (see [`SynthConfig`]).
 //!
-//! Each scenario is a small hand-built assembly tree plus a hand-built
-//! static mapping, arranged so that the mechanism under study fires at a
-//! controlled virtual time. The `figures` binary prints them; the
-//! integration tests assert their direction (the documented strategy must
-//! win in its own scenario).
+//! Each figure scenario is a small hand-built assembly tree plus a
+//! hand-built static mapping, arranged so that the mechanism under study
+//! fires at a controlled virtual time. The `figures` binary prints them;
+//! the integration tests assert their direction (the documented strategy
+//! must win in its own scenario).
 
 use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
 use mf_core::mapping::{NodeKind, StaticMapping};
@@ -184,6 +186,127 @@ pub fn figure8() -> ScenarioOutcome {
     outcome(&bad, &good)
 }
 
+/// Parameters of the synthetic nested-dissection instance generator.
+///
+/// The generator emits the assembly tree a nested-dissection ordering of
+/// a regular 2D/3D mesh would produce, at the scale of the paper's
+/// Table 1 matrices, without paying for an actual ordering + symbolic
+/// analysis at benchmark setup time:
+///
+/// * a complete binary tree of `depth` levels below the root — the
+///   recursion tree of binary dissection, so `2^depth` leaf subtrees
+///   (4096 at the default depth 12, enough to keep 1024 processors busy);
+/// * separator (pivot-block) sizes shrink geometrically from the root:
+///   a node at level `l` eliminates `s0 * gamma^l` pivots, the classic
+///   profile of regular-mesh separators, perturbed by a seeded
+///   multiplicative jitter of up to `jitter` so the tree is not
+///   pathologically symmetric;
+/// * contribution blocks are `beta * npiv` rows (clamped to fit the
+///   parent front, which [`mf_symbolic::AssemblyTree::validate`]
+///   requires), so fronts are `(1 + beta) * npiv` — border-to-separator
+///   ratios around 1.5 match the paper's larger matrices.
+///
+/// Node ids are a postorder (children before parents, pivot columns
+/// contiguous in id order), the layout every real ordering in this repo
+/// produces and the one `compute_mapping`'s layered proportional mapping
+/// expects. The same `(seed, shape)` always yields the identical tree:
+/// the jitter comes from a private LCG, so instances are reproducible
+/// across machines and sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Root separator size (pivots eliminated at the root front).
+    pub s0: usize,
+    /// Geometric decay of separator sizes per level (0 < gamma < 1).
+    pub gamma: f64,
+    /// Levels below the root; the tree has `2^(depth+1) - 1` fronts.
+    pub depth: usize,
+    /// Contribution-block rows per pivot (`cb = beta * npiv`).
+    pub beta: f64,
+    /// Maximum relative separator-size perturbation (e.g. 0.1 = ±10%).
+    pub jitter: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// The Table-1-scale default: `s0 = 1000`, `gamma = 0.7`,
+    /// `depth = 12` gives ~197k columns over 8191 fronts and 4096 leaf
+    /// subtrees — the order of the paper's larger test matrices.
+    pub fn paper_scale(seed: u64) -> Self {
+        SynthConfig { s0: 1000, gamma: 0.7, depth: 12, beta: 1.5, jitter: 0.1, seed }
+    }
+
+    /// A smaller instance for smoke tests and CI: ~6k columns over 511
+    /// fronts, same shape, fast even in debug builds.
+    pub fn smoke(seed: u64) -> Self {
+        SynthConfig { s0: 300, gamma: 0.6, depth: 8, beta: 1.5, jitter: 0.1, seed }
+    }
+}
+
+/// Builds the synthetic nested-dissection assembly tree described by
+/// `cfg`. The result passes [`mf_symbolic::AssemblyTree::validate`] and
+/// feeds directly into `compute_mapping` + the simulation drivers.
+pub fn synth_nd_tree(cfg: &SynthConfig) -> AssemblyTree {
+    assert!(cfg.s0 >= 1 && cfg.gamma > 0.0 && cfg.gamma < 1.0, "degenerate shape");
+    // Private LCG (MMIX constants): the jitter stream must not depend on
+    // any global RNG so equal configs give equal instances everywhere.
+    let mut state = cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut unit = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Top 53 bits -> [0, 1).
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut nodes: Vec<FrontNode> = Vec::with_capacity((1usize << (cfg.depth + 1)) - 1);
+    // Top-down sizes, bottom-up (postorder) ids: a node's front order is
+    // fixed before its children are generated, so each child's CB can be
+    // clamped to fit it, and children are pushed before their parent.
+    fn gen(
+        cfg: &SynthConfig,
+        unit: &mut dyn FnMut() -> f64,
+        nodes: &mut Vec<FrontNode>,
+        level: usize,
+        parent_front: Option<usize>,
+    ) -> usize {
+        let base = cfg.s0 as f64 * cfg.gamma.powi(level as i32);
+        let wobble = 1.0 + cfg.jitter * (2.0 * unit() - 1.0);
+        let npiv = ((base * wobble).round() as usize).max(1);
+        let cb = match parent_front {
+            None => 0, // the root's contribution block is empty
+            Some(pf) => ((cfg.beta * npiv as f64).round() as usize).min(pf),
+        };
+        let nfront = npiv + cb;
+        let children: Vec<usize> = if level < cfg.depth {
+            (0..2).map(|_| gen(cfg, unit, nodes, level + 1, Some(nfront))).collect()
+        } else {
+            Vec::new()
+        };
+        let id = nodes.len();
+        nodes.push(FrontNode {
+            first_col: 0, // assigned below, once the postorder is complete
+            npiv,
+            nfront,
+            parent: None,
+            children: children.clone(),
+            chain_head: None,
+        });
+        for c in children {
+            nodes[c].parent = Some(id);
+        }
+        id
+    }
+    gen(cfg, &mut unit, &mut nodes, 0, None);
+    // Pivot columns contiguous in postorder: the partition validate()
+    // checks, and the column layout real orderings produce.
+    let mut col = 0usize;
+    for nd in nodes.iter_mut() {
+        nd.first_col = col;
+        col += nd.npiv;
+    }
+    let tree = AssemblyTree { nodes, sym: Symmetry::General, n: col };
+    tree.validate().expect("synthetic instance is well-formed");
+    tree
+}
+
 /// Figure 4: one memory-based slave-selection decision over an uneven
 /// memory landscape. Returns `(memories, assignment)` for display: rows
 /// given to each candidate by Algorithm 1.
@@ -227,6 +350,33 @@ mod tests {
     fn figure8_algorithm2_delays_the_big_master() {
         let o = figure8();
         assert!(o.bad.0 > o.good.0, "Algorithm 2 must lower P0's peak: {:?}", o);
+    }
+
+    #[test]
+    fn synth_tree_is_valid_deterministic_and_paper_sized() {
+        let cfg = SynthConfig::paper_scale(7);
+        let a = synth_nd_tree(&cfg);
+        let b = synth_nd_tree(&cfg);
+        assert_eq!(a.nodes, b.nodes, "same seed, same instance");
+        let stats = a.stats();
+        assert_eq!(stats.nodes, (1 << 13) - 1, "complete binary tree of depth 12");
+        assert_eq!(stats.leaves, 1 << 12);
+        assert_eq!(stats.depth, 12);
+        // ~197k columns at the default shape; jitter moves it a little.
+        assert!((150_000..250_000).contains(&a.n), "n = {}", a.n);
+        let c = synth_nd_tree(&SynthConfig::paper_scale(8));
+        assert_ne!(a.nodes, c.nodes, "different seed, different jitter");
+    }
+
+    #[test]
+    fn synth_tree_maps_onto_many_processors() {
+        let tree = synth_nd_tree(&SynthConfig::smoke(3));
+        let cfg = SolverConfig::mumps_baseline(64);
+        let map = mf_core::mapping::compute_mapping(&tree, &cfg);
+        let used: std::collections::BTreeSet<usize> = map.owner.iter().copied().collect();
+        assert!(used.len() >= 32, "only {} of 64 processors used", used.len());
+        let r = parsim::run(&tree, &map, &cfg).expect("synthetic instance runs");
+        assert_eq!(r.nodes_done, r.total_nodes);
     }
 
     #[test]

@@ -19,8 +19,9 @@ use crate::proto::{
 use crate::recovery::{digest_factors, Membership, MembershipChange, RecoverySnapshot};
 use mf_sim::recorder::TaskRole;
 use mf_sim::{
-    CompactEvent, Event, EventPayload, FaultInjector, MsgClass, NetworkModel, ProcMemory,
-    Recording, RunMetrics, RunTimeseries, SampleRow, Sim, Time, Trace, DEFAULT_SERIES_CAPACITY,
+    CompactEvent, Event, EventPayload, EventQueue, FaultInjector, MsgClass, NetworkModel,
+    ProcMemory, Recording, RunMetrics, RunTimeseries, SampleRow, Sim, SingleHeapSim, Time, Trace,
+    DEFAULT_SERIES_CAPACITY,
 };
 use mf_symbolic::AssemblyTree;
 use rand::rngs::SmallRng;
@@ -40,6 +41,10 @@ pub struct RunResult {
     pub makespan: Time,
     /// Messages exchanged.
     pub messages: u64,
+    /// Events the engine delivered (messages + timers): the denominator
+    /// of the scale bench's ns/event figure. Backend-specific — the
+    /// threaded backend's timer usage differs from the simulator's.
+    pub events_delivered: u64,
     /// Per-processor active-memory traces when
     /// [`SolverConfig::record_traces`] was set.
     pub traces: Option<Vec<Trace>>,
@@ -111,9 +116,9 @@ impl RunResult {
 /// The simulator-side runtime: transport, time, noise, and observability.
 /// Everything *between* the cores lives here; everything *inside* a
 /// processor lives in its [`SchedulerCore`].
-struct SimDriver<'a> {
+struct SimDriver<'a, Q> {
     cfg: &'a SolverConfig,
-    sim: Sim<Msg>,
+    sim: Q,
     net: NetworkModel,
     messages: u64,
     jitter: Option<(SmallRng, f64)>,
@@ -160,11 +165,11 @@ struct SimDriver<'a> {
     ts: Option<RunTimeseries>,
 }
 
-impl<'a> SimDriver<'a> {
-    fn new(cfg: &'a SolverConfig) -> Self {
+impl<'a, Q: EventQueue<Msg>> SimDriver<'a, Q> {
+    fn new(cfg: &'a SolverConfig, sim: Q) -> Self {
         SimDriver {
             cfg,
-            sim: Sim::new(),
+            sim,
             net: cfg.network,
             messages: 0,
             jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
@@ -393,8 +398,8 @@ impl<'a> SimDriver<'a> {
 /// activation so the factorization completes (degrading memory, never
 /// correctness). Returns the forced processor, or `None` when there is
 /// nothing to force (a genuine stall).
-fn force_one_deferred(
-    drv: &mut SimDriver<'_>,
+fn force_one_deferred<Q: EventQueue<Msg>>(
+    drv: &mut SimDriver<'_, Q>,
     cores: &mut [SchedulerCore<'_>],
     ms: Option<&Membership>,
 ) -> Option<usize> {
@@ -419,7 +424,7 @@ fn force_one_deferred(
 
 /// No-progress error for the current state: a crossed network-kill
 /// threshold is a `Partitioned`, anything else a generic `Stalled`.
-fn stall_error(drv: &SimDriver<'_>, diag: RunDiagnostics) -> SimError {
+fn stall_error<Q: EventQueue<Msg>>(drv: &SimDriver<'_, Q>, diag: RunDiagnostics) -> SimError {
     let diag = Box::new(diag);
     if drv.partitioned() {
         let after = drv.cfg.fault.as_ref().and_then(|f| f.kill_network_after).unwrap_or(0);
@@ -432,7 +437,12 @@ fn stall_error(drv: &SimDriver<'_>, diag: RunDiagnostics) -> SimError {
 /// Fail-stops processor `d`: snapshots the dying core (the last coherent
 /// view of what dies with it) and marks it dead. Detection and recovery
 /// happen later, through the lease protocol.
-fn kill_proc(drv: &mut SimDriver<'_>, cores: &[SchedulerCore<'_>], ms: &mut Membership, d: usize) {
+fn kill_proc<Q: EventQueue<Msg>>(
+    drv: &mut SimDriver<'_, Q>,
+    cores: &[SchedulerCore<'_>],
+    ms: &mut Membership,
+    d: usize,
+) {
     if !ms.alive[d] {
         return;
     }
@@ -452,8 +462,8 @@ fn kill_proc(drv: &mut SimDriver<'_>, cores: &[SchedulerCore<'_>], ms: &mut Memb
 /// machine gave up on cannot be half-alive), builds one recovery plan
 /// per actual loss, and feeds it to every reachable core in processor
 /// order.
-fn process_deaths(
-    drv: &mut SimDriver<'_>,
+fn process_deaths<Q: EventQueue<Msg>>(
+    drv: &mut SimDriver<'_, Q>,
     cores: &mut [SchedulerCore<'_>],
     ms: &mut Membership,
     tree: &AssemblyTree,
@@ -509,8 +519,8 @@ fn process_deaths(
 /// dormant, and rebalances by migrating up to two ready upper tasks
 /// from the fullest surviving pool.
 #[allow(clippy::too_many_arguments)]
-fn join_proc(
-    drv: &mut SimDriver<'_>,
+fn join_proc<Q: EventQueue<Msg>>(
+    drv: &mut SimDriver<'_, Q>,
     cores: &mut [SchedulerCore<'_>],
     ms: &mut Membership,
     tree: &AssemblyTree,
@@ -599,14 +609,14 @@ fn join_proc(
     Ok(())
 }
 
-fn diagnostics(
-    drv: &SimDriver<'_>,
+fn diagnostics<Q: EventQueue<Msg>>(
+    drv: &SimDriver<'_, Q>,
     cores: &[SchedulerCore<'_>],
     total_nodes: usize,
 ) -> RunDiagnostics {
     let mut metrics = drv.metrics.clone();
     for core in cores {
-        metrics.merge(core.metrics());
+        metrics.merge_core(core.id(), core.metrics());
     }
     RunDiagnostics {
         now: drv.sim.now(),
@@ -621,8 +631,8 @@ fn diagnostics(
     }
 }
 
-fn error_of(
-    drv: &SimDriver<'_>,
+fn error_of<Q: EventQueue<Msg>>(
+    drv: &SimDriver<'_, Q>,
     cores: &[SchedulerCore<'_>],
     total_nodes: usize,
     v: Violation,
@@ -645,11 +655,32 @@ pub fn run(
     map: &crate::mapping::StaticMapping,
     cfg: &SolverConfig,
 ) -> Result<RunResult, SimError> {
+    run_on(tree, map, cfg, Sim::with_procs(cfg.nprocs))
+}
+
+/// [`run`] on the historical single-global-heap engine
+/// ([`SingleHeapSim`]). Same contract, same results, bit for bit — the
+/// engine-equivalence tests and the `engine` criterion bench compare the
+/// two; everything else should use [`run`].
+pub fn run_reference(
+    tree: &AssemblyTree,
+    map: &crate::mapping::StaticMapping,
+    cfg: &SolverConfig,
+) -> Result<RunResult, SimError> {
+    run_on(tree, map, cfg, SingleHeapSim::new())
+}
+
+fn run_on<Q: EventQueue<Msg>>(
+    tree: &AssemblyTree,
+    map: &crate::mapping::StaticMapping,
+    cfg: &SolverConfig,
+    sim: Q,
+) -> Result<RunResult, SimError> {
     let n = tree.len();
     let load0 = initial_loads(tree, map, cfg.nprocs);
     let mut cores: Vec<SchedulerCore<'_>> =
         (0..cfg.nprocs).map(|p| SchedulerCore::new(p, tree, map, cfg, &load0)).collect();
-    let mut drv = SimDriver::new(cfg);
+    let mut drv = SimDriver::new(cfg, sim);
     // Membership orchestration only on runs that need it — the quiet
     // path takes none of the branches below.
     let mut membership = Membership::needed(cfg.recovery.is_some(), cfg.fault.as_ref())
@@ -666,7 +697,7 @@ pub fn run(
         }
     }
     'run: loop {
-        while let Some(Event { at, payload }) = drv.sim.next() {
+        while let Some(Event { at, payload }) = drv.sim.pop() {
             if let Some(ms) = membership.as_mut() {
                 // The fault schedule is keyed on delivered-event indices:
                 // scheduled kills and joins fire before the event they
@@ -830,7 +861,7 @@ pub fn run(
     let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
     let mut metrics = drv.metrics;
     for core in &cores {
-        metrics.merge(core.metrics());
+        metrics.merge_core(core.id(), core.metrics());
     }
     if let Some(rec) = &drv.rec {
         // Finalization invariant: every payload reference of the finished
@@ -850,6 +881,7 @@ pub fn run(
         avg_peak,
         makespan,
         messages: drv.messages,
+        events_delivered: drv.sim.delivered(),
         traces: cfg
             .record_traces
             .then(|| mems.iter().map(|m| m.trace().cloned().unwrap_or_default()).collect()),

@@ -32,9 +32,9 @@ use crate::mapping::{NodeKind, StaticMapping};
 use crate::pool::{TaskCtx, TaskPool, TaskSelector};
 use crate::recovery::{RecoveryPlan, RecoverySnapshot};
 use crate::slavesel::{SlaveAssignment, SlaveCtx, SlaveSelector};
-use crate::views::Views;
+use crate::views::{StatusDelta, Views};
 use mf_sim::recorder::{FrontClass, MemArea, SlavePick, StatusKind, TaskRole};
-use mf_sim::{CompactEvent, MsgClass, ProcMemory, RunMetrics, Time};
+use mf_sim::{CompactEvent, CoreMetrics, MsgClass, ProcMemory, Time};
 use mf_symbolic::AssemblyTree;
 use std::collections::VecDeque;
 
@@ -118,42 +118,16 @@ pub enum Msg {
     /// configured. Any delivered message renews the sender's lease; the
     /// heartbeat guarantees renewal when the protocol itself goes quiet.
     Heartbeat,
-    /// Memory increment of the sender's active memory (Section 4).
-    MemDelta {
-        /// Signed change in active entries.
-        delta: i64,
-    },
-    /// Workload increment of the sender (Section 3).
-    LoadDelta {
-        /// Signed change in flops still to do.
-        delta: i64,
-    },
-    /// The sender entered (peak > 0) or left (0) a subtree (Section 5.1).
-    SubtreePeak {
-        /// Absolute stack level the sender is heading to.
-        peak: u64,
-    },
-    /// Cost of the largest master task about to activate on the sender
-    /// (Section 5.1; absolute value, 0 when none).
-    Predicted {
-        /// Predicted activation cost in entries.
-        cost: u64,
-    },
+    /// A compact index-based status update (Sections 3–5.1): which belief
+    /// slot of the receivers' [`Views`] changes and by how much. This is
+    /// the only broadcast payload of the coherence protocol — each
+    /// receiver applies it to exactly one slot via [`Views::apply`].
+    Status(StatusDelta),
     /// All children of `node` have started: its master should soon expect
     /// it to become ready (Section 5.1 prediction trigger).
     ChildStarted {
         /// The parent node whose child just started.
         node: usize,
-    },
-    /// A master announces that it just assigned a slave block of
-    /// `entries` to processor `proc` — the mechanism that makes masters'
-    /// choices "known as quickly as possible by the others" (Section 4),
-    /// without which concurrent masters pile work on the same processor.
-    Assigned {
-        /// The enrolled slave processor.
-        proc: usize,
-        /// Assigned block size in entries.
-        entries: u64,
     },
 }
 
@@ -161,12 +135,8 @@ impl Msg {
     /// Status classification for the flight recorder and the traffic
     /// metrics; `None` for control messages.
     pub fn status_kind(&self) -> Option<(StatusKind, i64)> {
-        match *self {
-            Msg::MemDelta { delta } => Some((StatusKind::MemDelta, delta)),
-            Msg::LoadDelta { delta } => Some((StatusKind::LoadDelta, delta)),
-            Msg::SubtreePeak { peak } => Some((StatusKind::SubtreePeak, peak as i64)),
-            Msg::Predicted { cost } => Some((StatusKind::Predicted, cost as i64)),
-            Msg::Assigned { entries, .. } => Some((StatusKind::Assigned, entries as i64)),
+        match self {
+            Msg::Status(d) => Some(d.kind()),
             _ => None,
         }
     }
@@ -179,11 +149,7 @@ impl Msg {
     /// child count exactly once per child) — is [`MsgClass::Control`].
     pub fn class(&self) -> MsgClass {
         match self {
-            Msg::MemDelta { .. }
-            | Msg::LoadDelta { .. }
-            | Msg::SubtreePeak { .. }
-            | Msg::Predicted { .. }
-            | Msg::Assigned { .. } => MsgClass::Status,
+            Msg::Status(_) => MsgClass::Status,
             _ => MsgClass::Control,
         }
     }
@@ -520,10 +486,11 @@ pub struct SchedulerCore<'a> {
     /// every input).
     violation: Option<Violation>,
     /// Decision-side metrics (staleness, pool depth, stalls, activations,
-    /// deferrals, slave tasks, degradation counters). Traffic and busy
-    /// time are runtime concerns the driver accounts; the two registries
-    /// merge at the end of a run.
-    metrics: RunMetrics,
+    /// deferrals, slave tasks, degradation counters). O(1) per core —
+    /// the driver folds every core's slice into the run-wide registry
+    /// (`RunMetrics::merge_core`) at the end. Traffic and busy time are
+    /// runtime concerns the driver accounts directly.
+    metrics: CoreMetrics,
 }
 
 impl<'a> SchedulerCore<'a> {
@@ -593,7 +560,7 @@ impl<'a> SchedulerCore<'a> {
             epoch: vec![0; n],
             forced: 0,
             violation: None,
-            metrics: RunMetrics::new(cfg.nprocs),
+            metrics: CoreMetrics::default(),
         }
     }
 
@@ -651,9 +618,10 @@ impl<'a> SchedulerCore<'a> {
         self.violation.take()
     }
 
-    /// The core's decision-side metrics registry (merge with the driver's
-    /// traffic-side registry at the end of a run).
-    pub fn metrics(&self) -> &RunMetrics {
+    /// The core's decision-side metrics slice (fold into the driver's
+    /// run-wide registry with `RunMetrics::merge_core` at the end of a
+    /// run).
+    pub fn metrics(&self) -> &CoreMetrics {
         &self.metrics
     }
 
@@ -912,7 +880,7 @@ impl<'a> SchedulerCore<'a> {
                         self.current_subtree = None;
                         if self.cfg.use_subtree_info {
                             self.views.subtree[self.id] = 0;
-                            self.broadcast(Msg::SubtreePeak { peak: 0 }, 16);
+                            self.broadcast(Msg::Status(StatusDelta::Subtree { peak: 0 }), 16);
                         }
                     }
                 }
@@ -1109,12 +1077,6 @@ impl<'a> SchedulerCore<'a> {
         }
     }
 
-    /// Refreshes this core's view entry of `about` and returns the age of
-    /// the belief it replaced (the Figure 5 staleness).
-    fn touch_view(&mut self, about: usize) -> Time {
-        self.views.touch(about, self.now)
-    }
-
     // ---------- messaging ----------
 
     fn send(&mut self, to: usize, msg: Msg, bytes: u64) {
@@ -1188,7 +1150,7 @@ impl<'a> SchedulerCore<'a> {
         // The self-view is exact: keep its freshness stamp current so
         // decision-time staleness reads 0 for the deciding processor.
         self.views.touch(self.id, self.now);
-        self.broadcast(Msg::MemDelta { delta }, 16);
+        self.broadcast(Msg::Status(StatusDelta::Mem { delta }), 16);
     }
 
     fn load_change(&mut self, delta: i64) {
@@ -1196,7 +1158,7 @@ impl<'a> SchedulerCore<'a> {
             return;
         }
         self.views.apply_load_delta(self.id, delta);
-        self.broadcast(Msg::LoadDelta { delta }, 16);
+        self.broadcast(Msg::Status(StatusDelta::Load { delta }), 16);
     }
 
     // ---------- scheduling ----------
@@ -1205,7 +1167,7 @@ impl<'a> SchedulerCore<'a> {
     /// processor gets going again.
     fn close_stall(&mut self) {
         if let Some(since) = self.stalled_since.take() {
-            self.metrics.procs[self.id].stalled_ticks += self.now.saturating_sub(since);
+            self.metrics.me.stalled_ticks += self.now.saturating_sub(since);
         }
     }
 
@@ -1290,7 +1252,7 @@ impl<'a> SchedulerCore<'a> {
             if picked.is_none() {
                 // The Algorithm-2 / capacity verdict deferred everything:
                 // the processor is stalled until memory frees.
-                self.metrics.procs[id].deferrals += 1;
+                self.metrics.me.deferrals += 1;
                 let now = self.now;
                 self.stalled_since.get_or_insert(now);
             }
@@ -1339,7 +1301,7 @@ impl<'a> SchedulerCore<'a> {
         self.activated[v] = true;
         self.close_stall();
         self.busy = true;
-        self.metrics.procs[self.id].activations += 1;
+        self.metrics.me.activations += 1;
         let class = match self.kind_of(v) {
             NodeKind::Subtree(_) => FrontClass::Subtree,
             NodeKind::Type1 => FrontClass::Type1,
@@ -1371,7 +1333,7 @@ impl<'a> SchedulerCore<'a> {
                     // to (base + subtree peak), Section 5.1.
                     let peak = self.subtree_base + self.map.subtree_peak[s];
                     self.views.subtree[self.id] = peak;
-                    self.broadcast(Msg::SubtreePeak { peak }, 16);
+                    self.broadcast(Msg::Status(StatusDelta::Subtree { peak }), 16);
                 }
             }
         }
@@ -1528,7 +1490,7 @@ impl<'a> SchedulerCore<'a> {
             // the slave's own memory reports catch up (Section 4).
             self.views.apply_mem_delta(a.proc, entries as i64);
             self.views.touch(a.proc, now);
-            self.broadcast(Msg::Assigned { proc: a.proc, entries }, 16);
+            self.broadcast(Msg::Status(StatusDelta::Assigned { proc: a.proc, entries }), 16);
         }
         // Work handed to the slaves leaves the master's workload.
         self.load_change(-(delegated as i64));
@@ -1699,7 +1661,7 @@ impl<'a> SchedulerCore<'a> {
                 self.current_subtree = None;
                 if self.cfg.use_subtree_info {
                     self.views.subtree[self.id] = 0;
-                    self.broadcast(Msg::SubtreePeak { peak: 0 }, 16);
+                    self.broadcast(Msg::Status(StatusDelta::Subtree { peak: 0 }), 16);
                 }
             }
         }
@@ -1792,7 +1754,7 @@ impl<'a> SchedulerCore<'a> {
                 let active = self.mem.active();
                 self.views.mem[to] = active;
                 self.views.touch(to, self.now);
-                self.metrics.procs[to].slave_tasks += 1;
+                self.metrics.me.slave_tasks += 1;
                 self.load_change(flops_share as i64);
                 let key = self.works.len();
                 self.works.push(Work::Slave {
@@ -1825,43 +1787,17 @@ impl<'a> SchedulerCore<'a> {
                 self.slave_queue.push_back(key);
                 self.try_start();
             }
-            Msg::MemDelta { delta } => {
-                let age = self.touch_view(from);
-                self.views.apply_mem_delta(from, delta);
-                self.emit_record(|| {
-                    CompactEvent::status_apply(to, from, from, StatusKind::MemDelta, age)
-                });
-            }
-            Msg::Assigned { proc, entries } => {
-                // Skip the slave itself: its self-view is exact.
-                if proc != to {
-                    let age = self.touch_view(proc);
-                    self.views.apply_mem_delta(proc, entries as i64);
-                    self.emit_record(|| {
-                        CompactEvent::status_apply(to, from, proc, StatusKind::Assigned, age)
-                    });
+            Msg::Status(d) => {
+                // One-slot coherence update. The subject is the sender
+                // except for Assigned, which describes the enrolled
+                // slave — and the slave itself skips it: its self-view
+                // is exact.
+                let about = d.about(from);
+                if about != to {
+                    let age = self.views.apply(about, d, self.now);
+                    let (kind, _) = d.kind();
+                    self.emit_record(|| CompactEvent::status_apply(to, from, about, kind, age));
                 }
-            }
-            Msg::LoadDelta { delta } => {
-                let age = self.touch_view(from);
-                self.views.apply_load_delta(from, delta);
-                self.emit_record(|| {
-                    CompactEvent::status_apply(to, from, from, StatusKind::LoadDelta, age)
-                });
-            }
-            Msg::SubtreePeak { peak } => {
-                let age = self.touch_view(from);
-                self.views.subtree[from] = peak;
-                self.emit_record(|| {
-                    CompactEvent::status_apply(to, from, from, StatusKind::SubtreePeak, age)
-                });
-            }
-            Msg::Predicted { cost } => {
-                let age = self.touch_view(from);
-                self.views.predicted[from] = cost;
-                self.emit_record(|| {
-                    CompactEvent::status_apply(to, from, from, StatusKind::Predicted, age)
-                });
             }
             Msg::ChildStarted { node } => {
                 self.started_children[node] += 1;
@@ -1918,7 +1854,7 @@ impl<'a> SchedulerCore<'a> {
         let max = self.soon.values().copied().max().unwrap_or(0);
         if self.views.predicted[self.id] != max {
             self.views.predicted[self.id] = max;
-            self.broadcast(Msg::Predicted { cost: max }, 16);
+            self.broadcast(Msg::Status(StatusDelta::Predicted { cost: max }), 16);
         }
     }
 }

@@ -8,7 +8,68 @@
 //! coherence problem of Figure 5 is real in this simulator, not modeled
 //! away.
 
-use mf_sim::Time;
+use mf_sim::{StatusKind, Time};
+
+/// One index-based status update: which belief slot changes and by how
+/// much. This is the compact payload every status broadcast carries —
+/// applying one touches exactly one processor's entry of one vector (plus
+/// its staleness stamp), never a full-vector write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusDelta {
+    /// Active-memory increment of the subject (Section 4).
+    Mem {
+        /// Signed change in active entries.
+        delta: i64,
+    },
+    /// Workload increment of the subject (Section 3).
+    Load {
+        /// Signed change in flops still to do.
+        delta: i64,
+    },
+    /// The subject entered (peak > 0) or left (0) a subtree (Section 5.1).
+    Subtree {
+        /// Absolute stack level the subject is heading to.
+        peak: u64,
+    },
+    /// Cost of the largest master task about to activate on the subject
+    /// (Section 5.1; absolute value, 0 when none).
+    Predicted {
+        /// Predicted activation cost in entries.
+        cost: u64,
+    },
+    /// A master announces that it just assigned a slave block of
+    /// `entries` to processor `proc` — the mechanism that makes masters'
+    /// choices "known as quickly as possible by the others" (Section 4),
+    /// without which concurrent masters pile work on the same processor.
+    Assigned {
+        /// The enrolled slave processor (the subject of this delta).
+        proc: usize,
+        /// Assigned block size in entries.
+        entries: u64,
+    },
+}
+
+impl StatusDelta {
+    /// The processor this delta is *about*: the sender for everything
+    /// except [`StatusDelta::Assigned`], which describes a third party.
+    pub fn about(&self, sender: usize) -> usize {
+        match *self {
+            StatusDelta::Assigned { proc, .. } => proc,
+            _ => sender,
+        }
+    }
+
+    /// Recorder classification: the kind tag plus the signed magnitude.
+    pub fn kind(&self) -> (StatusKind, i64) {
+        match *self {
+            StatusDelta::Mem { delta } => (StatusKind::MemDelta, delta),
+            StatusDelta::Load { delta } => (StatusKind::LoadDelta, delta),
+            StatusDelta::Subtree { peak } => (StatusKind::SubtreePeak, peak as i64),
+            StatusDelta::Predicted { cost } => (StatusKind::Predicted, cost as i64),
+            StatusDelta::Assigned { entries, .. } => (StatusKind::Assigned, entries as i64),
+        }
+    }
+}
 
 /// One processor's beliefs about the whole machine (its own entries are
 /// kept exact by the state machine).
@@ -67,6 +128,23 @@ impl Views {
     /// Applies a workload increment for processor `p`.
     pub fn apply_load_delta(&mut self, p: usize, delta: i64) {
         self.load[p] = add_signed(self.load[p], delta);
+    }
+
+    /// Applies one status delta about processor `about`, stamping that
+    /// entry's refresh instant and returning the age of the belief it
+    /// replaced (the recorder's staleness figure). This is the single
+    /// mutation path of the coherence protocol: one slot of one vector
+    /// plus `updated_at[about]`, regardless of the machine size.
+    pub fn apply(&mut self, about: usize, delta: StatusDelta, now: Time) -> Time {
+        let age = self.touch(about, now);
+        match delta {
+            StatusDelta::Mem { delta } => self.apply_mem_delta(about, delta),
+            StatusDelta::Load { delta } => self.apply_load_delta(about, delta),
+            StatusDelta::Subtree { peak } => self.subtree[about] = peak,
+            StatusDelta::Predicted { cost } => self.predicted[about] = cost,
+            StatusDelta::Assigned { entries, .. } => self.apply_mem_delta(about, entries as i64),
+        }
+        age
     }
 
     /// The memory metric of Algorithm 1 for processor `p`: instantaneous
@@ -130,6 +208,32 @@ mod tests {
     fn initial_load_is_respected() {
         let v = Views::new(2, &[5, 7]);
         assert_eq!(v.load, vec![5, 7]);
+    }
+
+    #[test]
+    fn apply_touches_exactly_one_slot() {
+        let mut v = Views::new(3, &[0, 0, 0]);
+        let age = v.apply(1, StatusDelta::Mem { delta: 40 }, 25);
+        assert_eq!(age, 25, "replaced the initial (t=0) belief");
+        assert_eq!(v.mem, vec![0, 40, 0]);
+        assert_eq!(v.updated_at, vec![0, 25, 0]);
+        v.apply(1, StatusDelta::Subtree { peak: 99 }, 30);
+        assert_eq!(v.subtree, vec![0, 99, 0]);
+        v.apply(1, StatusDelta::Predicted { cost: 7 }, 31);
+        assert_eq!(v.predicted, vec![0, 7, 0]);
+        v.apply(1, StatusDelta::Load { delta: -3 }, 32);
+        assert_eq!(v.load[1], 0, "negative overshoot saturates through apply too");
+        // Assigned credits the enrolled slave's memory belief.
+        let age = v.apply(2, StatusDelta::Assigned { proc: 2, entries: 11 }, 40);
+        assert_eq!(age, 40);
+        assert_eq!(v.mem, vec![0, 40, 11]);
+    }
+
+    #[test]
+    fn delta_subject_is_sender_except_assigned() {
+        assert_eq!(StatusDelta::Mem { delta: 1 }.about(4), 4);
+        assert_eq!(StatusDelta::Load { delta: 1 }.about(4), 4);
+        assert_eq!(StatusDelta::Assigned { proc: 2, entries: 1 }.about(4), 2);
     }
 
     #[test]

@@ -35,8 +35,8 @@ use mf_core::ProcDiag;
 use mf_sim::recorder::MemArea;
 use mf_sim::recorder::TaskRole;
 use mf_sim::{
-    CompactEvent, FaultInjector, MsgClass, NetworkModel, Recording, RunMetrics, RunTimeseries,
-    SampleRow, Time, Trace, DEFAULT_SERIES_CAPACITY,
+    CompactEvent, CoreMetrics, FaultInjector, MsgClass, NetworkModel, Recording, RunMetrics,
+    RunTimeseries, SampleRow, Time, Trace, DEFAULT_SERIES_CAPACITY,
 };
 use mf_symbolic::AssemblyTree;
 use std::cmp::Reverse;
@@ -130,7 +130,7 @@ enum Reply {
 /// Everything a worker knows at the end of the run.
 struct WorkerFinal {
     diag: ProcDiag,
-    metrics: RunMetrics,
+    metrics: CoreMetrics,
     active_peak: u64,
     total_peak: u64,
     factors: u64,
@@ -535,8 +535,8 @@ fn collect_finals(
 
 fn diagnostics(co: &Coordinator, finals: &[WorkerFinal], total_nodes: usize) -> RunDiagnostics {
     let mut metrics = co.metrics.clone();
-    for f in finals {
-        metrics.merge(&f.metrics);
+    for (p, f) in finals.iter().enumerate() {
+        metrics.merge_core(p, &f.metrics);
     }
     RunDiagnostics {
         now: co.now,
@@ -1087,8 +1087,8 @@ pub fn run_threads(
         let max_peak = peaks.iter().copied().max().unwrap_or(0);
         let avg_peak = peaks.iter().sum::<u64>() as f64 / peaks.len().max(1) as f64;
         let mut metrics = co.metrics;
-        for f in &finals {
-            metrics.merge(&f.metrics);
+        for (p, f) in finals.iter().enumerate() {
+            metrics.merge_core(p, &f.metrics);
         }
         if let Some(rec) = &co.rec {
             // Finalization invariant: every payload reference of the finished
@@ -1107,6 +1107,7 @@ pub fn run_threads(
             avg_peak,
             makespan,
             messages: co.messages,
+            events_delivered: co.delivered,
             traces: cfg
                 .record_traces
                 .then(|| finals.iter().map(|f| f.trace.clone().unwrap_or_default()).collect()),

@@ -43,10 +43,10 @@ pub mod trace;
 
 pub use attribution::{active_before, attribute_peaks, LiveItem, PeakAttribution};
 pub use audit::{audit_recording, Finding};
-pub use engine::{Event, EventPayload, Sim, Time};
+pub use engine::{Event, EventPayload, EventQueue, Sim, SingleHeapSim, Time};
 pub use fault::{FaultInjector, FaultModel, MsgClass};
 pub use memory::ProcMemory;
-pub use metrics::{Histogram, ProcMetrics, RecoveryCounters, RunMetrics};
+pub use metrics::{CoreMetrics, Histogram, ProcMetrics, RecoveryCounters, RunMetrics};
 pub use network::NetworkModel;
 pub use perfetto::{write_chrome_trace, write_chrome_trace_with_series};
 pub use recorder::{

@@ -33,15 +33,15 @@ pub struct Histogram {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
-    /// Log2 buckets; see [`HIST_BUCKETS`]. Heap-allocated to keep the
-    /// registry (and everything embedding it, like error diagnostics)
-    /// small on the stack.
-    pub buckets: Vec<u64>,
+    /// Log2 buckets; see [`HIST_BUCKETS`]. A fixed inline array so that
+    /// creating and merging histograms never allocates — each scheduler
+    /// core carries two of these on its hot path.
+    pub buckets: [u64; HIST_BUCKETS],
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; HIST_BUCKETS] }
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; HIST_BUCKETS] }
     }
 }
 
@@ -231,6 +231,34 @@ impl RecoveryCounters {
     }
 }
 
+/// The slice of [`RunMetrics`] a single scheduler core owns: its own
+/// per-processor counters plus the decision counters and histograms it
+/// contributes to the run-wide registry.
+///
+/// Cores used to each carry a full `RunMetrics` with a P-length `procs`
+/// vector of which they only ever touched their own row — O(P²) memory
+/// across a run and an O(P) zeroing per core. `CoreMetrics` is O(1) per
+/// core and allocation-free (the histograms are inline arrays); the
+/// driver folds every core into the single run-wide registry with
+/// [`RunMetrics::merge_core`] at the end.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreMetrics {
+    /// Capacity re-selection rounds across all type-2 selections.
+    pub reselect_rounds: u64,
+    /// Serialize-on-master fallbacks.
+    pub serialized_fronts: u64,
+    /// Deferred tasks force-activated by the stall-breaker.
+    pub forced_activations: u64,
+    /// View staleness observed at each slave-selection decision.
+    pub view_staleness: Histogram,
+    /// Ready-pool depth observed at each pool decision.
+    pub pool_depth: Histogram,
+    /// Failure-recovery counters (all zero without membership faults).
+    pub recovery: RecoveryCounters,
+    /// This processor's own time and decision counters.
+    pub me: ProcMetrics,
+}
+
 /// Run-wide aggregates, indexed where relevant by processor.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -326,6 +354,27 @@ impl RunMetrics {
             p.deferrals += o.deferrals;
             p.slave_tasks += o.slave_tasks;
         }
+    }
+
+    /// Folds one scheduler core's [`CoreMetrics`] into this registry:
+    /// decision counters and histograms merge run-wide, the core's own
+    /// counters add into `procs[id]`. Equivalent to the old
+    /// full-registry [`RunMetrics::merge`] where the core's registry was
+    /// zero everywhere but its own row.
+    pub fn merge_core(&mut self, id: usize, core: &CoreMetrics) {
+        self.reselect_rounds += core.reselect_rounds;
+        self.serialized_fronts += core.serialized_fronts;
+        self.forced_activations += core.forced_activations;
+        self.view_staleness.merge(&core.view_staleness);
+        self.pool_depth.merge(&core.pool_depth);
+        self.recovery.merge(&core.recovery);
+        let p = &mut self.procs[id];
+        let o = &core.me;
+        p.busy_ticks += o.busy_ticks;
+        p.stalled_ticks += o.stalled_ticks;
+        p.activations += o.activations;
+        p.deferrals += o.deferrals;
+        p.slave_tasks += o.slave_tasks;
     }
 
     /// Renders the registry as a JSON object (no trailing newline).
@@ -648,6 +697,41 @@ mod tests {
         assert!(j.contains("\"idle_ticks\": 60"));
         assert!(j.contains("\"control_msgs\": 3"));
         assert!(j.contains("\"kills_observed\": 0"));
+    }
+
+    #[test]
+    fn merge_core_matches_full_registry_merge() {
+        // A CoreMetrics folded at id must equal the old scheme: a full
+        // RunMetrics zero everywhere but row id.
+        let mut core = CoreMetrics {
+            reselect_rounds: 3,
+            serialized_fronts: 1,
+            forced_activations: 2,
+            recovery: RecoveryCounters { nodes_recomputed: 5, ..Default::default() },
+            me: ProcMetrics {
+                busy_ticks: 100,
+                stalled_ticks: 7,
+                activations: 9,
+                deferrals: 2,
+                slave_tasks: 4,
+            },
+            ..Default::default()
+        };
+        core.view_staleness.observe(17);
+        core.pool_depth.observe(4);
+        let mut via_core = RunMetrics::new(3);
+        via_core.merge_core(1, &core);
+        let mut full = RunMetrics::new(3);
+        full.reselect_rounds = core.reselect_rounds;
+        full.serialized_fronts = core.serialized_fronts;
+        full.forced_activations = core.forced_activations;
+        full.view_staleness = core.view_staleness.clone();
+        full.pool_depth = core.pool_depth.clone();
+        full.recovery = core.recovery;
+        full.procs[1] = core.me.clone();
+        let mut via_full = RunMetrics::new(3);
+        via_full.merge(&full);
+        assert_eq!(via_core, via_full);
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl From<(Time, u64)> for TraceSample {
 
 /// A stepwise time series (value changes at the recorded instants and
 /// holds in between), used to plot active-memory evolution per processor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     samples: Vec<TraceSample>,
 }
