@@ -18,6 +18,7 @@
 
 use mf_bench::sweep::{build_tree, paper_scale_config};
 use mf_core::config::{SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::CoreAlloc;
 use mf_core::mapping::compute_mapping;
 use mf_core::parsim;
 use mf_order::OrderingKind;
@@ -43,7 +44,7 @@ fn main() {
         if quick { &[PaperMatrix::TwoTone, PaperMatrix::Ship003] } else { &ALL_PAPER_MATRICES };
 
     type CfgOf = fn(usize) -> SolverConfig;
-    let strategies: [(&str, CfgOf); 2] = [
+    let strategies: [(&str, CfgOf); 3] = [
         ("workload", |n| SolverConfig {
             slave_selection: SlaveSelection::Workload,
             task_selection: TaskSelection::Lifo,
@@ -56,6 +57,16 @@ fn main() {
             task_selection: TaskSelection::MemoryAware,
             use_subtree_info: true,
             use_prediction: true,
+            ..paper_scale_config(n)
+        }),
+        // Malleable grants feed the shared speedup-curve duration model;
+        // both backends must still agree tick for tick.
+        ("malleable", |n| SolverConfig {
+            slave_selection: SlaveSelection::Memory,
+            task_selection: TaskSelection::MemoryAware,
+            use_subtree_info: true,
+            use_prediction: true,
+            core_alloc: CoreAlloc::malleable(4 * n),
             ..paper_scale_config(n)
         }),
     ];

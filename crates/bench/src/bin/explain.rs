@@ -19,7 +19,7 @@
 //!
 //! ```text
 //! explain [MATRIX] [ORDERING] [--nprocs N] [--split] [--obs-dir DIR] [--check-all]
-//!         [--kill IDX:PROC]... [--join IDX:PROC]...
+//!         [--cores] [--kill IDX:PROC]... [--join IDX:PROC]...
 //! ```
 //!
 //! Defaults: TWOTONE, AMD, 32 processors, no splitting. `--check-all`
@@ -37,12 +37,20 @@
 //! adopter), every join with its rebalancing migrations — followed by
 //! the recovery counters and the factor-digest comparison against the
 //! fault-free run.
+//!
+//! `--cores` replaces the report with a **core-allocation timeline**:
+//! the cell is re-run under `CoreAlloc::Malleable` with the recorder on
+//! and every `CoreGrant` decision is replayed against the granted
+//! front's assembly-tree depth — making the malleable trade visible
+//! (leaf storms run one core per front; the root chain collects the
+//! pool) — followed by the makespan comparison against the static run.
 
 use mf_bench::obs;
 use mf_bench::sweep::{
     build_tree, paper_scale_config, split_threshold_for, sweep_cell_captured, CellResult,
 };
 use mf_core::config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
+use mf_core::CoreAlloc;
 use mf_core::mapping::compute_mapping;
 use mf_core::parsim::{self, RunResult};
 use mf_order::{OrderingKind, ALL_ORDERINGS};
@@ -64,6 +72,7 @@ struct Args {
     nprocs: usize,
     split: Option<u64>,
     check_all: bool,
+    cores: bool,
     kills: Vec<(u64, usize)>,
     joins: Vec<(u64, usize)>,
 }
@@ -81,6 +90,7 @@ fn parse_args() -> Args {
         nprocs: 32,
         split: None,
         check_all: false,
+        cores: false,
         kills: Vec::new(),
         joins: Vec::new(),
     };
@@ -93,6 +103,7 @@ fn parse_args() -> Args {
             }
             "--split" => out.split = Some(split_threshold_for()),
             "--check-all" => out.check_all = true,
+            "--cores" => out.cores = true,
             "--kill" => {
                 let v = args.next().unwrap_or_else(|| die("--kill needs IDX:PROC"));
                 out.kills.push(parse_fault(&v, "--kill"));
@@ -231,6 +242,9 @@ fn describe(e: &SchedEvent, p: usize, truth: &[u64]) -> String {
         SchedEvent::StatusApply { to, from, about, kind, age } => format!(
             "proc {to} refreshes its view of p{about} ({} from p{from}, was {age} stale)",
             kind.name()
+        ),
+        SchedEvent::CoreGrant { proc, node, cores, busy } => format!(
+            "proc {proc} grants n{node} {cores} core(s) ({busy} peer(s) believed busy)"
         ),
         _ => String::new(),
     }
@@ -456,6 +470,94 @@ fn recovery_replay(args: &Args) {
     );
 }
 
+/// `--cores`: the core-allocation timeline. Re-runs the cell under
+/// `CoreAlloc::Malleable` with the recorder on and replays every
+/// `CoreGrant` against the granted front's assembly-tree depth, then
+/// summarizes grants per depth band — the malleable trade (tree
+/// parallelism near the leaves, front parallelism near the root) read
+/// straight off the flight recording.
+fn core_timeline(args: &Args) {
+    let tree = build_tree(args.matrix, args.ordering, args.split);
+    let mk_cfg = |alloc: CoreAlloc| SolverConfig {
+        slave_selection: SlaveSelection::Memory,
+        task_selection: TaskSelection::MemoryAware,
+        use_subtree_info: true,
+        use_prediction: true,
+        record_events: true,
+        core_alloc: alloc,
+        ..paper_scale_config(args.nprocs)
+    };
+    let cfg_static = mk_cfg(CoreAlloc::Static(1));
+    let cfg_mall = mk_cfg(CoreAlloc::malleable(4 * args.nprocs));
+    let map = compute_mapping(&tree, &cfg_static);
+    let fixed = parsim::run(&tree, &map, &cfg_static).expect("static run");
+    let r = parsim::run(&tree, &map, &cfg_mall).expect("malleable run");
+    let rec = r.recording.as_ref().expect("malleable run carries a recording");
+
+    // Depth of every front below its root (roots at depth 0): parents
+    // precede children when the topological order is walked backwards.
+    let mut depth = vec![0usize; tree.len()];
+    for &v in tree.topo_order().iter().rev() {
+        for &c in &tree.nodes[v].children {
+            depth[c] = depth[v] + 1;
+        }
+    }
+
+    let grants: Vec<(mf_sim::Time, usize, usize, u32, u64)> = rec
+        .events()
+        .filter_map(|te| match te.ev {
+            EventRef::CoreGrant { proc, node, cores, busy } => {
+                Some((te.at, proc, node, cores, busy))
+            }
+            _ => None,
+        })
+        .collect();
+
+    println!("\n=== core-allocation timeline (malleable) ===");
+    println!("static:    {}", fixed.summary_line());
+    println!("malleable: {}", r.summary_line());
+    println!(
+        "\n{} grant decision(s) recorded; pool {} cores over {} processors:",
+        grants.len(),
+        4 * args.nprocs,
+        args.nprocs
+    );
+    let show = 20usize.min(grants.len());
+    for &(at, proc, node, cores, busy) in &grants[grants.len() - show..] {
+        println!(
+            "  t={at:>8}  p{proc:<3} n{node:<6} depth {:>2}: {cores} core(s), {busy} peer(s) busy",
+            depth[node]
+        );
+    }
+    if grants.len() > show {
+        println!("  (showing the last {show}; earlier grants elided)");
+    }
+
+    // Grants vs depth: the leaf storm should sit at 1 core/front, the
+    // root chain should collect the pool.
+    let maxd = grants.iter().map(|g| depth[g.2]).max().unwrap_or(0);
+    println!("\n{:>6} {:>8} {:>10} {:>10}", "depth", "grants", "mean", "max");
+    for d in 0..=maxd {
+        let at_d: Vec<u32> = grants.iter().filter(|g| depth[g.2] == d).map(|g| g.3).collect();
+        if at_d.is_empty() {
+            continue;
+        }
+        let mean = at_d.iter().map(|&c| c as f64).sum::<f64>() / at_d.len() as f64;
+        let max = at_d.iter().max().copied().unwrap_or(1);
+        println!("{:>6} {:>8} {:>10.2} {:>10}", d, at_d.len(), mean, max);
+    }
+    println!(
+        "\nmakespan: static {} -> malleable {} ({:+.1}%)",
+        fixed.makespan,
+        r.makespan,
+        100.0 * (r.makespan as f64 - fixed.makespan as f64) / fixed.makespan.max(1) as f64
+    );
+    assert_eq!(
+        r.nodes_done, r.total_nodes,
+        "malleable run must finish every front"
+    );
+}
+
 /// `--check-all`: the acceptance sweep. Every paper matrix, both
 /// strategies, recorder on; asserts composition-sums-to-peak for every
 /// processor (via [`checked_attribution`]) and prints one line per cell.
@@ -485,6 +587,16 @@ fn main() {
     let args = parse_args();
     if args.check_all {
         check_all(args.ordering, args.nprocs, args.split);
+        return;
+    }
+    if args.cores {
+        println!(
+            "explain {} / {} on {} processors (core-allocation timeline)",
+            args.matrix.name(),
+            args.ordering.name(),
+            args.nprocs
+        );
+        core_timeline(&args);
         return;
     }
     if !args.kills.is_empty() || !args.joins.is_empty() {

@@ -8,6 +8,7 @@
 //! scheduler core only ever holds the trait objects, so new strategies
 //! plug in without touching the protocol state machine.
 
+use crate::malleable::CoreAlloc;
 use crate::pool::{LifoSelector, MemoryAwareGlobalSelector, MemoryAwareSelector, TaskSelector};
 use crate::slavesel::{HybridSelector, MemorySelector, SlaveSelector, WorkloadSelector};
 use mf_sim::{FaultModel, NetworkModel, Time};
@@ -243,15 +244,19 @@ pub struct SolverConfig {
     /// schedule. `None` keeps the sampler off and the event stream
     /// byte-identical to a build without it.
     pub sample_every: Option<Time>,
-    /// Thread budget for the trailing update *inside* each front when a
-    /// numeric driver executes this configuration (the malleable-tasks
-    /// axis of Guermouche–Marchal–Simon–Vivien: a front is a task whose
-    /// processing time shrinks with allotted cores). Purely a numeric
-    /// performance knob: the simulator's scheduling decisions ignore it,
-    /// and the factor bytes do not depend on it (kernel dispatch keys on
-    /// the pivot count only; the parallel trailing sweep is partition-
-    /// invariant). `1` keeps every front sequential.
-    pub cores_per_front: usize,
+    /// How cores are allotted to each front's compute task (the
+    /// malleable-tasks axis of Guermouche–Marchal–Simon–Vivien: a front
+    /// is a task whose processing time shrinks with allotted cores).
+    /// `Static(n)` grants every front `n` cores — `Static(1)`, the
+    /// default, reproduces the pre-malleable scheduler byte for byte.
+    /// `Malleable{..}` makes the grant a per-front scheduling decision
+    /// (see [`CoreAlloc`]); each grant is carried on
+    /// `Effect::StartCompute`, shortens the modelled compute duration
+    /// through the shared [`crate::malleable::compute_ticks`] formula,
+    /// and is narrated to the flight recorder. Factor bytes never
+    /// depend on the grant (kernel dispatch keys on the pivot count
+    /// only; the parallel trailing sweep is partition-invariant).
+    pub core_alloc: CoreAlloc,
 }
 
 impl Default for SolverConfig {
@@ -281,7 +286,7 @@ impl Default for SolverConfig {
             capacity: None,
             time_limit: None,
             sample_every: None,
-            cores_per_front: 1,
+            core_alloc: CoreAlloc::Static(1),
         }
     }
 }
@@ -322,12 +327,12 @@ mod tests {
     }
 
     #[test]
-    fn cores_per_front_defaults_to_sequential() {
+    fn core_alloc_defaults_to_sequential_static() {
         // The malleable-tasks knob must not alter any preset's behavior
-        // unless explicitly raised.
-        assert_eq!(SolverConfig::default().cores_per_front, 1);
-        assert_eq!(SolverConfig::mumps_baseline(32).cores_per_front, 1);
-        assert_eq!(SolverConfig::memory_based(32).cores_per_front, 1);
+        // unless explicitly switched on.
+        assert_eq!(SolverConfig::default().core_alloc, CoreAlloc::Static(1));
+        assert_eq!(SolverConfig::mumps_baseline(32).core_alloc, CoreAlloc::Static(1));
+        assert_eq!(SolverConfig::memory_based(32).core_alloc, CoreAlloc::Static(1));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod blocking;
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod malleable;
 pub mod mapping;
 pub mod parsim;
 pub mod pool;
@@ -44,6 +45,7 @@ pub mod slavesel;
 pub mod views;
 
 pub use config::{RecoveryConfig, SlaveSelection, SolverConfig, TaskSelection};
+pub use malleable::{compute_ticks, CoreAlloc, SpeedupCurve};
 pub use driver::{run_experiment, ExperimentInput, RunResult};
 pub use error::{ProcDiag, RunDiagnostics, SimError};
 pub use mapping::StaticMapping;

@@ -13,6 +13,7 @@
 
 use crate::config::SolverConfig;
 use crate::error::{RunDiagnostics, SimError};
+use crate::malleable::{compute_ticks, SpeedupCurve};
 use crate::proto::{
     initial_loads, Effect, Input, Migration, Msg, SchedulerCore, Violation, TIMER_SAMPLE,
 };
@@ -122,6 +123,9 @@ struct SimDriver<'a, Q> {
     net: NetworkModel,
     messages: u64,
     jitter: Option<(SmallRng, f64)>,
+    /// The speedup curve behind multi-core compute durations (shared
+    /// with mf-exec through [`compute_ticks`]).
+    curve: SpeedupCurve,
     fault: Option<FaultInjector>,
     /// Traffic-side metrics (message counts/bytes, drops, busy time);
     /// merged with each core's decision-side registry at the end.
@@ -173,6 +177,7 @@ impl<'a, Q: EventQueue<Msg>> SimDriver<'a, Q> {
             net: cfg.network,
             messages: 0,
             jitter: cfg.jitter.map(|(seed, pct)| (SmallRng::seed_from_u64(seed), pct)),
+            curve: cfg.core_alloc.curve(),
             // A quiet model cannot perturb anything: keep the exact fast
             // paths (broadcast blocks) so such runs stay bit-identical.
             fault: cfg.fault.clone().filter(|m| !m.is_quiet()).map(FaultInjector::new),
@@ -278,11 +283,13 @@ impl<'a, Q: EventQueue<Msg>> SimDriver<'a, Q> {
         }
     }
 
-    /// Duration of a `flops`-sized work unit on processor `p`: the exact
-    /// flop-rate time, perturbed by seeded multiplicative jitter and the
-    /// fault model's straggler factor.
-    fn duration_of(&mut self, p: usize, flops: u64) -> Time {
-        let exact = (flops / self.cfg.flops_per_tick.max(1)).max(1);
+    /// Duration of a `flops`-sized work unit on processor `p` granted
+    /// `cores` cores: the shared [`compute_ticks`] model (exact integer
+    /// flop-rate time at one core, shrunk by the speedup curve above),
+    /// perturbed by seeded multiplicative jitter and the fault model's
+    /// straggler factor.
+    fn duration_of(&mut self, p: usize, flops: u64, cores: u32) -> Time {
+        let exact = compute_ticks(flops, self.cfg.flops_per_tick, cores, &self.curve);
         let base = match &mut self.jitter {
             None => exact,
             Some((rng, pct)) => {
@@ -324,7 +331,7 @@ impl<'a, Q: EventQueue<Msg>> SimDriver<'a, Q> {
             match e {
                 Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
                 Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
-                Effect::StartCompute { key, node, role, flops } => {
+                Effect::StartCompute { key, node, role, flops, cores } => {
                     if self.rec.is_some() {
                         self.record(|| CompactEvent::compute_start(p, node, role));
                         let info = &mut self.work_info[p];
@@ -334,7 +341,7 @@ impl<'a, Q: EventQueue<Msg>> SimDriver<'a, Q> {
                         }
                         info[k] = (node, role);
                     }
-                    let duration = self.duration_of(p, flops);
+                    let duration = self.duration_of(p, flops, cores);
                     self.metrics.procs[p].busy_ticks += duration;
                     self.live_events += 1;
                     self.sim.schedule_timer(p, duration, key);

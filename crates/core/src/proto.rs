@@ -28,6 +28,7 @@
 
 use crate::config::SolverConfig;
 use crate::error::ProcDiag;
+use crate::malleable::CoreAlloc;
 use crate::mapping::{NodeKind, StaticMapping};
 use crate::pool::{TaskCtx, TaskPool, TaskSelector};
 use crate::recovery::{RecoveryPlan, RecoverySnapshot};
@@ -276,6 +277,13 @@ pub enum Effect {
         role: TaskRole,
         /// Work size in flops.
         flops: u64,
+        /// Cores granted to this work unit by the core-allocation
+        /// policy ([`crate::malleable::CoreAlloc`]); the runtime feeds
+        /// it to the shared duration model
+        /// ([`crate::malleable::compute_ticks`]) and a numeric driver
+        /// sizes its within-front thread scope with it. Always 1 under
+        /// the default `Static(1)` policy.
+        cores: u32,
     },
     /// `entries` were allocated in `area` for `node` (already applied to
     /// the core's own accounting; emitted so real backends can mirror it
@@ -1077,6 +1085,35 @@ impl<'a> SchedulerCore<'a> {
         }
     }
 
+    /// Cores granted to a work unit being started — the malleable
+    /// allocator (see [`CoreAlloc`]). Under `Static(n)` every unit gets
+    /// `n` and nothing is recorded (the event stream stays byte-identical
+    /// to the pre-malleable scheduler). Under `Malleable` the grant is
+    /// `pool_cores` split evenly over the peers this core believes still
+    /// have tree work (its own status views — deterministic, same on
+    /// every backend), clamped to `[1, max_per_front]`; small fronts
+    /// always run sequentially. Each malleable grant is narrated to the
+    /// flight recorder so `explain` can audit the decision like a slave
+    /// selection.
+    fn granted_cores(&mut self, node: usize, flops: u64) -> u32 {
+        match self.cfg.core_alloc {
+            CoreAlloc::Static(n) => n.max(1) as u32,
+            CoreAlloc::Malleable { pool_cores, max_per_front, min_flops, .. } => {
+                if flops < min_flops {
+                    return 1;
+                }
+                let busy = (0..self.alive.len())
+                    .filter(|&q| self.alive[q] && self.joined[q] && self.views.load[q] > 0)
+                    .count()
+                    .max(1);
+                let grant = (pool_cores / busy).clamp(1, max_per_front.max(1)) as u32;
+                let id = self.id;
+                self.emit_record(|| CompactEvent::core_grant(id, node, grant, busy as u64));
+                grant
+            }
+        }
+    }
+
     // ---------- messaging ----------
 
     fn send(&mut self, to: usize, msg: Msg, bytes: u64) {
@@ -1194,7 +1231,8 @@ impl<'a> SchedulerCore<'a> {
             self.close_stall();
             self.busy = true;
             self.running = Some(key);
-            self.out.push(Effect::StartCompute { key: key as u64, node, role, flops });
+            let cores = self.granted_cores(node, flops);
+            self.out.push(Effect::StartCompute { key: key as u64, node, role, flops, cores });
             return;
         }
         let tree = self.tree;
@@ -1563,7 +1601,8 @@ impl<'a> SchedulerCore<'a> {
         self.done_works.push(false);
         self.cancelled.push(false);
         self.running = Some(key as usize);
-        self.out.push(Effect::StartCompute { key, node, role, flops });
+        let cores = self.granted_cores(node, flops);
+        self.out.push(Effect::StartCompute { key, node, role, flops, cores });
     }
 
     /// Releases the contribution blocks stacked for node `v` (the

@@ -23,6 +23,7 @@
 
 use mf_core::config::SolverConfig;
 use mf_core::error::{RunDiagnostics, SimError};
+use mf_core::malleable::{compute_ticks, SpeedupCurve};
 use mf_core::mapping::StaticMapping;
 use mf_core::parsim::RunResult;
 use mf_core::proto::{
@@ -284,6 +285,10 @@ struct Coordinator {
     /// core's compute path needs no recording branch.
     work_info: Vec<Vec<(usize, TaskRole)>>,
     flops_per_tick: u64,
+    /// The speedup curve behind multi-core compute durations — the same
+    /// [`compute_ticks`] arithmetic as the simulator backend, so the
+    /// virtual-time event streams stay byte-identical.
+    curve: SpeedupCurve,
     nodes_done: Vec<usize>,
     /// Message-quiet fault injector (membership faults, stragglers and
     /// the network-kill threshold) — same routing as the simulator's.
@@ -409,7 +414,7 @@ impl Coordinator {
             match e {
                 Effect::Send { to, msg, bytes } => self.send(p, to, msg, bytes),
                 Effect::Broadcast { msg, bytes } => self.broadcast(p, msg, bytes),
-                Effect::StartCompute { key, node, role, flops } => {
+                Effect::StartCompute { key, node, role, flops, cores } => {
                     if self.rec.is_some() {
                         self.record(|| CompactEvent::compute_start(p, node, role));
                         let info = &mut self.work_info[p];
@@ -419,7 +424,7 @@ impl Coordinator {
                         }
                         info[k] = (node, role);
                     }
-                    let exact = (flops / self.flops_per_tick.max(1)).max(1);
+                    let exact = compute_ticks(flops, self.flops_per_tick, cores, &self.curve);
                     // Straggler processors compute slower by their speed
                     // factor (the only duration noise this backend
                     // accepts; jitter is rejected up front).
@@ -814,6 +819,7 @@ pub fn run_threads(
             rec: cfg.record_events.then(|| Recording::new(cfg.event_capacity)),
             work_info: if cfg.record_events { vec![Vec::new(); cfg.nprocs] } else { Vec::new() },
             flops_per_tick: cfg.flops_per_tick,
+            curve: cfg.core_alloc.curve(),
             nodes_done: vec![0; cfg.nprocs],
             // Quiet models perturb nothing: keep the exact fast paths so
             // such runs stay bit-identical (same filter as the simulator).

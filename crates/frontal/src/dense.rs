@@ -226,19 +226,94 @@ fn lu_trailing_chunk(
     ap: &gemm::APack<'_>,
 ) {
     let nc = cols.len() / f;
-    for colj in cols.chunks_exact_mut(f) {
-        for k in k0..kend {
-            let ukj = colj[k];
-            if ukj == 0.0 {
-                continue;
-            }
-            let base = k * f + k + 1;
-            axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ukj);
-        }
-    }
+    solve_u12_rec(cols, f, k0, kend, panel);
     let mut bp = Vec::new();
     gemm::pack_b(&mut bp, &cols[k0..], f, kend - k0, nc);
     gemm::gemm_sub_packed(ap, &bp, nc, &mut cols[kend..], f);
+}
+
+/// Width at which the recursive triangular solves fall back to the
+/// per-column `axpy_sub` loop (the solve is L1-resident at this size).
+const TRSM_BASE: usize = 16;
+
+/// In-place unit-lower-triangular solve forming `U12`: applies
+/// `L(k0..kend, k0..kend)⁻¹` to rows `k0..kend` of every column in
+/// `cols` (L read from `panel`). Recursive: the top half solves, one
+/// packed GEMM pushes it into the bottom-half rows, the bottom half
+/// solves — so the O(nc·kb²) solve flops run through the microkernels
+/// instead of column-at-a-time `axpy_sub`. Contributions still land in
+/// ascending-`k` order per element; only the rounding granularity of
+/// the accumulation changes (axpy two-op steps vs one fused GEMM
+/// chain), which the blocked-vs-unblocked tolerance tests cover.
+fn solve_u12_rec(cols: &mut [f64], f: usize, k0: usize, kend: usize, panel: &[f64]) {
+    let kb = kend - k0;
+    if kb <= TRSM_BASE {
+        for colj in cols.chunks_exact_mut(f) {
+            for k in k0..kend {
+                let ukj = colj[k];
+                if ukj == 0.0 {
+                    continue;
+                }
+                let base = k * f + k + 1;
+                axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ukj);
+            }
+        }
+        return;
+    }
+    let h = kb / 2;
+    let mid = k0 + h;
+    solve_u12_rec(cols, f, k0, mid, panel);
+    let nc = cols.len() / f;
+    let mut ws = GemmWorkspace::new();
+    let ap = gemm::pack_a(&mut ws, &panel[k0 * f + mid..], f, kend - mid, h);
+    let mut bp = Vec::new();
+    gemm::pack_b(&mut bp, &cols[k0..], f, h, nc);
+    gemm::gemm_sub_packed(&ap, &bp, nc, &mut cols[mid..], f);
+    solve_u12_rec(cols, f, mid, kend, panel);
+}
+
+/// The LDLᵀ mirror analogue of [`solve_u12_rec`]: subtracts
+/// `L(k0..kend, k0..kend)_strict · B` from rows `k0..kend` of every
+/// column, where the `B` coefficients (`d_k·l_{jk}`) are already final
+/// in `bvals` (no feedback, unlike the LU solve — the recursion exists
+/// purely to route the triangular flops through the microkernels).
+/// `bvals` is `kb_tot × nc` column-major with rows indexed by
+/// `k - gk0`.
+#[allow(clippy::too_many_arguments)]
+fn ldlt_mirror_rec(
+    cols: &mut [f64],
+    f: usize,
+    k0: usize,
+    kend: usize,
+    panel: &[f64],
+    bvals: &[f64],
+    kb_tot: usize,
+    gk0: usize,
+) {
+    let kb = kend - k0;
+    if kb <= TRSM_BASE {
+        for (jl, colj) in cols.chunks_exact_mut(f).enumerate() {
+            for k in k0..kend {
+                let ljk_d = bvals[jl * kb_tot + (k - gk0)];
+                if ljk_d == 0.0 {
+                    continue;
+                }
+                let base = k * f + k + 1;
+                axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ljk_d);
+            }
+        }
+        return;
+    }
+    let h = kb / 2;
+    let mid = k0 + h;
+    ldlt_mirror_rec(cols, f, k0, mid, panel, bvals, kb_tot, gk0);
+    let nc = cols.len() / f;
+    let mut ws = GemmWorkspace::new();
+    let ap = gemm::pack_a(&mut ws, &panel[k0 * f + mid..], f, kend - mid, h);
+    let mut bp = Vec::new();
+    gemm::pack_b(&mut bp, &bvals[k0 - gk0..], kb_tot, h, nc);
+    gemm::gemm_sub_packed(&ap, &bp, nc, &mut cols[mid..], f);
+    ldlt_mirror_rec(cols, f, mid, kend, panel, bvals, kb_tot, gk0);
 }
 
 /// One chunk of the LDLᵀ trailing update: for every column `j`
@@ -258,19 +333,17 @@ fn ldlt_trailing_chunk(
 ) {
     let kb = kend - k0;
     let nc = cols.len() / f;
+    // The scaled rows depend only on the (finished) panel and `d`, so
+    // they can be formed up front and the mirror update deferred to the
+    // recursive GEMM-rich sweep.
     let mut bvals = vec![0.0; kb * nc];
-    for (jl, colj) in cols.chunks_exact_mut(f).enumerate() {
+    for jl in 0..nc {
         let gj = global_j0 + jl;
         for k in k0..kend {
-            let ljk_d = panel[k * f + gj] * d[k - k0];
-            bvals[jl * kb + (k - k0)] = ljk_d;
-            if ljk_d == 0.0 {
-                continue;
-            }
-            let base = k * f + k + 1;
-            axpy_sub(&mut colj[k + 1..kend], &panel[base..base + kend - k - 1], ljk_d);
+            bvals[jl * kb + (k - k0)] = panel[k * f + gj] * d[k - k0];
         }
     }
+    ldlt_mirror_rec(cols, f, k0, kend, panel, &bvals, kb, k0);
     let mut bp = Vec::new();
     gemm::pack_b(&mut bp, &bvals, kb, kb, nc);
     gemm::gemm_sub_packed(ap, &bp, nc, &mut cols[kend..], f);
@@ -303,6 +376,139 @@ fn dispatch_trailing(
     pool.install(|| {
         chunks.into_par_iter().for_each(|(c0, cols)| chunk_fn(c0, cols));
     });
+}
+
+/// Width at which the recursive panel factorization stops splitting and
+/// runs the rank-1 column loop directly. At or below this width the
+/// sub-panel is cache-resident and a GEMM call cannot pay for its
+/// packing; above it the right half of each split is updated through the
+/// packed microkernels instead of `axpy_sub`.
+const PANEL_BASE: usize = 8;
+
+/// Rank-1 panel LU over columns `k0..k0+kb`: the historical unblocked
+/// panel loop — pivot (argmax over rows `k..npiv`, strict `>`), swap
+/// across all columns, scale, then `axpy_sub` updates of the remaining
+/// panel columns only. The base case of [`panel_lu_rec`] and the
+/// reference the `panel` benchmark compares the recursion against.
+fn panel_lu_rank1(
+    w: &mut DenseMat,
+    npiv: usize,
+    row_perm: &mut [usize],
+    k0: usize,
+    kb: usize,
+) -> Result<(), KernelError> {
+    let f = w.nrows;
+    for k in k0..k0 + kb {
+        let mut piv_row = k;
+        let mut piv_val = w.get(k, k).abs();
+        for i in k + 1..npiv {
+            let v = w.get(i, k).abs();
+            if v > piv_val {
+                piv_val = v;
+                piv_row = i;
+            }
+        }
+        if piv_val < 1e-300 {
+            return Err(KernelError::TinyPivot { step: k, value: w.get(piv_row, k) });
+        }
+        if piv_row != k {
+            w.swap_rows(k, piv_row);
+            row_perm.swap(k, piv_row);
+        }
+        let inv = 1.0 / w.get(k, k);
+        for i in k + 1..f {
+            *w.get_mut(i, k) *= inv;
+        }
+        // Update only the remaining sub-panel columns now.
+        let (head, tail) = w.data.split_at_mut((k + 1) * f);
+        let lcol = &head[k * f + k + 1..];
+        for colj in tail.chunks_exact_mut(f).take(k0 + kb - k - 1) {
+            let ukj = colj[k];
+            if ukj == 0.0 {
+                continue;
+            }
+            axpy_sub(&mut colj[k + 1..], lcol, ukj);
+        }
+    }
+    Ok(())
+}
+
+/// Recursive panel LU over columns `k0..k0+kb`: split the panel in
+/// halves, factor the left half, apply the left half to the right half
+/// (triangular solve on the fully-summed panel rows + packed-GEMM update
+/// of the rows below — exactly [`lu_trailing_chunk`] restricted to the
+/// right-half columns), then recurse into the right half. The pivot rule
+/// is unchanged (argmax over rows `k..npiv`, strict `>`), so pivot
+/// choices match the rank-1 panel; at widths `<= PANEL_BASE` (hence at
+/// `nb = 1`) the code path *is* the rank-1 loop.
+fn panel_lu_rec(
+    w: &mut DenseMat,
+    npiv: usize,
+    row_perm: &mut [usize],
+    k0: usize,
+    kb: usize,
+    ws: &mut GemmWorkspace,
+) -> Result<(), KernelError> {
+    let f = w.nrows;
+    if kb <= PANEL_BASE {
+        return panel_lu_rank1(w, npiv, row_perm, k0, kb);
+    }
+    let h = kb / 2;
+    panel_lu_rec(w, npiv, row_perm, k0, h, ws)?;
+    let mid = k0 + h;
+    {
+        let (panel, rest) = w.data.split_at_mut(mid * f);
+        let cols = &mut rest[..(kb - h) * f];
+        let ap = gemm::pack_a(ws, &panel[k0 * f + mid..], f, f - mid, h);
+        lu_trailing_chunk(cols, f, k0, mid, panel, &ap);
+    }
+    panel_lu_rec(w, npiv, row_perm, mid, kb - h, ws)
+}
+
+/// Recursive panel LDLᵀ over columns `k0..k0+kb` (all rows, both
+/// triangles kept current — the discipline of the unblocked kernel).
+/// Same halving scheme as [`panel_lu_rec`], with the right-half update
+/// delegated to [`ldlt_trailing_chunk`].
+fn panel_ldlt_rec(
+    w: &mut DenseMat,
+    k0: usize,
+    kb: usize,
+    ws: &mut GemmWorkspace,
+) -> Result<(), KernelError> {
+    let f = w.nrows;
+    if kb <= PANEL_BASE {
+        for k in k0..k0 + kb {
+            let d = w.get(k, k);
+            if d.abs() < 1e-300 {
+                return Err(KernelError::TinyPivot { step: k, value: d });
+            }
+            let inv = 1.0 / d;
+            for i in k + 1..f {
+                *w.get_mut(i, k) *= inv;
+            }
+            let (head, tail) = w.data.split_at_mut((k + 1) * f);
+            let lcol = &head[k * f + k + 1..];
+            for (jt, colj) in tail.chunks_exact_mut(f).take(k0 + kb - k - 1).enumerate() {
+                let ljk_d = lcol[jt] * d;
+                if ljk_d == 0.0 {
+                    continue;
+                }
+                axpy_sub(&mut colj[k + 1..], lcol, ljk_d);
+            }
+        }
+        return Ok(());
+    }
+    let h = kb / 2;
+    panel_ldlt_rec(w, k0, h, ws)?;
+    let mid = k0 + h;
+    let dvals: Vec<f64> = (k0..mid).map(|k| w.data[k * f + k]).collect();
+    {
+        let (panel, rest) = w.data.split_at_mut(mid * f);
+        let cols = &mut rest[..(kb - h) * f];
+        let ap = gemm::pack_a(ws, &panel[k0 * f + mid..], f, f - mid, h);
+        ldlt_trailing_chunk(cols, mid, f, k0, mid, panel, &ap, &dvals);
+    }
+    panel_ldlt_rec(w, mid, kb - h, ws)
 }
 
 /// Cache-blocked variant of [`partial_lu`]: identical result (same pivot
@@ -343,39 +549,9 @@ pub fn partial_lu_blocked_mt(
     let mut k0 = 0;
     while k0 < npiv {
         let kb = nb.min(npiv - k0);
-        // ---- Panel factorization (unblocked on columns k0..k0+kb). ----
-        for k in k0..k0 + kb {
-            let mut piv_row = k;
-            let mut piv_val = w.get(k, k).abs();
-            for i in k + 1..npiv {
-                let v = w.get(i, k).abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = i;
-                }
-            }
-            if piv_val < 1e-300 {
-                return Err(KernelError::TinyPivot { step: k, value: w.get(piv_row, k) });
-            }
-            if piv_row != k {
-                w.swap_rows(k, piv_row);
-                row_perm.swap(k, piv_row);
-            }
-            let inv = 1.0 / w.get(k, k);
-            for i in k + 1..f {
-                *w.get_mut(i, k) *= inv;
-            }
-            // Update only the remaining panel columns now.
-            let (head, tail) = w.data.split_at_mut((k + 1) * f);
-            let lcol = &head[k * f + k + 1..];
-            for colj in tail.chunks_exact_mut(f).take(k0 + kb - k - 1) {
-                let ukj = colj[k];
-                if ukj == 0.0 {
-                    continue;
-                }
-                axpy_sub(&mut colj[k + 1..], lcol, ukj);
-            }
-        }
+        // ---- Panel factorization (recursive, GEMM-rich) on columns
+        // k0..k0+kb. ----
+        panel_lu_rec(w, npiv, row_perm, k0, kb, &mut ws)?;
         let kend = k0 + kb;
         // ---- Columns right of the panel: the triangular U12 solve
         // (rows k0..kend) followed by the GEMM update of rows kend..f,
@@ -385,6 +561,41 @@ pub fn partial_lu_blocked_mt(
             let (panel, trailing) = w.data.split_at_mut(kend * f);
             let ap = gemm::pack_a(&mut ws, &panel[k0 * f + kend..], f, f - kend, kb);
             dispatch_trailing(trailing, f, threads, |_, cols| {
+                lu_trailing_chunk(cols, f, k0, kend, panel, &ap);
+            });
+        }
+        k0 = kend;
+    }
+    Ok(())
+}
+
+/// [`partial_lu_blocked`] with the *rank-1* panel of the pre-recursive
+/// kernel: identical pivot rule and trailing update, but the panel
+/// columns advance by `axpy_sub` alone. Kept as the reference the
+/// `panel` benchmark and the recursive-panel tests compare against —
+/// the drivers never call it.
+pub fn partial_lu_blocked_rank1_panel(
+    w: &mut DenseMat,
+    npiv: usize,
+    nb: usize,
+    row_perm: &mut Vec<usize>,
+) -> Result<(), KernelError> {
+    let f = w.nrows();
+    assert_eq!(f, w.ncols(), "frontal matrices are square");
+    assert!(npiv <= f);
+    let nb = nb.max(1);
+    row_perm.clear();
+    row_perm.extend(0..f);
+    let mut ws = GemmWorkspace::new();
+    let mut k0 = 0;
+    while k0 < npiv {
+        let kb = nb.min(npiv - k0);
+        panel_lu_rank1(w, npiv, row_perm, k0, kb)?;
+        let kend = k0 + kb;
+        if kend < f {
+            let (panel, trailing) = w.data.split_at_mut(kend * f);
+            let ap = gemm::pack_a(&mut ws, &panel[k0 * f + kend..], f, f - kend, kb);
+            dispatch_trailing(trailing, f, 1, |_, cols| {
                 lu_trailing_chunk(cols, f, k0, kend, panel, &ap);
             });
         }
@@ -461,28 +672,10 @@ pub fn partial_ldlt_blocked_mt(
     while k0 < npiv {
         let kb = nb.min(npiv - k0);
         let kend = k0 + kb;
-        // ---- Panel factorization: rank-1 over the panel columns only
-        // (all rows, both triangles current — same sequence as the
-        // unblocked kernel restricted to these columns). ----
-        for k in k0..kend {
-            let d = w.get(k, k);
-            if d.abs() < 1e-300 {
-                return Err(KernelError::TinyPivot { step: k, value: d });
-            }
-            let inv = 1.0 / d;
-            for i in k + 1..f {
-                *w.get_mut(i, k) *= inv;
-            }
-            let (head, tail) = w.data.split_at_mut((k + 1) * f);
-            let lcol = &head[k * f + k + 1..];
-            for (jt, colj) in tail.chunks_exact_mut(f).take(kend - k - 1).enumerate() {
-                let ljk_d = lcol[jt] * d;
-                if ljk_d == 0.0 {
-                    continue;
-                }
-                axpy_sub(&mut colj[k + 1..], lcol, ljk_d);
-            }
-        }
+        // ---- Panel factorization (recursive, GEMM-rich) over the panel
+        // columns only — all rows, both triangles current, same pivot
+        // sequence as the unblocked kernel restricted to these columns. ----
+        panel_ldlt_rec(w, k0, kb, &mut ws)?;
         // ---- Trailing columns: scaled rows `B(k,j) = d_k·l_jk` come
         // from the factored panel (the diagonal keeps `d_k`; scaling
         // touches only rows below it), mirror rows k+1..kend per column,
@@ -556,11 +749,14 @@ pub fn factor_front_ldlt_mt(
 /// `numeric/kernel` benchmarks; with the packed microkernels the
 /// crossover sits far below the old axpy-based value of 512.
 const BLOCK_THRESHOLD: usize = 128;
-/// Panel width used by the drivers' blocked kernels. 32 balances the
-/// (axpy-speed) panel factorization against the (GEMM-speed) trailing
-/// update across front sizes 256–1024 in the `perf_baseline` nb sweep;
-/// public so the harness benchmarks the production configuration.
-pub const FRONT_NB: usize = 32;
+/// Panel width used by the drivers' blocked kernels. With the recursive
+/// panel and triangular solves the panel is no longer axpy-bound, so the
+/// width is set by the trailing update alone: a wide panel (large GEMM
+/// inner dimension `kc`) amortizes the compulsory C read+write traffic
+/// over more flops. 128 wins across front sizes 256–1024 in the
+/// `perf_baseline` nb sweep; public so the harness benchmarks the
+/// production configuration.
+pub const FRONT_NB: usize = 128;
 
 /// Full dense LU solve used as a test oracle: solves `A x = b` with
 /// partial pivoting over all rows. Returns `None` for singular input.

@@ -38,6 +38,11 @@ use std::sync::OnceLock;
 pub const MR: usize = 8;
 /// Columns per packed B strip (microkernel register-tile width).
 pub const NR: usize = 6;
+/// A-strips per row block of the packed sweep (`MC = MC_STRIPS · MR`
+/// rows). Sized so an `MC × kc` A block stays cache-resident across the
+/// full column sweep even at the widest panel the drivers use
+/// (256 × 128 × 8 B = 256 KiB — comfortably L2).
+const MC_STRIPS: usize = 32;
 
 /// SIMD instruction set a microkernel sweep runs with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -208,60 +213,71 @@ pub fn gemm_sub_packed(apack: &APack<'_>, bpack: &[f64], n: usize, c: &mut [f64]
     let level = active_simd();
     let strips = m.div_ceil(MR);
     let col_strips = n.div_ceil(NR);
-    for t in 0..col_strips {
-        let j0 = t * NR;
-        let n_active = NR.min(n - j0);
-        let bp = &bpack[t * kc * NR..(t + 1) * kc * NR];
-        let mut s = 0;
-        while s < strips {
-            let i0 = s * MR;
-            let m_active = MR.min(m - i0);
-            let ap = &apack.data[s * kc * MR..(s + 1) * kc * MR];
-            let coff = j0 * ldc + i0;
-            match level {
-                #[cfg(target_arch = "x86_64")]
-                SimdLevel::Avx512 if m_active == MR && s + 1 < strips && m - i0 - MR >= 1 => {
-                    // Two full-or-padded strips at once; the second strip
-                    // may be a row remainder (masked store).
-                    let m2 = MR.min(m - i0 - MR);
-                    let ap1 = &apack.data[(s + 1) * kc * MR..(s + 2) * kc * MR];
-                    // SAFETY: avx512f verified by `active_simd` clamping
-                    // to `detected_simd`; bounds asserted above.
-                    unsafe {
-                        x86::kernel_16x6_avx512(
-                            kc,
-                            ap.as_ptr(),
-                            ap1.as_ptr(),
-                            bp.as_ptr(),
-                            c.as_mut_ptr().add(coff),
-                            ldc,
-                            MR + m2,
-                            n_active,
-                        );
+    // Row blocks of MC_STRIPS strips: the A block stays L2-resident
+    // while every column strip of B sweeps over it, so A traffic does
+    // not scale with n. Pure loop reordering — each output element's
+    // fused chain is untouched, so the result is bit-identical to any
+    // other tiling (see the module contract).
+    let mut s_lo = 0;
+    while s_lo < strips {
+        let s_hi = (s_lo + MC_STRIPS).min(strips);
+        for t in 0..col_strips {
+            let j0 = t * NR;
+            let n_active = NR.min(n - j0);
+            let bp = &bpack[t * kc * NR..(t + 1) * kc * NR];
+            let mut s = s_lo;
+            while s < s_hi {
+                let i0 = s * MR;
+                let m_active = MR.min(m - i0);
+                let ap = &apack.data[s * kc * MR..(s + 1) * kc * MR];
+                let coff = j0 * ldc + i0;
+                match level {
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx512 if m_active == MR && s + 1 < s_hi && m - i0 - MR >= 1 => {
+                        // Two full-or-padded strips at once; the second
+                        // strip may be a row remainder (masked store).
+                        let m2 = MR.min(m - i0 - MR);
+                        let ap1 = &apack.data[(s + 1) * kc * MR..(s + 2) * kc * MR];
+                        // SAFETY: avx512f verified by `active_simd`
+                        // clamping to `detected_simd`; bounds asserted
+                        // above.
+                        unsafe {
+                            x86::kernel_16x6_avx512(
+                                kc,
+                                ap.as_ptr(),
+                                ap1.as_ptr(),
+                                bp.as_ptr(),
+                                c.as_mut_ptr().add(coff),
+                                ldc,
+                                MR + m2,
+                                n_active,
+                            );
+                        }
+                        s += 2;
+                        continue;
                     }
-                    s += 2;
-                    continue;
-                }
-                #[cfg(target_arch = "x86_64")]
-                SimdLevel::Avx2 | SimdLevel::Avx512 => {
-                    // SAFETY: avx2+fma implied by both levels (clamped to
-                    // detection); bounds asserted above.
-                    unsafe {
-                        x86::kernel_8x6_avx2(
-                            kc,
-                            ap.as_ptr(),
-                            bp.as_ptr(),
-                            c.as_mut_ptr().add(coff),
-                            ldc,
-                            m_active,
-                            n_active,
-                        );
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx2 | SimdLevel::Avx512 => {
+                        // SAFETY: avx2+fma implied by both levels (clamped
+                        // to detection); bounds asserted above.
+                        unsafe {
+                            x86::kernel_8x6_avx2(
+                                kc,
+                                ap.as_ptr(),
+                                bp.as_ptr(),
+                                c.as_mut_ptr().add(coff),
+                                ldc,
+                                m_active,
+                                n_active,
+                            );
+                        }
                     }
+                    _ => kernel_8x6_scalar(kc, ap, bp, &mut c[coff..], ldc, m_active, n_active),
                 }
-                _ => kernel_8x6_scalar(kc, ap, bp, &mut c[coff..], ldc, m_active, n_active),
+                s += 1;
             }
-            s += 1;
         }
+        s_lo = s_hi;
     }
 }
 
@@ -392,6 +408,31 @@ mod x86 {
         }
     }
 
+    /// 8-wide `dst[i] -= l[i] * u`: one `vmulpd` + one `vsubpd` per
+    /// group of lanes, scalar tail with the identical two rounded ops —
+    /// bit-identical to [`super::axpy_sub_scalar`] element for element
+    /// (same two-op sequence as [`axpy_sub_avx`], just wider).
+    ///
+    /// # Safety
+    /// Requires AVX-512F. `l` must be at least as long as `dst`.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn axpy_sub_avx512(dst: &mut [f64], l: &[f64], u: f64) {
+        let n = dst.len();
+        let vu = _mm512_set1_pd(u);
+        let d = dst.as_mut_ptr();
+        let s = l.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm512_loadu_pd(d.add(i));
+            let x = _mm512_loadu_pd(s.add(i));
+            _mm512_storeu_pd(d.add(i), _mm512_sub_pd(v, _mm512_mul_pd(x, vu)));
+            i += 8;
+        }
+        for k in i..n {
+            dst[k] -= l[k] * u;
+        }
+    }
+
     /// 16×6 AVX-512F register tile over two adjacent packed strips (the
     /// second may be a padded row remainder, handled by a masked store).
     ///
@@ -448,8 +489,14 @@ pub fn axpy_sub(dst: &mut [f64], l: &[f64], u: f64) {
     let l = &l[..n];
     match active_simd() {
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 | SimdLevel::Avx512 => {
-            // SAFETY: AVX is implied by both levels (clamped to
+        SimdLevel::Avx512 => {
+            // SAFETY: the level is clamped to detection, so AVX-512F is
+            // available; `l` re-sliced to `dst.len()` above.
+            unsafe { x86::axpy_sub_avx512(dst, l, u) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            // SAFETY: AVX is implied by the level (clamped to
             // detection); `l` re-sliced to `dst.len()` above.
             unsafe { x86::axpy_sub_avx(dst, l, u) }
         }

@@ -16,7 +16,7 @@ use mf_symbolic::frontstruct::{front_structures, FrontStructures};
 use mf_symbolic::SymbolicAnalysis;
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Atomic high-water accounting of live numeric memory (entries, i.e.
 /// `f64` words), shared by all workers. `live` counts every currently
@@ -64,8 +64,36 @@ struct Ctx<'a> {
     pat: Option<&'a CscMatrix>,
     sym: Symmetry,
     threads: usize,
+    /// `Some(pool)` makes the within-front thread budget a scheduling
+    /// decision (see [`NumericOptions::malleable_pool`]); `threads` then
+    /// acts as the per-front cap.
+    pool: Option<usize>,
+    /// Fronts currently inside their factorization kernel (malleable
+    /// grant denominator).
+    in_kernel: AtomicUsize,
     acct: ParAccount,
     slots: Vec<Mutex<Option<FrontFactor>>>,
+}
+
+impl Ctx<'_> {
+    /// Thread budget granted to a front entering its kernel. Purely a
+    /// performance decision: the kernels produce bit-identical factors
+    /// for any budget, so a racy `busy` count cannot perturb results.
+    fn grant_threads(&self) -> usize {
+        match self.pool {
+            None => self.threads,
+            Some(pool) => {
+                let busy = self.in_kernel.fetch_add(1, Ordering::Relaxed) + 1;
+                (pool / busy).clamp(1, self.threads.max(1))
+            }
+        }
+    }
+
+    fn release_threads(&self) {
+        if self.pool.is_some() {
+            self.in_kernel.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Factorizes `a` over the symbolic analysis `s`, exploiting tree
@@ -101,6 +129,8 @@ pub fn factorize_parallel_with(
         pat: pat.as_ref(),
         sym: s.tree.sym,
         threads: opts.cores_per_front.max(1),
+        pool: opts.malleable_pool,
+        in_kernel: AtomicUsize::new(0),
         acct: ParAccount::default(),
         slots: (0..s.tree.len()).map(|_| Mutex::new(None)).collect(),
     };
@@ -210,15 +240,16 @@ fn process(ctx: &Ctx<'_>, v: usize) -> Result<Vec<f64>, FactorError> {
     drop(child_cbs);
 
     let mut row_perm = Vec::new();
-    match ctx.sym {
-        Symmetry::General => factor_front_lu_mt(&mut w, p, &mut row_perm, ctx.threads)
-            .map_err(|source| FactorError::Kernel { node: v, source })?,
-        Symmetry::Symmetric => {
-            factor_front_ldlt_mt(&mut w, p, ctx.threads)
-                .map_err(|source| FactorError::Kernel { node: v, source })?;
+    let granted = ctx.grant_threads();
+    let factored = match ctx.sym {
+        Symmetry::General => factor_front_lu_mt(&mut w, p, &mut row_perm, granted),
+        Symmetry::Symmetric => factor_front_ldlt_mt(&mut w, p, granted).map(|ok| {
             row_perm = (0..f).collect();
-        }
-    }
+            ok
+        }),
+    };
+    ctx.release_threads();
+    factored.map_err(|source| FactorError::Kernel { node: v, source })?;
 
     let mut block11 = DenseMat::zeros(p, p);
     let mut l21 = DenseMat::zeros(f - p, p);

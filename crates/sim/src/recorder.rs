@@ -240,6 +240,7 @@ enum Kind {
     ProcLost = 12,
     ProcJoined = 13,
     SubtreeReassigned = 14,
+    CoreGrant = 15,
 }
 
 impl Kind {
@@ -259,7 +260,8 @@ impl Kind {
             11 => Kind::Forced,
             12 => Kind::ProcLost,
             13 => Kind::ProcJoined,
-            _ => Kind::SubtreeReassigned,
+            14 => Kind::SubtreeReassigned,
+            _ => Kind::CoreGrant,
         }
     }
 }
@@ -453,6 +455,13 @@ impl CompactEvent {
     pub fn subtree_reassigned(root: usize, from: usize, to: usize) -> Self {
         Self::pod(Kind::SubtreeReassigned, 0, id32(from), id32(root), id32(to), 0)
     }
+
+    /// The malleable allocator granted `cores` cores to `node`'s compute
+    /// task on `proc` while it believed `busy` peers still had tree work.
+    #[inline]
+    pub fn core_grant(proc: usize, node: usize, cores: u32, busy: u64) -> Self {
+        Self::pod(Kind::CoreGrant, 0, id32(proc), id32(node), cores, busy as i64)
+    }
 }
 
 /// One structured scheduling event in owned form — the builder/output
@@ -618,6 +627,18 @@ pub enum SchedEvent {
         /// The adopting survivor.
         to: usize,
     },
+    /// The malleable allocator granted a front more than its static
+    /// share of cores (emitted only under `CoreAlloc::Malleable`).
+    CoreGrant {
+        /// The granting (and computing) processor.
+        proc: usize,
+        /// The front whose compute task received the grant.
+        node: usize,
+        /// Cores granted.
+        cores: u32,
+        /// Peers the grantor believed still had tree work.
+        busy: u64,
+    },
 }
 
 impl From<&SchedEvent> for CompactEvent {
@@ -665,6 +686,9 @@ impl From<&SchedEvent> for CompactEvent {
             SchedEvent::ProcJoined { proc, migrated } => CompactEvent::proc_joined(proc, migrated),
             SchedEvent::SubtreeReassigned { root, from, to } => {
                 CompactEvent::subtree_reassigned(root, from, to)
+            }
+            SchedEvent::CoreGrant { proc, node, cores, busy } => {
+                CompactEvent::core_grant(proc, node, cores, busy)
             }
         }
     }
@@ -771,6 +795,8 @@ pub enum EventRef<'a> {
     ProcJoined { proc: usize, migrated: usize },
     /// See [`SchedEvent::SubtreeReassigned`].
     SubtreeReassigned { root: usize, from: usize, to: usize },
+    /// See [`SchedEvent::CoreGrant`].
+    CoreGrant { proc: usize, node: usize, cores: u32, busy: u64 },
 }
 
 impl EventRef<'_> {
@@ -826,6 +852,9 @@ impl EventRef<'_> {
             EventRef::ProcJoined { proc, migrated } => SchedEvent::ProcJoined { proc, migrated },
             EventRef::SubtreeReassigned { root, from, to } => {
                 SchedEvent::SubtreeReassigned { root, from, to }
+            }
+            EventRef::CoreGrant { proc, node, cores, busy } => {
+                SchedEvent::CoreGrant { proc, node, cores, busy }
             }
         }
     }
@@ -1085,6 +1114,12 @@ impl Recording {
                 from: r.a as usize,
                 to: r.c as usize,
             },
+            Kind::CoreGrant => EventRef::CoreGrant {
+                proc: r.a as usize,
+                node: r.b as usize,
+                cores: r.c,
+                busy: r.value as u64,
+            },
         }
     }
 
@@ -1271,6 +1306,7 @@ mod tests {
             SchedEvent::ProcLost { proc: 5, nodes_lost: 14 },
             SchedEvent::ProcJoined { proc: 6, migrated: 2 },
             SchedEvent::SubtreeReassigned { root: 33, from: 5, to: 1 },
+            SchedEvent::CoreGrant { proc: 3, node: 41, cores: 4, busy: 7 },
         ];
         let mut r = Recording::new(None);
         for (t, e) in originals.iter().enumerate() {
